@@ -1,0 +1,97 @@
+"""Ablation: how many EDKs does EDE need?
+
+For the paper's undo-logging pattern the producer (log persist) and
+consumer (element store) are adjacent, so key reuse never creates a false
+link — even one usable key suffices.  EDM capacity matters when dependences
+are *long-range*: a framework that batches several log persists before
+issuing the corresponding updates needs one live key per in-flight
+dependence, exactly as a compiler needs one register per live value
+(Section IX-A).  This bench emits group-batched updates where the group
+size equals the usable-key count and measures the overlap unlocked, under
+the IQ hardware (where retirement order makes serialization visible,
+Figure 8).
+"""
+
+from benchmarks.common import print_header
+from repro.harness.configs import DEFAULT_PARAMS, configuration
+from repro.harness.runner import run_one
+from repro.isa import instructions as ops
+from repro.nvmfw.framework import PersistentFramework
+from repro.workloads import Scale
+from repro.workloads.base import make_rng
+from repro.workloads.update import ARRAY_ELEMENTS
+
+SCALE = Scale(ops_per_txn=30, txns=8)
+
+
+def build_batched_update(group_size: int):
+    """Update kernel that persists ``group_size`` log entries before
+    performing the corresponding element updates, using one key each."""
+    fw = PersistentFramework("ede")
+    rng = make_rng(SCALE)
+    emit = fw.builder.emit
+    base = fw.alloc(ARRAY_ELEMENTS * 8, align=64)
+    for index in range(ARRAY_ELEMENTS):
+        fw.raw_store(base + 8 * index, index)
+
+    value = 1
+    op_id = 0
+    for _ in range(SCALE.txns):
+        fw.tx_begin()
+        remaining = SCALE.ops_per_txn
+        while remaining:
+            group = min(group_size, remaining)
+            remaining -= group
+            batch = []
+            for lane in range(group):
+                target = base + 8 * rng.randrange(ARRAY_ELEMENTS)
+                slot = fw.log.reserve_slot()
+                key = lane + 1
+                batch.append((target, slot, key, value))
+                value += 1
+            # Phase 1: log + persist each entry, producing a distinct key.
+            for target, slot, key, new_value in batch:
+                emit(ops.mov_imm(12, slot))
+                emit(ops.mov_imm(10, target))
+                emit(ops.ldr(11, 10, addr=target))
+                emit(ops.stp(10, 11, 12, addr=slot))
+                emit(ops.dc_cvap_ede(12, edk_def=key, edk_use=0, addr=slot,
+                                     comment="log:%d" % op_id))
+                fw.memory[slot] = target
+                fw.memory[slot + 8] = fw.peek(target)
+                op_id += 1
+            # Phase 2: the updates, each consuming its own key.
+            for index, (target, slot, key, new_value) in enumerate(batch):
+                emit(ops.mov_imm(13, new_value))
+                emit(ops.mov_imm(10, target))
+                emit(ops.store_ede(13, 10, edk_def=0, edk_use=key,
+                                   addr=target))
+                emit(ops.dc_cvap_ede(10, edk_def=key, edk_use=0, addr=target))
+                fw.memory[target] = new_value
+        fw.tx_commit()
+    return fw.finish()
+
+
+def test_ablation_edm_key_count(benchmark):
+    def sweep():
+        cycles = {}
+        for num_keys in (1, 2, 4, 8, 15):
+            built = build_batched_update(num_keys)
+            result = run_one("update", configuration("IQ"), SCALE,
+                             DEFAULT_PARAMS, built=built)
+            cycles[num_keys] = result.cycles
+        return cycles
+
+    cycles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_header("Ablation — usable EDK count "
+                 "(batched update kernel, IQ hardware)")
+    full = cycles[15]
+    for num_keys, value in cycles.items():
+        print("  %2d keys (batch %2d): %8d cycles (%.3f vs 15 keys)"
+              % (num_keys, num_keys, value, value / full))
+
+    # Single-key batching degenerates to the serialized per-op pattern;
+    # fifteen live dependences overlap the persists.
+    assert cycles[1] > cycles[15]
+    assert cycles[4] < cycles[1]
+    assert cycles[15] <= cycles[4]

@@ -1,0 +1,123 @@
+"""Ablations over the hardware parameters DESIGN.md calls out:
+
+* write-buffer capacity (WB enforcement lives there),
+* the on-DIMM buffer size (coalescing + backpressure),
+* NVM media write latency,
+* the enforcement point (IQ vs WB) as the persist-accept latency grows,
+* the DSB drain penalty (why it is zero by default).
+"""
+
+import dataclasses
+
+from benchmarks.common import print_header
+from repro.harness.configs import A72Params, configuration
+from repro.harness.runner import run_one
+from repro.memory.nvm import NvmParams
+from repro.pipeline.params import CoreParams
+from repro.workloads import Scale
+
+SCALE = Scale(ops_per_txn=25, txns=10)
+
+
+def run_cycles(config_name, params):
+    return run_one("update", configuration(config_name), SCALE, params).cycles
+
+
+def test_ablation_write_buffer_size(benchmark):
+    def sweep():
+        cycles = {}
+        for entries in (4, 8, 16, 32):
+            params = A72Params(core=CoreParams(write_buffer_entries=entries))
+            cycles[entries] = run_cycles("WB", params)
+        return cycles
+
+    cycles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_header("Ablation — write-buffer entries (WB hardware)")
+    for entries, value in cycles.items():
+        print("  %2d entries: %8d cycles" % (entries, value))
+    # WB enforcement parks blocked consumers in the buffer: a tiny buffer
+    # throttles the overlap the design exists to create.
+    assert cycles[4] > cycles[16]
+    assert cycles[32] <= cycles[8]
+
+
+def test_ablation_on_dimm_buffer_slots(benchmark):
+    def sweep():
+        cycles = {}
+        for slots in (8, 32, 128, 512):
+            params = A72Params(nvm=NvmParams(buffer_slots=slots))
+            cycles[slots] = run_cycles("U", params)
+        return cycles
+
+    cycles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_header("Ablation — on-DIMM buffer slots (U configuration)")
+    for slots, value in cycles.items():
+        print("  %4d slots: %8d cycles" % (slots, value))
+    # Fewer slots -> earlier backpressure and less coalescing.
+    assert cycles[8] >= cycles[128]
+
+
+def test_ablation_nvm_write_latency(benchmark):
+    def sweep():
+        cycles = {}
+        for write_ns in (100, 500, 2000):
+            params = A72Params(nvm=NvmParams(write_cycles=write_ns * 3))
+            cycles[write_ns] = {
+                name: run_cycles(name, params) for name in ("B", "WB", "U")
+            }
+        return cycles
+
+    cycles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_header("Ablation — NVM media write latency")
+    for write_ns, per_config in cycles.items():
+        print("  %5d ns: B=%8d WB=%8d U=%8d (WB/B=%.3f)"
+              % (write_ns, per_config["B"], per_config["WB"],
+                 per_config["U"], per_config["WB"] / per_config["B"]))
+    # Slower media compresses the EDE advantage: everyone becomes
+    # bandwidth-bound.
+    fast_ratio = cycles[100]["WB"] / cycles[100]["B"]
+    slow_ratio = cycles[2000]["WB"] / cycles[2000]["B"]
+    assert slow_ratio > fast_ratio
+
+
+def test_ablation_enforcement_point_vs_persist_latency(benchmark):
+    """The IQ/WB gap grows with the persist-accept latency: the longer a
+    producer takes to complete, the more the issue-queue stall costs."""
+    def sweep():
+        gap = {}
+        for accept in (15, 45, 135):
+            params = A72Params(nvm=NvmParams(accept_cycles=accept))
+            iq = run_cycles("IQ", params)
+            wb = run_cycles("WB", params)
+            gap[accept] = (iq, wb, iq / wb)
+        return gap
+
+    gap = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_header("Ablation — enforcement point vs persist-accept latency")
+    for accept, (iq, wb, ratio) in gap.items():
+        print("  accept=%4d cycles: IQ=%8d WB=%8d  IQ/WB=%.3f"
+              % (accept, iq, wb, ratio))
+    assert gap[135][2] > gap[15][2]
+    for accept in gap:
+        assert gap[accept][2] >= 0.99  # WB never loses to IQ
+
+
+def test_ablation_dsb_penalty(benchmark):
+    """A fixed DSB drain penalty slows only B — it would break the paper's
+    B ~= SU relationship, which is why the default is zero."""
+    def sweep():
+        out = {}
+        for penalty in (0, 24, 48):
+            params = A72Params(core=CoreParams(dsb_penalty=penalty))
+            b = run_cycles("B", params)
+            su = run_cycles("SU", params)
+            out[penalty] = (b, su, su / b)
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_header("Ablation — DSB drain penalty")
+    for penalty, (b, su, ratio) in out.items():
+        print("  penalty=%2d: B=%8d SU=%8d SU/B=%.3f"
+              % (penalty, b, su, ratio))
+    assert out[48][2] < out[0][2]  # the penalty pulls SU away from B
+    assert out[0][2] > 0.95        # default keeps them close, like the paper

@@ -1,0 +1,47 @@
+"""Figure 10: distribution of pending writes in the persistent 128-slot
+on-DIMM buffer, sampled each time a store reaches the NVM media."""
+
+from benchmarks.common import bench_scale, config_names, full_matrix, print_header
+from repro.harness.experiments import APPLICATIONS, fig10_pending_writes
+
+KERNELS = ("update", "swap")
+
+
+def test_fig10_pending_writes(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig10_pending_writes(bench_scale(), APPLICATIONS,
+                                     results=full_matrix()),
+        rounds=1, iterations=1)
+
+    print_header("Figure 10 — pending NVM writes in the %d-slot on-DIMM "
+                 "buffer (mean occupancy at media-write completion)"
+                 % result.buffer_slots)
+    names = config_names()
+    print("%-8s %s" % ("app", " ".join("%6s" % n for n in names)))
+    for app in APPLICATIONS:
+        print("%-8s %s" % (app, " ".join(
+            "%6.1f" % result.mean_pending[app][n] for n in names)))
+
+    print("\nOccupancy distribution for the kernels "
+          "(bucket width %d slots):" % result.bucket_size)
+    for app in KERNELS:
+        print("  %s" % app)
+        for name in names:
+            series = result.series(app, name)
+            bars = "".join("#" if frac > 0.05 else
+                           ("+" if frac > 0.005 else ".")
+                           for frac in series)
+            print("    %-3s [%s]" % (name, bars))
+
+    for app in APPLICATIONS:
+        means = result.mean_pending[app]
+        # U has the highest number of pending NVM writes (Section VII-C).
+        assert means["U"] >= max(means[n] for n in ("B", "SU", "IQ")), app
+        # WB keeps slightly more writes pending than B/SU/IQ.
+        assert means["WB"] >= means["B"] - 1.0, app
+
+    # Kernels drive the buffer much harder than the PMDK applications.
+    kernel_mean = sum(result.mean_pending[a]["U"] for a in KERNELS) / 2
+    pmdk_mean = sum(result.mean_pending[a]["U"]
+                    for a in APPLICATIONS if a not in KERNELS) / 4
+    assert kernel_mean > pmdk_mean

@@ -1,0 +1,64 @@
+"""Figure 11: distribution of instructions issued each cycle, plus the
+average IPCs of Section VII-B (paper: 0.40 / 0.42 / 0.46 / 0.49 / 0.64)."""
+
+from benchmarks.common import bench_scale, config_names, full_matrix, print_header
+from repro.harness.experiments import APPLICATIONS, fig11_issue_distribution
+
+
+def test_fig11_issue_distribution(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig11_issue_distribution(bench_scale(), APPLICATIONS,
+                                         results=full_matrix()),
+        rounds=1, iterations=1)
+
+    names = config_names()
+    print_header("Figure 11 — fraction of cycles issuing k instructions "
+                 "(averaged over the applications)")
+    averaged = {
+        name: [
+            sum(result.distributions[app][name][k]
+                for app in APPLICATIONS) / len(APPLICATIONS)
+            for k in range(9)
+        ]
+        for name in names
+    }
+    print("%-4s %s" % ("k", " ".join("%6s" % n for n in names)))
+    for k in range(9):
+        print("%-4d %s" % (k, " ".join(
+            "%6.3f" % averaged[n][k] for n in names)))
+
+    print("\nAverage IPC (paper: B 0.40, SU 0.42, IQ 0.46, WB 0.49, U 0.64):")
+    for name in names:
+        print("  %-3s measured %.3f  (paper %.2f)"
+              % (name, result.mean_ipc[name], result.paper_ipc[name]))
+
+    # Zero-issue cycles dominate for every configuration (Section VII-B).
+    for name in names:
+        assert averaged[name][0] == max(averaged[name])
+
+    # IPC ordering follows the paper: B <= SU <= IQ <= WB <= U (with small
+    # tolerance between adjacent configurations).
+    ipc = result.mean_ipc
+    assert ipc["B"] <= ipc["SU"] + 0.02
+    assert ipc["SU"] <= ipc["IQ"] + 0.05
+    assert ipc["IQ"] <= ipc["WB"] + 0.02
+    assert ipc["WB"] <= ipc["U"] + 0.02
+
+
+def test_fig11_active_issue_width(benchmark):
+    """Section VII-B: when issuing, WB issues more instructions per active
+    cycle than IQ (paper: 8% more)."""
+    def compute():
+        matrix = full_matrix()
+        means = {}
+        for name in ("IQ", "WB"):
+            values = [matrix[app][name].stats.mean_issued_when_active()
+                      for app in APPLICATIONS]
+            means[name] = sum(values) / len(values)
+        return means
+
+    means = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_header("Mean instructions issued on active cycles")
+    print("IQ: %.2f   WB: %.2f   (paper: WB issues ~8%% more)"
+          % (means["IQ"], means["WB"]))
+    assert means["WB"] >= means["IQ"] * 0.95

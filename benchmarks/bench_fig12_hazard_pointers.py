@@ -1,0 +1,66 @@
+"""Section VIII / Figure 12: hazard-pointer announcement.
+
+The full fence (DMB SY) between the announcement store and the validating
+re-load is replaced by an EDE store-producer / load-consumer pair.  This is
+the paper's future-work evaluation target; the bench measures the fence
+cost the multi-threaded domain would recover.
+"""
+
+from benchmarks.common import bench_scale, print_header
+from repro.harness.experiments import hazard_pointer_experiment
+
+
+def test_fig12_hazard_pointer_announcement(benchmark):
+    result = benchmark.pedantic(
+        lambda: hazard_pointer_experiment(bench_scale()),
+        rounds=1, iterations=1)
+
+    print_header("Hazard-pointer announcement (Figure 12): DMB SY vs EDE")
+    for name, label in (("B", "DMB SY full fence"),
+                        ("IQ", "EDE, IQ hardware"),
+                        ("WB", "EDE, WB hardware"),
+                        ("U", "no ordering (unsafe reference)")):
+        print("  %-3s %-30s %8d cycles  (%.3f of fence)"
+              % (name, label, result.cycles[name], result.normalized[name]))
+
+    # EDE removes most of the fence cost while preserving the load-store
+    # ordering; both hardware designs beat the full fence.
+    assert result.normalized["IQ"] < 1.0
+    assert result.normalized["WB"] < 1.0
+    assert result.normalized["WB"] <= result.normalized["IQ"] + 0.02
+    # The unsafe version bounds the achievable gain.
+    assert result.normalized["U"] <= result.normalized["WB"] + 0.02
+
+
+def test_object_publication(benchmark):
+    """Section VIII-B: Java-style final-field publication.
+
+    The publish store must follow the field-initialization stores; today
+    that costs a DMB, with EDE the last field store produces a key the
+    publish store consumes.  Store-visibility chains dominate here, so the
+    issue-queue design gains nothing (the consumer store stalls exactly as
+    long as the fence would) while the write-buffer design halves the time
+    — a microcosm of the paper's IQ-vs-WB argument.
+    """
+    from repro.harness import configuration, run_one
+
+    def run():
+        cycles = {}
+        for name in ("B", "IQ", "WB", "U"):
+            cycles[name] = run_one("publication", configuration(name),
+                                   bench_scale()).cycles
+        return cycles
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Object publication (Section VIII-B): DMB SY vs EDE")
+    base = cycles["B"]
+    for name, label in (("B", "DMB SY before publish"),
+                        ("IQ", "EDE, IQ hardware"),
+                        ("WB", "EDE, WB hardware"),
+                        ("U", "no ordering (unsafe reference)")):
+        print("  %-3s %-30s %8d cycles  (%.3f of fence)"
+              % (name, label, cycles[name], cycles[name] / base))
+
+    assert cycles["IQ"] <= cycles["B"]
+    assert cycles["WB"] < cycles["IQ"]
+    assert cycles["U"] <= cycles["WB"]

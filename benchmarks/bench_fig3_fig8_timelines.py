@@ -1,0 +1,50 @@
+"""Figures 3 and 8: the motivating timelines, measured on the model.
+
+Figure 3: three independent persistent-array updates serialize into phases
+under DSBs but overlap under EDE.  Figure 8: the four-instruction EDE
+microprogram where IQ forces serialization that WB avoids.
+"""
+
+from benchmarks.common import print_header
+from repro.harness.timelines import fig8_microprogram, three_update_timeline
+
+
+def test_fig3_phases(benchmark):
+    def run_all():
+        return {name: three_update_timeline(name)
+                for name in ("B", "SU", "IQ", "WB", "U")}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_header("Figure 3 — three updates of Figure 1(a): phases and "
+                 "cycles per configuration")
+    for name, result in results.items():
+        print("  %-3s total=%5d cycles   serialized phases=%d"
+              % (name, result.total_cycles, result.phase_count()))
+
+    baseline = results["B"]
+    ede = results["WB"]
+    # DSBs serialize the three updates; EDE overlaps them.
+    assert baseline.phase_count() > ede.phase_count()
+    assert not baseline.halves_overlap((0, "update"), (1, "update"))
+    assert ede.halves_overlap((0, "update"), (1, "update"))
+    assert ede.halves_overlap((0, "log"), (1, "log"))
+    assert results["U"].total_cycles <= ede.total_cycles
+
+
+def test_fig8_iq_vs_wb(benchmark):
+    def run_both():
+        return fig8_microprogram("IQ"), fig8_microprogram("WB")
+
+    iq, wb = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print_header("Figure 8 — four EDE instructions, dependences 1->2, 3->4")
+    print("  IQ completion cycles: %s  (total %d)"
+          % (iq.complete_cycles, iq.total_cycles))
+    print("  WB completion cycles: %s  (total %d)"
+          % (wb.complete_cycles, wb.total_cycles))
+
+    # Figure 8(b): under IQ the second pair orders behind the first via
+    # retirement; Figure 8(a): under WB all four overlap.
+    assert wb.total_cycles < iq.total_cycles
+    assert min(iq.complete_cycles[2:]) > max(iq.complete_cycles[:2])
+    wb_spread = max(wb.complete_cycles) - min(wb.complete_cycles)
+    assert wb_spread < 20

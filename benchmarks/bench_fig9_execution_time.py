@@ -1,0 +1,50 @@
+"""Figure 9: normalized execution time for every application and
+configuration, plus the geometric-mean reductions of Section VII-A
+(paper: SU 5%, IQ 15%, WB 20%, U 38%)."""
+
+from benchmarks.common import bench_scale, full_matrix, print_header
+from repro.harness.experiments import APPLICATIONS, fig9_execution_time
+
+
+def test_fig9_execution_time(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig9_execution_time(bench_scale(), APPLICATIONS,
+                                    results=full_matrix()),
+        rounds=1, iterations=1)
+
+    print_header("Figure 9 — execution time normalized to B "
+                 "(scale: %d ops/txn x %d txns)"
+                 % (bench_scale().ops_per_txn, bench_scale().txns))
+    for row in result.rows():
+        print(row)
+    geo = result.geomean_normalized
+    print("\nGeomean execution-time reduction vs B "
+          "(paper: SU 5%, IQ 15%, WB 20%, U 38%):")
+    for name in ("SU", "IQ", "WB", "U"):
+        print("  %-3s measured %.1f%%  (paper %.0f%%)"
+              % (name, 100 * (1 - geo[name]),
+                 100 * (1 - result.paper_geomean[name])))
+
+    # The paper's qualitative result: strict configuration ordering.
+    assert geo["U"] <= geo["WB"] <= geo["IQ"] <= geo["SU"] <= geo["B"] == 1.0
+    # EDE delivers meaningful speedups over fences.
+    assert geo["IQ"] < 0.95
+    assert geo["WB"] < 0.90
+    # SU tracks B closely (the paper's 5%).
+    assert geo["SU"] > 0.90
+
+
+def test_fig9_headline_speedups(benchmark):
+    """Abstract: 'average workload speedups of 18% and 26%' (IQ, WB)."""
+    result = benchmark.pedantic(
+        lambda: fig9_execution_time(bench_scale(), APPLICATIONS,
+                                    results=full_matrix()),
+        rounds=1, iterations=1)
+    geo = result.geomean_normalized
+    iq_speedup = 1 / geo["IQ"] - 1
+    wb_speedup = 1 / geo["WB"] - 1
+    print_header("Headline speedups over B")
+    print("IQ speedup: %.1f%%  (paper: 18%%)" % (100 * iq_speedup))
+    print("WB speedup: %.1f%%  (paper: 26%%)" % (100 * wb_speedup))
+    assert iq_speedup > 0.05
+    assert wb_speedup > iq_speedup

@@ -1,0 +1,49 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  The full
+application x configuration matrix is expensive, so it is computed once per
+scale and shared across bench modules.
+
+Scale selection: set ``REPRO_BENCH_OPS`` / ``REPRO_BENCH_TXNS`` to override
+the default (25 ops/txn x 20 txns — large enough to reach NVM-buffer steady
+state while staying laptop-friendly; the paper uses 100 x 1000).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Dict
+
+from repro.harness import CONFIGURATIONS, run_matrix
+from repro.harness.experiments import APPLICATIONS
+from repro.harness.runner import RunResult
+from repro.workloads import Scale
+
+
+def bench_scale() -> Scale:
+    ops = int(os.environ.get("REPRO_BENCH_OPS", "25"))
+    txns = int(os.environ.get("REPRO_BENCH_TXNS", "20"))
+    return Scale(ops_per_txn=ops, txns=txns)
+
+
+@functools.lru_cache(maxsize=4)
+def _matrix_cached(ops: int, txns: int) -> Dict[str, Dict[str, RunResult]]:
+    scale = Scale(ops_per_txn=ops, txns=txns)
+    return run_matrix(list(APPLICATIONS), list(CONFIGURATIONS), scale)
+
+
+def full_matrix() -> Dict[str, Dict[str, RunResult]]:
+    scale = bench_scale()
+    return _matrix_cached(scale.ops_per_txn, scale.txns)
+
+
+def config_names() -> list:
+    return [c.name for c in CONFIGURATIONS]
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

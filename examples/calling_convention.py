@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Section IX-B: the EDK calling convention (Figure 13).
+
+EDKs are architectural state shared between caller and callee, so — like
+registers — they need a calling convention: caller-saved keys require a
+WAIT_KEY after the call; callee-saved keys must be produced only by
+self-chaining instructions or after a WAIT_KEY.
+
+Run:  python examples/calling_convention.py
+"""
+
+from repro.core.calling_convention import (
+    CALLEE_SAVED_KEYS,
+    CALLER_SAVED_KEYS,
+    check_callee,
+    check_caller,
+    insert_caller_waits,
+)
+from repro.isa import instructions as ops
+from repro.isa.opcodes import Opcode
+
+X = CALLER_SAVED_KEYS[0]   # "X is caller-saved"  (Figure 13)
+Y = CALLEE_SAVED_KEYS[0]   # "Y is callee-saved"
+
+
+def listing(instructions, title):
+    print(title)
+    for index, inst in enumerate(instructions):
+        print("  %2d: %s" % (index, inst))
+    print()
+
+
+def main() -> None:
+    print(__doc__)
+    print("Caller-saved keys: %s" % (CALLER_SAVED_KEYS,))
+    print("Callee-saved keys: %s\n" % (CALLEE_SAVED_KEYS,))
+
+    caller = [
+        ops.dc_cvap_ede(0, edk_def=X, edk_use=0, addr=0x80001000),
+        ops.dc_cvap_ede(1, edk_def=Y, edk_use=0, addr=0x80001040),
+        ops.Instruction(Opcode.BL, target="foo"),
+        ops.store_ede(2, 3, edk_def=0, edk_use=X, addr=0x80001080),
+        ops.store_ede(4, 5, edk_def=0, edk_use=Y, addr=0x800010C0),
+    ]
+    listing(caller, "Caller as written (Figure 13, lines 1-7, no WAIT_KEY):")
+
+    violations = check_caller(caller)
+    print("Convention check: %d violation(s)" % len(violations))
+    for violation in violations:
+        print("  %s" % violation)
+    print()
+
+    fixed = insert_caller_waits(caller)
+    listing(fixed, "After insert_caller_waits (WAIT_KEY (%d) added):" % X)
+    assert check_caller(fixed) == []
+    print("Caller now conforms.\n")
+
+    callee_bad = [ops.dc_cvap_ede(0, edk_def=Y, edk_use=0, addr=0x80002000)]
+    callee_good = [ops.dc_cvap_ede(0, edk_def=Y, edk_use=Y, addr=0x80002000)]
+    listing(callee_bad, "Callee producing callee-saved Y without chaining:")
+    print("Violations: %d" % len(check_callee(callee_bad)))
+    listing(callee_good,
+            "Callee using the Figure 13 line-10 form `inst (Y, Y)`:")
+    print("Violations: %d" % len(check_callee(callee_good)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble the paper's Figure 7 EDE code and run it.
+
+Demonstrates the three layers of the library in ~40 lines:
+
+1. assemble AArch64+EDE source (the paper's notation),
+2. execute it functionally to resolve addresses,
+3. simulate it on the A72-like out-of-order core under the WB hardware,
+   and inspect the persist order.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.policies import WB_POLICY
+from repro.isa import Machine, assemble
+from repro.memory import CacheHierarchy, MemoryController
+from repro.pipeline import OutOfOrderCore
+
+NVM = 2 << 30
+ELEMENT = NVM + (8 << 20)
+LOG_SLOT = NVM + (9 << 20)
+
+SOURCE = """
+    mov x0, #%d          ; element address
+    mov x2, #%d          ; undo-log slot
+    ldr x1, [x0]         ; load original value
+    stp x0, x1, [x2]     ; store addr & value into the log
+    dc cvap (1, 0), x2   ; persist the log entry — EDK #1 producer
+    mov x3, #6           ; the new value
+    str (0, 1), x3, [x0] ; update the element — EDK #1 consumer (no DSB!)
+    dc cvap, x0          ; persist the new value
+    halt
+""" % (ELEMENT, LOG_SLOT)
+
+
+def main() -> None:
+    # 1. Assemble (the EDE key syntax is the paper's own notation).
+    program = assemble(SOURCE)
+    print("Assembled program:")
+    print(program.listing())
+
+    # 2. Functional execution resolves effective addresses into a trace.
+    machine = Machine()
+    trace = machine.run(program)
+    print("\nFunctional result: element = %d (was 0)"
+          % machine.memory.load(ELEMENT))
+
+    # 3. Timing simulation under the write-buffer EDE hardware.
+    controller = MemoryController()
+    hierarchy = CacheHierarchy(controller)
+    for line in (ELEMENT, LOG_SLOT):
+        for cache in (hierarchy.l3, hierarchy.l2, hierarchy.l1d):
+            cache.insert(line)
+    core = OutOfOrderCore(trace, hierarchy, WB_POLICY)
+    stats = core.run()
+
+    print("\nSimulated %d instructions in %d cycles (IPC %.2f)"
+          % (stats.retired, stats.cycles, stats.ipc))
+    print("\nPersist order (acceptance into the ADR buffer):")
+    for record in controller.persist_log:
+        what = "log entry " if record.line_addr == LOG_SLOT & ~63 else "element   "
+        print("  cycle %4d: %s line %#x" % (record.cycle, what,
+                                            record.line_addr))
+    log_first = controller.persist_log[0].line_addr == (LOG_SLOT & ~63)
+    print("\nThe log entry persisted before the element%s — EDE enforced "
+          "the execution dependence without a fence." %
+          (" did" if not log_first else ""))
+    assert log_first
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Compiler support for EDE (Section IX-A): virtualised EDKs.
+
+* :mod:`repro.compiler.ir` — IR ops carrying virtual dependence tokens.
+* :mod:`repro.compiler.edk_alloc` — linear-scan physical-key assignment
+  with sound WAIT_KEY / fence spilling.
+* :mod:`repro.compiler.lower` — lowering to EDE instructions (JOIN
+  insertion for two-source dependences) and lowering verification.
+"""
+
+from repro.compiler.edk_alloc import Assignment, allocate_keys
+from repro.compiler.ir import IrError, IrFunction, IrOp
+from repro.compiler.lower import LoweredFunction, lower, verify_lowering
+
+__all__ = [
+    "Assignment",
+    "IrError",
+    "IrFunction",
+    "IrOp",
+    "LoweredFunction",
+    "allocate_keys",
+    "lower",
+    "verify_lowering",
+]

@@ -1,0 +1,170 @@
+"""Linear-scan assignment of physical EDKs to virtual dependence tokens.
+
+Section IX-A: "it is possible for EDKs to be virtualised and for the
+compiler to automatically assign logical EDK values.  Existing register
+allocation techniques such as graph coloring and linear scan are
+straightforward to repurpose."  This module repurposes linear scan.
+
+Each virtual token has a live range [definition, last use].  Tokens with
+overlapping ranges need distinct physical keys; fifteen are available.
+When the allocator runs out, it *spills*: it recycles the key of a victim
+token by inserting an ordering instruction in front of the definition that
+needed the key.
+
+Spill soundness
+---------------
+Recycling key ``K`` while its old token still has pending consumers would
+silently drop the old dependence (later consumers of ``K`` would link to
+the new producer).  The allocator therefore inserts ``WAIT_KEY (K)``
+before reusing ``K`` and *removes* the old token's remaining uses:
+
+* The WAIT completes only after the old producer completes, and it
+  retires in program order before every remaining consumer retires.  A
+  **store-class** consumer's effects become observable only after its own
+  retirement, so the ordering old-producer -> consumer still holds
+  transitively.  Such victims are therefore safe.
+* A **load** consumer's effect (the load value) is bound at execute, which
+  may precede the WAIT's retirement — dropping its use would be unsound.
+  When every spill candidate still has a pending load consumer, the
+  allocator inserts a full ``DMB SY`` instead, which orders all memory
+  operations and allows *all* live tokens to be retired en masse.
+
+The victim choice is the classic farthest-next-use heuristic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.edk import NUM_KEYS
+from repro.isa import instructions as builders
+from repro.compiler.ir import IrFunction, IrOp
+
+
+@dataclasses.dataclass
+class Assignment:
+    """The allocation result.
+
+    Attributes:
+        ops: The (possibly longer) op sequence: spill WAIT_KEY / DMB SY
+            instructions appear as plain IrOps with no tokens.
+        keys: op index (into ``ops``) -> physical key for its definition.
+        dropped_uses: (op index, token) uses removed by spilling; their
+            ordering is guaranteed by the inserted instruction instead.
+        spill_waits: number of WAIT_KEY spills inserted.
+        spill_fences: number of DMB SY fallback fences inserted.
+    """
+
+    ops: List[IrOp]
+    keys: Dict[int, int]
+    token_key: Dict[int, int]
+    dropped_uses: List[Tuple[int, int]]
+    spill_waits: int = 0
+    spill_fences: int = 0
+
+
+class _LiveToken:
+    __slots__ = ("token", "key", "remaining_uses")
+
+    def __init__(self, token: int, key: int, remaining_uses: List[Tuple[int, bool]]):
+        self.token = token
+        self.key = key
+        #: (op index, is_load_consumer) of uses not yet reached.
+        self.remaining_uses = remaining_uses
+
+    def next_use(self) -> int:
+        return self.remaining_uses[0][0] if self.remaining_uses else -1
+
+    def has_load_consumer(self) -> bool:
+        return any(is_load for _idx, is_load in self.remaining_uses)
+
+
+def allocate_keys(function: IrFunction,
+                  num_keys: int = NUM_KEYS - 1) -> Assignment:
+    """Assign physical keys to every token definition in ``function``."""
+    if not 1 <= num_keys <= NUM_KEYS - 1:
+        raise ValueError("num_keys must be in 1..%d" % (NUM_KEYS - 1))
+
+    # Pre-compute each token's consumer positions (original indices).
+    consumers: Dict[int, List[Tuple[int, bool]]] = {}
+    for index, op in enumerate(function.ops):
+        for token in op.uses:
+            consumers.setdefault(token, []).append(
+                (index, op.consumes_as_load))
+
+    free_keys = list(range(1, num_keys + 1))
+    live: Dict[int, _LiveToken] = {}       # token -> live record
+    token_key: Dict[int, int] = {}          # token -> assigned key (history)
+    dead_tokens: set = set()                # tokens whose uses were dropped
+
+    out_ops: List[IrOp] = []
+    keys: Dict[int, int] = {}
+    dropped: List[Tuple[int, int]] = []
+    assignment = Assignment(out_ops, keys, token_key, dropped)
+
+    def expire(original_index: int) -> None:
+        for record in list(live.values()):
+            while (record.remaining_uses
+                   and record.remaining_uses[0][0] <= original_index):
+                record.remaining_uses.pop(0)
+            if not record.remaining_uses:
+                free_keys.append(record.key)
+                free_keys.sort()
+                del live[record.token]
+
+    def spill_for(original_index: int) -> int:
+        """Free one key, inserting WAIT_KEY or DMB SY; return the key."""
+        candidates = sorted(live.values(), key=_LiveToken.next_use,
+                            reverse=True)
+        safe = [c for c in candidates if not c.has_load_consumer()]
+        if safe:
+            victim = safe[0]
+            out_ops.append(IrOp(builders.wait_key(victim.key)))
+            assignment.spill_waits += 1
+            for use_index, _is_load in victim.remaining_uses:
+                dropped.append((use_index, victim.token))
+            dead_tokens.add(victim.token)
+            del live[victim.token]
+            return victim.key
+        # Fallback: a full fence retires every live dependence.
+        out_ops.append(IrOp(builders.dmb_sy()))
+        assignment.spill_fences += 1
+        key = None
+        for record in list(live.values()):
+            for use_index, _is_load in record.remaining_uses:
+                dropped.append((use_index, record.token))
+            dead_tokens.add(record.token)
+            if key is None:
+                key = record.key
+            else:
+                free_keys.append(record.key)
+            del live[record.token]
+        free_keys.sort()
+        assert key is not None
+        return key
+
+    for original_index, op in enumerate(function.ops):
+        expire(original_index - 1)
+
+        # Uses of spilled tokens were recorded in `dropped` at spill time;
+        # the op itself keeps only the still-live ones.
+        live_uses = tuple(t for t in op.uses if t not in dead_tokens)
+        rewritten = dataclasses.replace(op, uses=live_uses) \
+            if live_uses != op.uses else op
+
+        if op.defines is not None:
+            if not free_keys:
+                key = spill_for(original_index)
+            else:
+                key = free_keys.pop(0)
+            token_key[op.defines] = key
+            live[op.defines] = _LiveToken(
+                op.defines, key, list(consumers.get(op.defines, ())))
+            keys[len(out_ops)] = key
+        out_ops.append(rewritten)
+        expire(original_index)
+
+    return assignment
+
+

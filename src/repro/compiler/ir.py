@@ -1,0 +1,132 @@
+"""A compiler intermediate representation with execution dependences.
+
+Section IX-A of the paper: a compiler IR can carry execution dependences
+alongside data dependences, letting it optimize aggressively without
+illegally reordering, and letting EDKs be *virtualised* — the program
+names as many logical dependence tokens as it likes and the compiler
+assigns the fifteen physical keys with register-allocation techniques.
+
+The IR here is deliberately post-scheduling: a linear sequence of
+:class:`IrOp` nodes, each wrapping one target instruction (without EDK
+operands) plus the virtual-dependence information:
+
+* ``defines`` — the virtual token this op produces (or None);
+* ``uses`` — virtual tokens this op consumes.
+
+Only instructions whose opcode has an EDE variant (stores, pairwise
+stores, cacheline writebacks, loads) or JOIN can define/use tokens.
+:func:`repro.compiler.edk_alloc.allocate_keys` maps tokens to physical
+keys; :func:`repro.compiler.lower.lower` produces the final instruction
+sequence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import EDE_VARIANT_OF_PLAIN_OPCODE, Opcode
+
+
+class IrError(ValueError):
+    """Raised for malformed IR (undefined token, unsupported opcode...)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class IrOp:
+    """One IR node: a target instruction plus virtual dependences.
+
+    Attributes:
+        inst: The instruction, *without* EDK operands (plain opcodes; they
+            are rewritten to their EDE variants during lowering).
+        defines: Virtual token id this op produces, or None.
+        uses: Virtual token ids this op consumes (at most two; two only
+            for JOIN-like merge points, which lowering emits as JOIN).
+    """
+
+    inst: Instruction
+    defines: Optional[int] = None
+    uses: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.uses) > 2:
+            raise IrError("an op may use at most two tokens (JOIN limit)")
+        if (self.defines is not None or self.uses) and not self._supports_ede():
+            raise IrError(
+                "opcode %s cannot carry execution dependences"
+                % self.inst.opcode.name)
+        if self.inst.is_ede and self.inst.opcode not in (
+                Opcode.WAIT_KEY, Opcode.WAIT_ALL_KEYS):
+            # Plain opcodes only; EDKs are assigned during lowering.  The
+            # WAIT instructions are exempt: the allocator inserts them with
+            # physical keys already chosen (spill code).
+            raise IrError("IR instructions must use plain opcodes; EDKs are "
+                          "assigned during lowering")
+
+    def _supports_ede(self) -> bool:
+        return (self.inst.opcode in EDE_VARIANT_OF_PLAIN_OPCODE
+                or self.inst.opcode is Opcode.NOP)  # NOP: pure JOIN point
+
+    @property
+    def consumes_as_load(self) -> bool:
+        """Load consumers are observable at execute, not at retire — this
+        matters for spill soundness (see edk_alloc)."""
+        return self.inst.is_load
+
+
+class IrFunction:
+    """A linear IR sequence with validation and token liveness queries."""
+
+    def __init__(self, ops: Sequence[IrOp]):
+        self.ops: List[IrOp] = list(ops)
+        self._validate()
+
+    def _validate(self) -> None:
+        defined: Dict[int, int] = {}
+        for index, op in enumerate(self.ops):
+            for token in op.uses:
+                if token not in defined:
+                    raise IrError(
+                        "op %d uses token %d before definition" % (index, token))
+            if op.defines is not None:
+                if op.defines in defined:
+                    raise IrError(
+                        "token %d redefined at op %d (tokens are SSA)"
+                        % (op.defines, index))
+                defined[op.defines] = index
+
+    # --- liveness -----------------------------------------------------------
+
+    def live_ranges(self) -> Dict[int, Tuple[int, int]]:
+        """token -> (definition index, last use index).
+
+        A token with no uses has a degenerate range ending at its
+        definition (it still produces a key so WAIT_ALL_KEYS covers it,
+        but it never blocks another key).
+        """
+        ranges: Dict[int, Tuple[int, int]] = {}
+        for index, op in enumerate(self.ops):
+            if op.defines is not None:
+                ranges[op.defines] = (index, index)
+            for token in op.uses:
+                start, _ = ranges[token]
+                ranges[token] = (start, index)
+        return ranges
+
+    def dependence_pairs(self) -> List[Tuple[int, int]]:
+        """(producer index, consumer index) for every virtual dependence."""
+        last_def: Dict[int, int] = {}
+        pairs = []
+        for index, op in enumerate(self.ops):
+            for token in op.uses:
+                pairs.append((last_def[token], index))
+            if op.defines is not None:
+                last_def[op.defines] = index
+        return pairs
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)

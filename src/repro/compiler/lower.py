@@ -1,0 +1,185 @@
+"""Lowering: IR with virtual dependences -> EDE machine instructions.
+
+Takes an :class:`~repro.compiler.ir.IrFunction`, runs linear-scan key
+allocation, and rewrites each op's instruction:
+
+* a definition gets its physical key in ``EDK_def``;
+* a single use gets the producer's key in ``EDK_use`` (the plain opcode is
+  swapped for its EDE variant);
+* two uses lower to a ``JOIN (fresh, k1, k2)`` in front of the op, whose
+  fresh key the op then consumes — exactly how the paper says multi-source
+  dependences are expressed (Section IV-B2);
+* allocator-inserted ``WAIT_KEY`` / ``DMB SY`` spill code passes through.
+
+:func:`verify_lowering` checks, for every virtual dependence of the input,
+that the lowered code still enforces it: either an EDE key path connects
+producer to consumer, or spill code (a WAIT_KEY on the producer's key, or
+a full fence) sits between them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Set, Tuple
+
+from repro.compiler.edk_alloc import Assignment, allocate_keys
+from repro.compiler.ir import IrError, IrFunction
+from repro.core.edk import NUM_KEYS
+from repro.isa import instructions as builders
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import EDE_VARIANT_OF_PLAIN_OPCODE, Opcode
+
+
+def _with_keys(inst: Instruction, edk_def: int, edk_use: int) -> Instruction:
+    """Rewrite a plain instruction into its EDE variant with keys."""
+    if edk_def == 0 and edk_use == 0:
+        return inst
+    opcode = EDE_VARIANT_OF_PLAIN_OPCODE.get(inst.opcode)
+    if opcode is None:
+        raise IrError("cannot attach keys to %s" % inst.opcode.name)
+    return dataclasses.replace(inst, opcode=opcode, edk_def=edk_def,
+                               edk_use=edk_use)
+
+
+@dataclasses.dataclass
+class LoweredFunction:
+    instructions: List[Instruction]
+    assignment: Assignment
+
+
+def lower(function: IrFunction,
+          num_keys: int = NUM_KEYS - 1) -> LoweredFunction:
+    """Allocate keys and emit the final instruction sequence."""
+    assignment = allocate_keys(function, num_keys)
+    token_key = assignment.token_key
+
+    # JOINs need fresh keys; reserve the highest-numbered key for them when
+    # possible, falling back to reusing the first use's key (safe: the JOIN
+    # consumes it first, then redefines it).
+    instructions: List[Instruction] = []
+    for index, op in enumerate(assignment.ops):
+        inst = op.inst
+        edk_def = token_key[op.defines] if op.defines is not None else 0
+        if len(op.uses) == 2:
+            use_keys = [token_key[t] for t in op.uses]
+            join_key = use_keys[0]
+            instructions.append(
+                builders.join(join_key, use_keys[0], use_keys[1]))
+            edk_use = join_key
+        elif len(op.uses) == 1:
+            edk_use = token_key[op.uses[0]]
+        else:
+            edk_use = 0
+        if inst.opcode is Opcode.NOP and (edk_def or edk_use):
+            # A pure merge point: emit as a JOIN producing the def key.
+            instructions.append(builders.join(edk_def, edk_use, 0))
+            continue
+        if inst.is_ede:
+            instructions.append(inst)  # allocator spill code
+        else:
+            instructions.append(_with_keys(inst, edk_def, edk_use))
+    return LoweredFunction(instructions, assignment)
+
+
+# ---------------------------------------------------------------------------
+# Verification
+# ---------------------------------------------------------------------------
+
+def _edm_links(instructions: List[Instruction]) -> Set[Tuple[int, int]]:
+    """(producer index, consumer index) pairs the lowered code expresses,
+    following EDM semantics (including JOIN transitivity)."""
+    from repro.core.edm import ExecutionDependenceMap
+
+    edm = ExecutionDependenceMap()
+    direct: Set[Tuple[int, int]] = set()
+    for index, inst in enumerate(instructions):
+        if not inst.is_ede:
+            continue
+        for key in inst.consumer_keys():
+            producer = edm.lookup(key)
+            if producer is not None:
+                direct.add((producer, index))
+        if inst.opcode is Opcode.WAIT_ALL_KEYS:
+            for key in range(1, NUM_KEYS):
+                edm.define(key, index)
+        else:
+            edm.define(inst.edk_def, index)
+    # Transitive closure through intermediate EDE instructions (JOINs,
+    # WAIT_KEYs chain producers to later consumers).
+    closed = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for a, b in list(closed):
+            for c, d in direct:
+                if c == b and (a, d) not in closed:
+                    closed.add((a, d))
+                    changed = True
+    return closed
+
+
+def verify_lowering(function: IrFunction,
+                    lowered: LoweredFunction) -> List[str]:
+    """Check every virtual dependence survives lowering; return problems."""
+    instructions = lowered.instructions
+    links = _edm_links(instructions)
+
+    # Map original op identity -> lowered instruction index.  Allocator ops
+    # are a supersequence of the original ops; match by object identity of
+    # the payload instruction (IrOps are frozen and reused), walking both
+    # sequences in order.  JOIN/WAIT insertions shift indices.
+    lowered_index_of_original: List[Optional[int]] = []
+    cursor = 0
+    original_iter = list(function.ops)
+    # Build from assignment.ops: they carry the original IrOps in order,
+    # possibly rewritten (uses dropped), interleaved with spill ops.
+    position = 0
+    spill_opcodes = (Opcode.WAIT_KEY, Opcode.WAIT_ALL_KEYS, Opcode.DMB_SY)
+    originals = []
+    for op in lowered.assignment.ops:
+        if op.inst.opcode in spill_opcodes and op.defines is None and not op.uses:
+            originals.append(None)
+        else:
+            originals.append(position)
+            position += 1
+    if position != len(function.ops):
+        return ["lowering lost or duplicated ops (%d vs %d)"
+                % (position, len(function.ops))]
+
+    # lowered `instructions` has one extra JOIN before each two-use op.
+    lowered_of_assignment: List[int] = []
+    scan = 0
+    for op in lowered.assignment.ops:
+        if len(op.uses) == 2:
+            scan += 1  # skip the JOIN helper
+        lowered_of_assignment.append(scan)
+        scan += 1
+
+    original_to_lowered = {}
+    for assignment_index, original in enumerate(originals):
+        if original is not None:
+            original_to_lowered[original] = lowered_of_assignment[
+                assignment_index]
+
+    problems = []
+    for producer_original, consumer_original in function.dependence_pairs():
+        producer_index = original_to_lowered[producer_original]
+        consumer_index = original_to_lowered[consumer_original]
+        if (producer_index, consumer_index) in links:
+            continue
+        # The dependence must be covered by spill code between the two.
+        producer_key = lowered.assignment.token_key[
+            function.ops[producer_original].defines]
+        covered = any(
+            (inst.opcode is Opcode.DMB_SY)
+            or (inst.opcode is Opcode.WAIT_KEY
+                and inst.edk_use == producer_key
+                and (producer_index, position) in links)
+            for position, inst in enumerate(instructions)
+            if producer_index < position < consumer_index
+        )
+        if not covered:
+            problems.append(
+                "dependence op%d -> op%d (keys) not enforced after lowering"
+                % (producer_original, consumer_original))
+    return problems

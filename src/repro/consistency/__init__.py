@@ -1,0 +1,17 @@
+"""Crash-consistency machinery: obligations, checker, crash injection."""
+
+from repro.consistency.checker import CheckResult, Violation, check_run
+from repro.consistency.obligations import (
+    LOG_BEFORE_STORE,
+    PERSIST_BEFORE_COMMIT,
+    Obligation,
+)
+
+__all__ = [
+    "CheckResult",
+    "LOG_BEFORE_STORE",
+    "Obligation",
+    "PERSIST_BEFORE_COMMIT",
+    "Violation",
+    "check_run",
+]

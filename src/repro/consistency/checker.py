@@ -1,0 +1,130 @@
+"""Crash-consistency checking against the simulated persist order.
+
+The framework declares obligations (:mod:`repro.consistency.obligations`);
+the simulation produces a persist log (ordered acceptance into the ADR
+buffer) and a store-visibility log.  The checker validates each obligation:
+
+* ``LOG_BEFORE_STORE`` — the log-entry persist must happen no later than
+  the data store's visibility (once visible, the data may reach NVM at any
+  time, e.g. via eviction, so visibility is the conservative point).
+* ``PERSIST_BEFORE_COMMIT`` — every persist of the transaction must have a
+  smaller persist-order index than the commit record's persist.
+
+Safe configurations (B, IQ, WB) must report zero violations.  SU is timed
+like an x86 SFENCE but is *unsafe by specification* on AArch64 (``DMB ST``
+does not order ``DC CVAP``); the checker surfaces that separately from
+observed violations.  U typically shows observed violations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.consistency.obligations import (
+    LOG_BEFORE_STORE,
+    PERSIST_BEFORE_COMMIT,
+    Obligation,
+)
+from repro.memory.persist_domain import PersistLog, PersistRecord
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One obligation the simulated execution did not honour."""
+
+    obligation: Obligation
+    detail: str
+
+    def __str__(self) -> str:
+        return "%s — %s" % (self.obligation, self.detail)
+
+
+@dataclasses.dataclass
+class CheckResult:
+    """Outcome of checking one run."""
+
+    obligations_checked: int
+    violations: List[Violation]
+    unresolved: List[Obligation]
+    safe_by_spec: bool
+
+    @property
+    def observed_safe(self) -> bool:
+        return not self.violations and not self.unresolved
+
+    @property
+    def verdict(self) -> str:
+        if not self.observed_safe:
+            return "UNSAFE (observed %d violations)" % len(self.violations)
+        if not self.safe_by_spec:
+            return "unsafe by specification (no violation observed)"
+        return "safe"
+
+    def summary(self) -> str:
+        return "%d obligations: %s" % (self.obligations_checked, self.verdict)
+
+
+def _first_persist_by_tag(persist_log: PersistLog) -> Dict[str, PersistRecord]:
+    first: Dict[str, PersistRecord] = {}
+    for record in persist_log:
+        if record.tag is not None and record.tag not in first:
+            first[record.tag] = record
+    return first
+
+
+def _first_visibility_by_tag(
+        store_visibility: Sequence[Tuple[int, int, str, int]]
+) -> Dict[str, Tuple[int, int]]:
+    """tag -> (cycle, seq) of the first visibility event."""
+    first: Dict[str, Tuple[int, int]] = {}
+    for cycle, seq, tag, _addr in store_visibility:
+        if tag not in first:
+            first[tag] = (cycle, seq)
+    return first
+
+
+def check_run(obligations: Sequence[Obligation],
+              persist_log: PersistLog,
+              store_visibility: Sequence[Tuple[int, int, str, int]],
+              safe_by_spec: bool = True) -> CheckResult:
+    """Validate every obligation; return the aggregated result."""
+    persists = _first_persist_by_tag(persist_log)
+    visibilities = _first_visibility_by_tag(store_visibility)
+
+    violations: List[Violation] = []
+    unresolved: List[Obligation] = []
+
+    for obligation in obligations:
+        if obligation.kind == LOG_BEFORE_STORE:
+            log_record = persists.get(obligation.first_tag)
+            visibility = visibilities.get(obligation.second_tag)
+            if log_record is None or visibility is None:
+                unresolved.append(obligation)
+                continue
+            visible_cycle, _seq = visibility
+            if log_record.cycle > visible_cycle:
+                violations.append(Violation(
+                    obligation,
+                    "log persisted at cycle %d but the update was visible "
+                    "at cycle %d" % (log_record.cycle, visible_cycle)))
+        elif obligation.kind == PERSIST_BEFORE_COMMIT:
+            first = persists.get(obligation.first_tag)
+            commit = persists.get(obligation.second_tag)
+            if first is None or commit is None:
+                unresolved.append(obligation)
+                continue
+            if first.seq > commit.seq:
+                violations.append(Violation(
+                    obligation,
+                    "persist #%d came after commit persist #%d"
+                    % (first.seq, commit.seq)))
+        else:
+            raise ValueError("unknown obligation kind %r" % obligation.kind)
+
+    return CheckResult(
+        obligations_checked=len(obligations),
+        violations=violations,
+        unresolved=unresolved,
+        safe_by_spec=safe_by_spec,
+    )

@@ -1,0 +1,143 @@
+"""Crash injection and undo-log recovery replay.
+
+The persist log is the total order in which lines reached the persistence
+domain; a *crash point* is any prefix of it.  The injector reconstructs the
+NVM image at a crash point from the workload's per-persist line snapshots,
+runs undo recovery against it, and checks that the recovered state equals
+the state at the last committed transaction boundary.
+
+Recovery protocol (matching :mod:`repro.nvmfw`):
+
+* The commit record holds ``n`` when transactions ``0..n-1`` have
+  committed; transaction ``n`` may be in flight.
+* Undo-log entries are 16-byte ``(addr | epoch, old_value)`` pairs, where
+  ``epoch = txn_id & 7`` rides in the low bits of the 8-byte-aligned
+  target address.  Recovery applies — in reverse slot order — every entry
+  whose epoch matches the in-flight transaction, skipping stale entries
+  from earlier epochs (EDE lets entries persist out of order, so the scan
+  tolerates gaps).
+
+Known approximations (documented in DESIGN.md): line snapshots capture
+program-order content at emission, and untagged dirty evictions are not
+replayed (they only ever carry content that a tagged persist also carries,
+so skipping them is equivalent to crashing marginally earlier).
+
+The three-bit epoch can alias after eight transactions for slots that are
+never overwritten in between; the kernels used for recovery validation
+reserve the same number of slots every transaction, which rules aliasing
+out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.memory.persist_domain import PersistLog
+from repro.nvmfw.framework import BuiltWorkload
+from repro.nvmfw.layout import LOG_ENTRY_BYTES
+
+
+@dataclasses.dataclass
+class CrashReport:
+    """Outcome of recovery validation at one crash point."""
+
+    crash_point: int
+    committed_txns: int
+    mismatches: List[str]
+
+    @property
+    def consistent(self) -> bool:
+        return not self.mismatches
+
+
+class CrashInjector:
+    """Replays persist prefixes and runs undo recovery."""
+
+    def __init__(self, built: BuiltWorkload, persist_log: PersistLog):
+        self.built = built
+        self.persist_log = persist_log
+
+    # --- image reconstruction -----------------------------------------------
+
+    def image_at(self, crash_point: int) -> Dict[int, int]:
+        """NVM content after the first ``crash_point`` persist events."""
+        image = dict(self.built.baseline_memory)
+        for record in self.persist_log.prefix(crash_point):
+            if record.tag is None:
+                continue  # untagged eviction: see module docstring
+            snapshot = self.built.line_snapshots.get(record.tag)
+            if snapshot:
+                image.update(snapshot)
+        return image
+
+    # --- recovery ---------------------------------------------------------------
+
+    def recover(self, image: Dict[int, int]) -> Dict[int, int]:
+        """Run undo recovery on an image; return the recovered image."""
+        layout = self.built.layout
+        recovered = dict(image)
+        committed = recovered.get(layout.commit_record_addr, 0)
+        epoch = committed & 7
+
+        log_end = layout.log_base + layout.log_bytes
+        used = [a for a in recovered if layout.log_base <= a < log_end]
+        highest_slot = max(used) if used else layout.log_base
+
+        undo: List = []
+        for index in range(layout.log_capacity):
+            slot = layout.log_base + index * LOG_ENTRY_BYTES
+            if slot > highest_slot:
+                break  # past everything ever persisted into the log
+            tagged_addr = recovered.get(slot, 0)
+            if tagged_addr == 0:
+                # EDE lets log-line persists reorder, so an empty slot can
+                # be a gap before a persisted later entry — keep scanning.
+                continue
+            if tagged_addr & 7 != epoch:
+                continue  # stale entry from an earlier transaction
+            addr = tagged_addr & ~7
+            old_value = recovered.get(slot + 8, 0)
+            undo.append((slot, addr, old_value))
+
+        for _slot, addr, old_value in reversed(undo):
+            recovered[addr] = old_value
+        return recovered
+
+    # --- validation ---------------------------------------------------------------
+
+    def expected_state(self, committed_txns: int) -> Dict[int, int]:
+        """Tracked state after ``committed_txns`` transactions."""
+        if committed_txns <= 0:
+            tracked = self.built.committed_states
+            if not tracked:
+                return {}
+            baseline = self.built.baseline_memory
+            return {addr: baseline.get(addr, 0) for addr in tracked[0]}
+        return self.built.committed_states[committed_txns - 1]
+
+    def validate(self, crash_point: int) -> CrashReport:
+        """Recover at one crash point; compare against the boundary state."""
+        image = self.image_at(crash_point)
+        recovered = self.recover(image)
+        committed = recovered.get(self.built.layout.commit_record_addr, 0)
+        expected = self.expected_state(committed)
+        mismatches = []
+        for addr, value in expected.items():
+            got = recovered.get(addr, self.built.baseline_memory.get(addr, 0))
+            if got != value:
+                mismatches.append(
+                    "addr %#x: recovered %d, expected %d (txn boundary %d)"
+                    % (addr, got, value, committed))
+        return CrashReport(
+            crash_point=crash_point,
+            committed_txns=committed,
+            mismatches=mismatches,
+        )
+
+    def validate_many(self, crash_points: Optional[Sequence[int]] = None,
+                      stride: int = 1) -> List[CrashReport]:
+        """Validate a set of crash points (default: every ``stride``-th)."""
+        if crash_points is None:
+            crash_points = range(0, len(self.persist_log) + 1, stride)
+        return [self.validate(point) for point in crash_points]

@@ -1,0 +1,48 @@
+"""Persist-ordering obligations.
+
+The NVM framework declares, while generating code, which orderings crash
+consistency *requires*; the checker then validates them against what the
+timing simulation actually did.  This turns the paper's safety claims
+(Table III: B, IQ, WB maintain a crash-consistent order; SU and U need not)
+into measurable properties.
+
+Two obligation kinds cover undo logging:
+
+* ``LOG_BEFORE_STORE`` — an element's undo-log entry must be persistent
+  before the element's new value becomes *visible* (it could reach NVM any
+  time after visibility, e.g. by eviction).
+* ``PERSIST_BEFORE_COMMIT`` — every log/data persist of a transaction must
+  reach the persistence domain before the transaction's commit record does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+LOG_BEFORE_STORE = "log-before-store"
+PERSIST_BEFORE_COMMIT = "persist-before-commit"
+
+
+@dataclasses.dataclass(frozen=True)
+class Obligation:
+    """One required persist ordering.
+
+    Attributes:
+        kind: ``LOG_BEFORE_STORE`` or ``PERSIST_BEFORE_COMMIT``.
+        first_tag: Tag of the event that must happen first (a persist tag).
+        second_tag: Tag of the event that must happen second — a store
+            visibility tag for ``LOG_BEFORE_STORE``, a persist tag for
+            ``PERSIST_BEFORE_COMMIT``.
+        op_id: The framework operation that created the obligation.
+        txn_id: The enclosing transaction.
+    """
+
+    kind: str
+    first_tag: str
+    second_tag: str
+    op_id: int
+    txn_id: int
+
+    def __str__(self) -> str:
+        return "%s: %s < %s (op %d, txn %d)" % (
+            self.kind, self.first_tag, self.second_tag, self.op_id, self.txn_id)

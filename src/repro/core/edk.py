@@ -1,0 +1,74 @@
+"""Execution Dependence Keys (EDKs).
+
+Section IV-A1 of the paper defines sixteen EDKs, ``EDK #0`` .. ``EDK #15``.
+``EDK #0`` is the *zero key*: encoding it in an operand field means the field
+is unused (the instruction is not a producer, or not a consumer).  The
+Execution Dependence Map therefore needs only fifteen entries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+#: Total number of architectural keys, including the zero key.
+NUM_KEYS = 16
+
+#: The zero key: "this operand field is not in use".
+ZERO_KEY = 0
+
+#: Number of entries in the Execution Dependence Map (keys 1..15).
+NUM_EDM_ENTRIES = NUM_KEYS - 1
+
+
+def validate_edk(key: int) -> int:
+    """Validate an EDK operand value, returning it unchanged.
+
+    Raises ``ValueError`` for values outside ``0..15``.
+    """
+    if not isinstance(key, int) or isinstance(key, bool):
+        raise ValueError("EDK must be an int, got %r" % (key,))
+    if not 0 <= key < NUM_KEYS:
+        raise ValueError("EDK out of range 0..%d: %r" % (NUM_KEYS - 1, key))
+    return key
+
+
+def real_keys() -> Iterator[int]:
+    """Iterate over the non-zero keys (the ones the EDM can hold)."""
+    return iter(range(1, NUM_KEYS))
+
+
+class EdkAllocator:
+    """Round-robin allocator of non-zero EDKs.
+
+    The paper (Section IX-A) anticipates compilers *virtualising* EDKs and
+    assigning them with register-allocation-style techniques.  The framework
+    code generator uses this allocator to hand independent in-flight
+    dependences distinct keys so they do not serialize against each other,
+    wrapping around when more than fifteen dependences are simultaneously
+    live (at which point reuse is safe because a reused key simply creates a
+    new producer link, as in Figure 6 of the paper).
+    """
+
+    def __init__(self, first: int = 1, last: int = NUM_KEYS - 1):
+        if not 1 <= first <= last < NUM_KEYS:
+            raise ValueError("invalid key range [%d, %d]" % (first, last))
+        self._first = first
+        self._last = last
+        self._next = first
+
+    def allocate(self) -> int:
+        """Return the next key in round-robin order."""
+        key = self._next
+        self._next += 1
+        if self._next > self._last:
+            self._next = self._first
+        return key
+
+    def reset(self) -> None:
+        """Restart the rotation from the first key."""
+        self._next = self._first
+
+    @property
+    def capacity(self) -> int:
+        """Number of distinct keys this allocator rotates through."""
+        return self._last - self._first + 1

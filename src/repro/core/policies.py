@@ -1,0 +1,87 @@
+"""Hardware enforcement policies for execution dependences.
+
+The paper proposes two hardware realizations of EDE (Section V-B):
+
+* **IQ** — execution dependences are enforced in the issue queue.  Each
+  instruction carries an ``eDepReady`` flag; an EDK-consuming instruction is
+  not ready to execute until its producers have completed.
+* **WB** — EDK-consuming stores and cacheline writebacks retire without
+  stalling; the write buffer enforces ordering via ``srcID`` CAM matching
+  (Section V-D).
+
+The remaining configurations (B, SU, U from Table III) do not use EDE
+instructions at all — they differ in which fences the *program* contains —
+so their policy simply enables no EDE enforcement point.  The pipeline
+always honours fences architecturally; the policy records which fence
+flavours the configuration relies on for reporting purposes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class EnforcementPolicy:
+    """Where the hardware enforces EDE dependences.
+
+    Attributes:
+        name: Short identifier (matches Table III where applicable).
+        enforce_at_issue: Gate issue of EDK consumers on producer completion
+            (the IQ design).
+        enforce_at_write_buffer: Gate write-buffer pushes of EDK-consuming
+            store-class instructions on producer completion (the WB design).
+        description: One-line summary for reports.
+    """
+
+    name: str
+    enforce_at_issue: bool
+    enforce_at_write_buffer: bool
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.enforce_at_issue and self.enforce_at_write_buffer:
+            raise ValueError(
+                "choose a single enforcement point (IQ or WB), not both")
+
+    @property
+    def enforces_ede(self) -> bool:
+        return self.enforce_at_issue or self.enforce_at_write_buffer
+
+
+#: The IQ hardware design (Section V-B1).
+IQ_POLICY = EnforcementPolicy(
+    name="IQ",
+    enforce_at_issue=True,
+    enforce_at_write_buffer=False,
+    description="Enforce execution dependences in the issue queue "
+                "(eDepReady wakeup flag).",
+)
+
+#: The WB hardware design (Sections V-B3 and V-D).
+WB_POLICY = EnforcementPolicy(
+    name="WB",
+    enforce_at_issue=False,
+    enforce_at_write_buffer=True,
+    description="Let EDK-consuming stores/writebacks retire; enforce "
+                "ordering in the write buffer via srcID CAM matching.",
+)
+
+#: Policy for fence-only configurations (B, SU, U): no EDE hardware.
+FENCE_POLICY = EnforcementPolicy(
+    name="FENCE",
+    enforce_at_issue=False,
+    enforce_at_write_buffer=False,
+    description="No EDE enforcement hardware; ordering comes only from "
+                "whatever fences the program contains.",
+)
+
+
+def policy_by_name(name: str) -> EnforcementPolicy:
+    """Look a policy up by its Table III style name."""
+    policies = {p.name: p for p in (IQ_POLICY, WB_POLICY, FENCE_POLICY)}
+    try:
+        return policies[name.upper()]
+    except KeyError:
+        raise ValueError("unknown policy %r (expected IQ, WB or FENCE)"
+                         % (name,)) from None

@@ -1,0 +1,116 @@
+"""Static verification of EDE usage in an instruction sequence.
+
+These checks catch the programming errors the EDE model makes possible —
+the analogue of using an uninitialized register:
+
+* **dangling consumer** — consuming a key no prior instruction produced
+  (harmless at runtime: the EDM misses and no ordering is enforced — which
+  is usually a bug in persistence code, so it is reported).
+* **overwritten producer** — a producer whose key is redefined before any
+  consumer reads it (the intended ordering silently disappears).
+* **JOIN with no uses** — a JOIN whose use keys are both zero.
+* **fence shadowing** — an execution dependence that a full fence between
+  producer and consumer already enforces (the EDE annotation is redundant;
+  reported as informational).
+* **calling-convention violations** via :mod:`repro.core.calling_convention`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.core import calling_convention
+from repro.core.edk import ZERO_KEY
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    severity: str
+    index: int
+    message: str
+
+    def __str__(self) -> str:
+        return "[%s] at %d: %s" % (self.severity, self.index, self.message)
+
+
+def verify(instructions: Sequence[Instruction],
+           check_convention: bool = False) -> List[Finding]:
+    """Run all static checks; return findings ordered by position."""
+    findings: List[Finding] = []
+    # key -> (producer index, consumed?) for the live producer of each key.
+    live_producer: dict = {}
+    fence_since: dict = {}  # key -> True if a full fence passed since produce
+
+    for index, inst in enumerate(instructions):
+        if inst.opcode in (Opcode.DSB_SY, Opcode.DMB_SY):
+            for key in list(fence_since):
+                fence_since[key] = True
+
+        if not inst.is_ede:
+            continue
+
+        if inst.opcode is Opcode.WAIT_ALL_KEYS:
+            # Waits on every live producer: they all count as consumed.
+            for key, (producer_index, _consumed) in live_producer.items():
+                live_producer[key] = (producer_index, True)
+            continue
+
+        if inst.opcode is Opcode.JOIN and not inst.consumer_keys():
+            findings.append(Finding(
+                WARNING, index, "JOIN with no use keys has no effect"))
+
+        for key in inst.consumer_keys():
+            if key not in live_producer:
+                findings.append(Finding(
+                    WARNING, index,
+                    "consumes EDK#%d but no live producer exists "
+                    "(EDM will miss; no ordering enforced)" % key))
+            else:
+                producer_index, _ = live_producer[key]
+                live_producer[key] = (producer_index, True)
+                if fence_since.get(key):
+                    findings.append(Finding(
+                        INFO, index,
+                        "execution dependence on EDK#%d (producer at %d) is "
+                        "already enforced by an intervening full fence"
+                        % (key, producer_index)))
+
+        if inst.edk_def != ZERO_KEY:
+            previous = live_producer.get(inst.edk_def)
+            if previous is not None and not previous[1]:
+                is_self_chain = inst.edk_def in (inst.edk_use, inst.edk_use2)
+                if not is_self_chain:
+                    findings.append(Finding(
+                        WARNING, inst.edk_def and index,
+                        "EDK#%d producer at %d is overwritten before any "
+                        "consumer used it" % (inst.edk_def, previous[0])))
+            live_producer[inst.edk_def] = (index, False)
+            fence_since[inst.edk_def] = False
+
+    if check_convention:
+        for violation in calling_convention.check_caller(instructions):
+            findings.append(Finding(ERROR, violation.index, str(violation)))
+        for violation in calling_convention.check_callee(instructions):
+            findings.append(Finding(ERROR, violation.index, str(violation)))
+
+    findings.sort(key=lambda f: f.index)
+    return findings
+
+
+def errors_only(findings: List[Finding]) -> List[Finding]:
+    return [f for f in findings if f.severity == ERROR]
+
+
+def assert_clean(instructions: Sequence[Instruction]) -> None:
+    """Raise ``ValueError`` when any warning-or-worse finding exists."""
+    findings = [f for f in verify(instructions) if f.severity != INFO]
+    if findings:
+        raise ValueError("EDE verification failed:\n%s"
+                         % "\n".join(str(f) for f in findings))

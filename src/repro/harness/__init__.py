@@ -1,0 +1,21 @@
+"""Experiment harness: configurations, runners, figure/table generators."""
+
+from repro.harness.configs import (
+    A72Params,
+    CONFIGURATIONS,
+    Configuration,
+    DEFAULT_PARAMS,
+    configuration,
+)
+from repro.harness.runner import RunResult, run_matrix, run_one
+
+__all__ = [
+    "A72Params",
+    "CONFIGURATIONS",
+    "Configuration",
+    "DEFAULT_PARAMS",
+    "RunResult",
+    "configuration",
+    "run_matrix",
+    "run_one",
+]

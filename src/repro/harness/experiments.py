@@ -1,0 +1,243 @@
+"""Experiment drivers: one function per table/figure of the evaluation.
+
+Each driver runs the needed simulations (or accepts pre-computed results)
+and returns a structured result object that both the benchmark harness and
+EXPERIMENTS.md generation consume.  The paper's numbers are embedded for
+side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.configs import CONFIGURATIONS, Configuration, DEFAULT_PARAMS
+from repro.harness.runner import RunResult, run_matrix
+from repro.workloads import BENCH_SCALE, Scale
+
+#: Applications of Table II, in the paper's order.
+APPLICATIONS = ("update", "swap", "btree", "ctree", "rbtree", "rtree")
+
+#: Geometric-mean normalized execution times reported in Section VII-A
+#: (1 minus the quoted reductions of 5%, 15%, 20% and 38%).
+PAPER_FIG9_GEOMEAN = {"B": 1.00, "SU": 0.95, "IQ": 0.85, "WB": 0.80, "U": 0.62}
+
+#: Average IPCs quoted in Section VII-B.
+PAPER_FIG11_IPC = {"B": 0.40, "SU": 0.42, "IQ": 0.46, "WB": 0.49, "U": 0.64}
+
+
+def geomean(values: Sequence[float]) -> float:
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: normalized execution time
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Fig9Result:
+    """Normalized execution time per app per configuration."""
+
+    scale: Scale
+    cycles: Dict[str, Dict[str, int]]          # app -> config -> cycles
+    normalized: Dict[str, Dict[str, float]]    # app -> config -> vs B
+    geomean_normalized: Dict[str, float]       # config -> geomean vs B
+    paper_geomean: Dict[str, float]
+
+    def rows(self) -> List[str]:
+        names = [c.name for c in CONFIGURATIONS]
+        lines = ["%-8s %s" % ("app", " ".join("%6s" % n for n in names))]
+        for app in self.normalized:
+            lines.append("%-8s %s" % (
+                app, " ".join("%6.3f" % self.normalized[app][n] for n in names)))
+        lines.append("%-8s %s" % (
+            "geomean",
+            " ".join("%6.3f" % self.geomean_normalized[n] for n in names)))
+        lines.append("%-8s %s" % (
+            "paper",
+            " ".join("%6.2f" % self.paper_geomean[n] for n in names)))
+        return lines
+
+
+def fig9_execution_time(scale: Scale = BENCH_SCALE,
+                        apps: Sequence[str] = APPLICATIONS,
+                        results: Optional[Dict[str, Dict[str, RunResult]]] = None,
+                        ) -> Fig9Result:
+    """Reproduce Figure 9 (and the headline 18% / 26% speedups)."""
+    if results is None:
+        results = run_matrix(list(apps), list(CONFIGURATIONS), scale)
+    cycles = {
+        app: {name: results[app][name].cycles for name in results[app]}
+        for app in results
+    }
+    normalized = {
+        app: {name: cycles[app][name] / cycles[app]["B"] for name in cycles[app]}
+        for app in cycles
+    }
+    geo = {
+        name: geomean([normalized[app][name] for app in normalized])
+        for name in PAPER_FIG9_GEOMEAN
+    }
+    return Fig9Result(
+        scale=scale,
+        cycles=cycles,
+        normalized=normalized,
+        geomean_normalized=geo,
+        paper_geomean=dict(PAPER_FIG9_GEOMEAN),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: pending writes in the on-DIMM buffer
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Fig10Result:
+    """Distribution of pending NVM writes per app per configuration."""
+
+    scale: Scale
+    #: app -> config -> histogram over bucketed occupancy [0..buffer_slots].
+    histograms: Dict[str, Dict[str, List[float]]]
+    mean_pending: Dict[str, Dict[str, float]]
+    bucket_size: int
+    buffer_slots: int
+
+    def series(self, app: str, config: str) -> List[float]:
+        return self.histograms[app][config]
+
+
+def fig10_pending_writes(scale: Scale = BENCH_SCALE,
+                         apps: Sequence[str] = APPLICATIONS,
+                         bucket_size: int = 8,
+                         results: Optional[Dict[str, Dict[str, RunResult]]] = None,
+                         ) -> Fig10Result:
+    """Reproduce Figure 10's occupancy distributions."""
+    if results is None:
+        results = run_matrix(list(apps), list(CONFIGURATIONS), scale)
+    slots = DEFAULT_PARAMS.nvm.buffer_slots
+    buckets = slots // bucket_size + 1
+    histograms: Dict[str, Dict[str, List[float]]] = {}
+    means: Dict[str, Dict[str, float]] = {}
+    for app, per_config in results.items():
+        histograms[app] = {}
+        means[app] = {}
+        for name, run in per_config.items():
+            samples = run.nvm_pending_samples
+            histogram = [0.0] * buckets
+            for sample in samples:
+                histogram[min(sample // bucket_size, buckets - 1)] += 1
+            total = max(1, len(samples))
+            histograms[app][name] = [count / total for count in histogram]
+            means[app][name] = (sum(samples) / len(samples)) if samples else 0.0
+    return Fig10Result(
+        scale=scale,
+        histograms=histograms,
+        mean_pending=means,
+        bucket_size=bucket_size,
+        buffer_slots=slots,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: issue distribution and IPC
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Fig11Result:
+    """Issued-instructions-per-cycle distribution and average IPC."""
+
+    scale: Scale
+    #: app -> config -> fraction of cycles issuing k instructions (k=0..8).
+    distributions: Dict[str, Dict[str, List[float]]]
+    #: config -> average IPC across apps.
+    mean_ipc: Dict[str, float]
+    paper_ipc: Dict[str, float]
+
+
+def fig11_issue_distribution(scale: Scale = BENCH_SCALE,
+                             apps: Sequence[str] = APPLICATIONS,
+                             results: Optional[Dict[str, Dict[str, RunResult]]] = None,
+                             ) -> Fig11Result:
+    if results is None:
+        results = run_matrix(list(apps), list(CONFIGURATIONS), scale)
+    distributions: Dict[str, Dict[str, List[float]]] = {}
+    ipc_by_config: Dict[str, List[float]] = {}
+    for app, per_config in results.items():
+        distributions[app] = {}
+        for name, run in per_config.items():
+            distributions[app][name] = run.stats.issue_distribution()
+            ipc_by_config.setdefault(name, []).append(run.stats.ipc)
+    mean_ipc = {
+        name: sum(values) / len(values) for name, values in ipc_by_config.items()
+    }
+    return Fig11Result(
+        scale=scale,
+        distributions=distributions,
+        mean_ipc=mean_ipc,
+        paper_ipc=dict(PAPER_FIG11_IPC),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Safety (Table III claims)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class SafetyResult:
+    """Crash-consistency verdict per app per configuration."""
+
+    verdicts: Dict[str, Dict[str, str]]
+    violation_counts: Dict[str, Dict[str, int]]
+
+    def safe_configs_clean(self) -> bool:
+        """True when B, IQ and WB observed zero violations everywhere."""
+        return all(
+            self.violation_counts[app][name] == 0
+            for app in self.violation_counts
+            for name in ("B", "IQ", "WB")
+        )
+
+
+def safety_matrix(scale: Scale = BENCH_SCALE,
+                  apps: Sequence[str] = APPLICATIONS,
+                  results: Optional[Dict[str, Dict[str, RunResult]]] = None,
+                  ) -> SafetyResult:
+    if results is None:
+        results = run_matrix(list(apps), list(CONFIGURATIONS), scale)
+    verdicts = {
+        app: {name: run.consistency.verdict
+              for name, run in per_config.items()}
+        for app, per_config in results.items()
+    }
+    counts = {
+        app: {name: len(run.consistency.violations)
+              for name, run in per_config.items()}
+        for app, per_config in results.items()
+    }
+    return SafetyResult(verdicts=verdicts, violation_counts=counts)
+
+
+# ---------------------------------------------------------------------------
+# Section VIII: hazard pointers
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class HazardResult:
+    cycles: Dict[str, int]
+    normalized: Dict[str, float]
+
+
+def hazard_pointer_experiment(scale: Scale = BENCH_SCALE) -> HazardResult:
+    """Fence vs EDE vs unordered hazard-pointer announcement (Fig. 12)."""
+    from repro.harness.configs import configuration
+    from repro.harness.runner import run_one
+
+    cycles = {}
+    for name in ("B", "IQ", "WB", "U"):
+        run = run_one("hazard", configuration(name), scale)
+        cycles[name] = run.cycles
+    normalized = {name: cycles[name] / cycles["B"] for name in cycles}
+    return HazardResult(cycles=cycles, normalized=normalized)

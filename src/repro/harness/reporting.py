@@ -1,0 +1,109 @@
+"""Markdown report generation for experiment results.
+
+Turns the experiment-driver result objects into the markdown tables used
+by EXPERIMENTS.md, so reports can be regenerated after parameter changes:
+
+    python -m repro.harness.reporting            # default bench scale
+    REPRO_BENCH_OPS=50 python -m repro.harness.reporting
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.harness.configs import CONFIGURATIONS
+from repro.harness.experiments import (
+    APPLICATIONS,
+    Fig9Result,
+    Fig10Result,
+    Fig11Result,
+    SafetyResult,
+    fig9_execution_time,
+    fig10_pending_writes,
+    fig11_issue_distribution,
+    safety_matrix,
+)
+from repro.harness.runner import RunResult, run_matrix
+from repro.workloads import BENCH_SCALE, Scale
+
+_NAMES = [c.name for c in CONFIGURATIONS]
+
+
+def _table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def fig9_markdown(result: Fig9Result) -> str:
+    rows = []
+    for app in result.normalized:
+        rows.append([app] + ["%.3f" % result.normalized[app][n]
+                             for n in _NAMES])
+    rows.append(["**geomean (measured)**"]
+                + ["**%.3f**" % result.geomean_normalized[n] for n in _NAMES])
+    rows.append(["**geomean (paper)**"]
+                + ["**%.2f**" % result.paper_geomean[n] for n in _NAMES])
+    return _table(["app"] + _NAMES, rows)
+
+
+def fig10_markdown(result: Fig10Result) -> str:
+    rows = [
+        [app] + ["%.1f" % result.mean_pending[app][n] for n in _NAMES]
+        for app in result.mean_pending
+    ]
+    return _table(["app"] + _NAMES, rows)
+
+
+def fig11_markdown(result: Fig11Result) -> str:
+    rows = [
+        ["measured IPC"] + ["%.3f" % result.mean_ipc[n] for n in _NAMES],
+        ["paper IPC"] + ["%.2f" % result.paper_ipc[n] for n in _NAMES],
+    ]
+    return _table([""] + _NAMES, rows)
+
+
+def safety_markdown(result: SafetyResult) -> str:
+    rows = [
+        [app] + [result.verdicts[app][n] for n in _NAMES]
+        for app in result.verdicts
+    ]
+    return _table(["app"] + _NAMES, rows)
+
+
+def full_report(scale: Scale = BENCH_SCALE,
+                results: Dict[str, Dict[str, RunResult]] = None) -> str:
+    """Run (or reuse) the full matrix; return the complete markdown."""
+    if results is None:
+        results = run_matrix(list(APPLICATIONS), list(CONFIGURATIONS), scale)
+    sections: List[str] = []
+    sections.append("# Measured results (%d ops/txn x %d txns)"
+                    % (scale.ops_per_txn, scale.txns))
+    sections.append("## Figure 9 — normalized execution time\n\n"
+                    + fig9_markdown(
+                        fig9_execution_time(scale, results=results)))
+    sections.append("## Figure 10 — mean pending NVM writes\n\n"
+                    + fig10_markdown(
+                        fig10_pending_writes(scale, results=results)))
+    sections.append("## Figure 11 — IPC\n\n"
+                    + fig11_markdown(
+                        fig11_issue_distribution(scale, results=results)))
+    sections.append("## Crash-consistency verdicts\n\n"
+                    + safety_markdown(safety_matrix(scale, results=results)))
+    return "\n\n".join(sections) + "\n"
+
+
+def main() -> None:
+    import os
+
+    scale = Scale(
+        ops_per_txn=int(os.environ.get("REPRO_BENCH_OPS", "25")),
+        txns=int(os.environ.get("REPRO_BENCH_TXNS", "20")),
+    )
+    print(full_report(scale))
+
+
+if __name__ == "__main__":
+    main()

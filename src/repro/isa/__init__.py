@@ -1,0 +1,28 @@
+"""The modelled AArch64 subset plus the Execution Dependence Extension.
+
+Public surface:
+
+* :mod:`repro.isa.registers` — register naming/encoding.
+* :mod:`repro.isa.opcodes` — the opcode space and classification predicates.
+* :mod:`repro.isa.instructions` — :class:`Instruction` and builder helpers.
+* :mod:`repro.isa.encoding` — binary encode/decode, including EDK fields.
+* :mod:`repro.isa.assembler` — text assembly with the paper's EDE syntax.
+* :mod:`repro.isa.program` — :class:`Program` and :class:`TraceBuilder`.
+* :mod:`repro.isa.machine` — functional execution producing dynamic traces.
+"""
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program, TraceBuilder
+from repro.isa.assembler import assemble
+from repro.isa.machine import Machine, SparseMemory
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "Program",
+    "TraceBuilder",
+    "assemble",
+    "Machine",
+    "SparseMemory",
+]

@@ -1,0 +1,172 @@
+"""Binary encoding of the modelled ISA, including the EDE operand fields.
+
+The paper augments instruction opcodes with a new key-set operand pair
+``(EDK_def, EDK_use)`` (plus a second use key for ``JOIN``).  This module
+defines a concrete machine encoding for the simulated ISA so that programs
+can be serialized, stored and decoded — and so the EDK fields have a precise
+bit-level home, as an ISA extension requires.
+
+Format
+------
+Each instruction occupies one 64-bit base word, optionally followed by one
+64-bit immediate-extension word for immediates that do not fit in the base
+word's 18-bit signed field (the spiritual analogue of a movz/movk sequence).
+
+Base word layout (bit 63 is the MSB)::
+
+    [63:58] opcode            (6 bits)
+    [57:54] EDK_def           (4 bits)
+    [53:50] EDK_use           (4 bits)
+    [49:46] EDK_use2          (4 bits, JOIN only)
+    [45:40] dst register      (6 bits; 0x3F = none)
+    [39:34] src register 0    (6 bits; 0x3F = none)
+    [33:28] src register 1    (6 bits; 0x3F = none)
+    [27:22] src register 2    (6 bits; 0x3F = none)
+    [21:19] size code         (log2 of access size in bytes)
+    [18]    immediate-extension flag
+    [17:0]  signed immediate  (18 bits; branch targets are instruction
+                               indices resolved against the program)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+
+_NO_REG = 0x3F
+_IMM_BITS = 18
+_IMM_MIN = -(1 << (_IMM_BITS - 1))
+_IMM_MAX = (1 << (_IMM_BITS - 1)) - 1
+
+_SIZE_CODES = {1: 0, 2: 1, 4: 2, 8: 3, 16: 4}
+_SIZES = {code: size for size, code in _SIZE_CODES.items()}
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _encode_reg(reg: Optional[int]) -> int:
+    if reg is None:
+        return _NO_REG
+    if not 0 <= reg < _NO_REG:
+        raise EncodingError("register encoding out of range: %r" % (reg,))
+    return reg
+
+
+def _field(tup: Tuple[int, ...], index: int) -> Optional[int]:
+    return tup[index] if index < len(tup) else None
+
+
+def encode_instruction(inst: Instruction,
+                       labels: Optional[Dict[str, int]] = None) -> bytes:
+    """Encode one instruction into 8 or 16 bytes.
+
+    ``labels`` maps label names to instruction indices; it is required when
+    the instruction carries a symbolic branch target.
+    """
+    if len(inst.dst) > 1 or len(inst.src) > 3:
+        raise EncodingError("too many register operands: %s" % (inst,))
+    imm = inst.imm
+    if inst.target is not None:
+        if labels is None or inst.target not in (labels or {}):
+            raise EncodingError("unresolved branch target %r" % (inst.target,))
+        imm = labels[inst.target]
+
+    extended = not _IMM_MIN <= imm <= _IMM_MAX
+    base_imm = 0 if extended else imm & ((1 << _IMM_BITS) - 1)
+
+    word = 0
+    word |= (int(inst.opcode) & 0x3F) << 58
+    word |= (inst.edk_def & 0xF) << 54
+    word |= (inst.edk_use & 0xF) << 50
+    word |= (inst.edk_use2 & 0xF) << 46
+    word |= _encode_reg(_field(inst.dst, 0)) << 40
+    word |= _encode_reg(_field(inst.src, 0)) << 34
+    word |= _encode_reg(_field(inst.src, 1)) << 28
+    word |= _encode_reg(_field(inst.src, 2)) << 22
+    word |= (_SIZE_CODES[inst.size] & 0x7) << 19
+    word |= (1 if extended else 0) << 18
+    word |= base_imm
+
+    if extended:
+        return struct.pack(">Q", word) + struct.pack(">q", imm)
+    return struct.pack(">Q", word)
+
+
+def decode_instruction(data: bytes, offset: int = 0) -> Tuple[Instruction, int]:
+    """Decode one instruction at ``offset``; return (instruction, new offset).
+
+    Metadata fields (``addr``, ``comment``, ``target``) are not part of the
+    machine encoding; branch targets come back as immediates (instruction
+    indices).
+    """
+    if offset + 8 > len(data):
+        raise EncodingError("truncated instruction stream")
+    (word,) = struct.unpack_from(">Q", data, offset)
+    offset += 8
+
+    opcode_value = (word >> 58) & 0x3F
+    try:
+        opcode = Opcode(opcode_value)
+    except ValueError:
+        raise EncodingError("unknown opcode value %d" % opcode_value) from None
+
+    edk_def = (word >> 54) & 0xF
+    edk_use = (word >> 50) & 0xF
+    edk_use2 = (word >> 46) & 0xF
+    regs = [
+        (word >> 40) & 0x3F,
+        (word >> 34) & 0x3F,
+        (word >> 28) & 0x3F,
+        (word >> 22) & 0x3F,
+    ]
+    size_code = (word >> 19) & 0x7
+    if size_code not in _SIZES:
+        raise EncodingError("invalid size code %d" % size_code)
+    extended = bool((word >> 18) & 1)
+    if extended:
+        if offset + 8 > len(data):
+            raise EncodingError("truncated immediate extension")
+        (imm,) = struct.unpack_from(">q", data, offset)
+        offset += 8
+    else:
+        imm = word & ((1 << _IMM_BITS) - 1)
+        if imm > _IMM_MAX:
+            imm -= 1 << _IMM_BITS
+
+    dst = () if regs[0] == _NO_REG else (regs[0],)
+    src = tuple(r for r in regs[1:] if r != _NO_REG)
+
+    inst = Instruction(
+        opcode=opcode,
+        dst=dst,
+        src=src,
+        imm=imm,
+        edk_def=edk_def,
+        edk_use=edk_use,
+        edk_use2=edk_use2,
+        size=_SIZES[size_code],
+    )
+    return inst, offset
+
+
+def encode_program(instructions: List[Instruction],
+                   labels: Optional[Dict[str, int]] = None) -> bytes:
+    """Encode an instruction sequence into a byte string."""
+    return b"".join(encode_instruction(inst, labels) for inst in instructions)
+
+
+def decode_program(data: bytes) -> List[Instruction]:
+    """Decode a byte string produced by :func:`encode_program`."""
+    return list(iter_decode(data))
+
+
+def iter_decode(data: bytes) -> Iterator[Instruction]:
+    offset = 0
+    while offset < len(data):
+        inst, offset = decode_instruction(data, offset)
+        yield inst

@@ -1,0 +1,334 @@
+"""Instruction objects, including the EDE operand fields.
+
+An :class:`Instruction` is the static form produced by the assembler or by
+the trace builders in :mod:`repro.nvmfw`.  It captures the opcode, register
+operands, immediate, and — for the EDE variants — the ``EDK_def`` /
+``EDK_use`` operands introduced by the paper (Section IV-B).  Following the
+paper's notation, EDE instructions print their keys in a parenthesised prefix
+``(EDK_def, EDK_use)``, e.g. ``str (0, 1), x3, [x0]``.
+
+For trace-driven timing simulation an instruction may additionally carry a
+pre-resolved effective address (``addr``) and access size; the functional
+machine in :mod:`repro.isa.machine` resolves these dynamically instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.core.edk import ZERO_KEY, validate_edk
+from repro.isa import registers
+from repro.isa.opcodes import (
+    Opcode,
+    is_barrier,
+    is_branch,
+    is_ede,
+    is_load,
+    is_memory,
+    is_store,
+    is_store_class,
+    is_writeback,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """A single static instruction.
+
+    Attributes:
+        opcode: The operation performed.
+        dst: Destination register encodings (written registers).
+        src: Source register encodings (read registers).
+        imm: Immediate operand (offset, constant, or branch target label id).
+        edk_def: Dependence-producer key (0 = zero key, i.e. unused).
+        edk_use: First dependence-consumer key (0 = unused).
+        edk_use2: Second consumer key; only meaningful for ``JOIN``.
+        addr: Optional pre-resolved effective address for trace-driven runs.
+        size: Access size in bytes for memory operations.
+        target: Optional symbolic branch target (label name).
+        comment: Free-form annotation carried through to the timing model
+            (used by the consistency checker to tag persist obligations).
+    """
+
+    opcode: Opcode
+    dst: Tuple[int, ...] = ()
+    src: Tuple[int, ...] = ()
+    imm: int = 0
+    edk_def: int = ZERO_KEY
+    edk_use: int = ZERO_KEY
+    edk_use2: int = ZERO_KEY
+    addr: Optional[int] = None
+    size: int = 8
+    target: Optional[str] = None
+    comment: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        validate_edk(self.edk_def)
+        validate_edk(self.edk_use)
+        validate_edk(self.edk_use2)
+        if not is_ede(self.opcode):
+            if self.edk_def or self.edk_use or self.edk_use2:
+                raise ValueError(
+                    "non-EDE opcode %s cannot carry EDK operands" % self.opcode.name
+                )
+        if self.edk_use2 and self.opcode is not Opcode.JOIN:
+            raise ValueError("edk_use2 is only valid on JOIN")
+        if self.size not in (1, 2, 4, 8, 16):
+            raise ValueError("invalid access size: %r" % (self.size,))
+
+    # --- classification helpers -------------------------------------------
+
+    @property
+    def is_load(self) -> bool:
+        return is_load(self.opcode)
+
+    @property
+    def is_store(self) -> bool:
+        return is_store(self.opcode)
+
+    @property
+    def is_writeback(self) -> bool:
+        return is_writeback(self.opcode)
+
+    @property
+    def is_memory(self) -> bool:
+        return is_memory(self.opcode)
+
+    @property
+    def is_barrier(self) -> bool:
+        return is_barrier(self.opcode)
+
+    @property
+    def is_branch(self) -> bool:
+        return is_branch(self.opcode)
+
+    @property
+    def is_store_class(self) -> bool:
+        return is_store_class(self.opcode)
+
+    @property
+    def is_ede(self) -> bool:
+        return is_ede(self.opcode)
+
+    @property
+    def is_producer(self) -> bool:
+        """True when the instruction defines a non-zero EDK (Section IV-A2)."""
+        return self.edk_def != ZERO_KEY
+
+    @property
+    def is_consumer(self) -> bool:
+        """True when the instruction uses a non-zero EDK (Section IV-A3)."""
+        return self.edk_use != ZERO_KEY or self.edk_use2 != ZERO_KEY
+
+    def consumer_keys(self) -> Tuple[int, ...]:
+        """Non-zero consumer keys, in operand order."""
+        keys = []
+        if self.edk_use != ZERO_KEY:
+            keys.append(self.edk_use)
+        if self.edk_use2 != ZERO_KEY:
+            keys.append(self.edk_use2)
+        return tuple(keys)
+
+    # --- pretty printing ----------------------------------------------------
+
+    def _edk_prefix(self) -> str:
+        if self.opcode is Opcode.JOIN:
+            return "(%d, %d, %d)" % (self.edk_def, self.edk_use, self.edk_use2)
+        if self.opcode is Opcode.WAIT_KEY:
+            return "(%d)" % self.edk_use
+        return "(%d, %d)" % (self.edk_def, self.edk_use)
+
+    def mnemonic(self) -> str:
+        """Assembly-style rendering, following the paper's notation."""
+        op = self.opcode
+        name = registers.reg_name
+        if op is Opcode.NOP:
+            return "nop"
+        if op is Opcode.HALT:
+            return "halt"
+        if op in (Opcode.MOV,):
+            if self.src:
+                return "mov %s, %s" % (name(self.dst[0]), name(self.src[0]))
+            return "mov %s, #%d" % (name(self.dst[0]), self.imm)
+        if op in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.ORR, Opcode.EOR,
+                  Opcode.MUL, Opcode.LSL, Opcode.LSR):
+            if len(self.src) == 2:
+                return "%s %s, %s, %s" % (
+                    op.name.lower(), name(self.dst[0]), name(self.src[0]),
+                    name(self.src[1]))
+            return "%s %s, %s, #%d" % (
+                op.name.lower(), name(self.dst[0]), name(self.src[0]), self.imm)
+        if op is Opcode.CMP:
+            if len(self.src) == 2:
+                return "cmp %s, %s" % (name(self.src[0]), name(self.src[1]))
+            return "cmp %s, #%d" % (name(self.src[0]), self.imm)
+        if op in (Opcode.B, Opcode.BL):
+            return "%s %s" % (op.name.lower(), self.target or hex(self.imm))
+        if op in (Opcode.B_EQ, Opcode.B_NE, Opcode.B_LT, Opcode.B_GE):
+            cond = op.name.split("_")[1].lower()
+            return "b.%s %s" % (cond, self.target or hex(self.imm))
+        if op is Opcode.RET:
+            return "ret"
+        if op is Opcode.LDR:
+            return "ldr %s, [%s, #%d]" % (name(self.dst[0]), name(self.src[0]), self.imm)
+        if op is Opcode.LDR_EDE:
+            return "ldr %s, %s, [%s, #%d]" % (
+                self._edk_prefix(), name(self.dst[0]), name(self.src[0]), self.imm)
+        if op is Opcode.STR:
+            return "str %s, [%s, #%d]" % (name(self.src[0]), name(self.src[1]), self.imm)
+        if op is Opcode.STR_EDE:
+            return "str %s, %s, [%s, #%d]" % (
+                self._edk_prefix(), name(self.src[0]), name(self.src[1]), self.imm)
+        if op is Opcode.STP:
+            return "stp %s, %s, [%s, #%d]" % (
+                name(self.src[0]), name(self.src[1]), name(self.src[2]), self.imm)
+        if op is Opcode.STP_EDE:
+            return "stp %s, %s, %s, [%s, #%d]" % (
+                self._edk_prefix(), name(self.src[0]), name(self.src[1]),
+                name(self.src[2]), self.imm)
+        if op is Opcode.DC_CVAP:
+            return "dc cvap, %s" % name(self.src[0])
+        if op is Opcode.DC_CVAP_EDE:
+            return "dc cvap %s, %s" % (self._edk_prefix(), name(self.src[0]))
+        if op is Opcode.DSB_SY:
+            return "dsb sy"
+        if op is Opcode.DMB_ST:
+            return "dmb st"
+        if op is Opcode.DMB_SY:
+            return "dmb sy"
+        if op is Opcode.JOIN:
+            return "join %s" % self._edk_prefix()
+        if op is Opcode.WAIT_KEY:
+            return "wait_key %s" % self._edk_prefix()
+        if op is Opcode.WAIT_ALL_KEYS:
+            return "wait_all_keys"
+        raise ValueError("unknown opcode: %r" % (op,))
+
+    def __str__(self) -> str:
+        text = self.mnemonic()
+        if self.comment:
+            return "%s ; %s" % (text, self.comment)
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers.  These keep workload/framework code readable and are
+# the supported way to build instructions programmatically.
+# ---------------------------------------------------------------------------
+
+def nop() -> Instruction:
+    return Instruction(Opcode.NOP)
+
+
+def halt() -> Instruction:
+    return Instruction(Opcode.HALT)
+
+
+def mov_imm(rd: int, imm: int) -> Instruction:
+    return Instruction(Opcode.MOV, dst=(rd,), imm=imm)
+
+
+def mov_reg(rd: int, rn: int) -> Instruction:
+    return Instruction(Opcode.MOV, dst=(rd,), src=(rn,))
+
+
+def add(rd: int, rn: int, rm: Optional[int] = None, imm: int = 0) -> Instruction:
+    if rm is None:
+        return Instruction(Opcode.ADD, dst=(rd,), src=(rn,), imm=imm)
+    return Instruction(Opcode.ADD, dst=(rd,), src=(rn, rm))
+
+
+def sub(rd: int, rn: int, rm: Optional[int] = None, imm: int = 0) -> Instruction:
+    if rm is None:
+        return Instruction(Opcode.SUB, dst=(rd,), src=(rn,), imm=imm)
+    return Instruction(Opcode.SUB, dst=(rd,), src=(rn, rm))
+
+
+def cmp(rn: int, rm: Optional[int] = None, imm: int = 0) -> Instruction:
+    if rm is None:
+        return Instruction(Opcode.CMP, src=(rn,), imm=imm)
+    return Instruction(Opcode.CMP, src=(rn, rm))
+
+
+def ldr(rd: int, rn: int, offset: int = 0, addr: Optional[int] = None,
+        comment: Optional[str] = None) -> Instruction:
+    return Instruction(Opcode.LDR, dst=(rd,), src=(rn,), imm=offset, addr=addr,
+                       comment=comment)
+
+
+def ldr_ede(rd: int, rn: int, edk_def: int, edk_use: int, offset: int = 0,
+            addr: Optional[int] = None, comment: Optional[str] = None) -> Instruction:
+    return Instruction(Opcode.LDR_EDE, dst=(rd,), src=(rn,), imm=offset,
+                       edk_def=edk_def, edk_use=edk_use, addr=addr, comment=comment)
+
+
+def store(rs: int, rn: int, offset: int = 0, addr: Optional[int] = None,
+          comment: Optional[str] = None) -> Instruction:
+    return Instruction(Opcode.STR, src=(rs, rn), imm=offset, addr=addr,
+                       comment=comment)
+
+
+def store_ede(rs: int, rn: int, edk_def: int, edk_use: int, offset: int = 0,
+              addr: Optional[int] = None, comment: Optional[str] = None) -> Instruction:
+    return Instruction(Opcode.STR_EDE, src=(rs, rn), imm=offset,
+                       edk_def=edk_def, edk_use=edk_use, addr=addr, comment=comment)
+
+
+def stp(rs1: int, rs2: int, rn: int, offset: int = 0, addr: Optional[int] = None,
+        comment: Optional[str] = None) -> Instruction:
+    return Instruction(Opcode.STP, src=(rs1, rs2, rn), imm=offset, addr=addr,
+                       size=16, comment=comment)
+
+
+def stp_ede(rs1: int, rs2: int, rn: int, edk_def: int, edk_use: int,
+            offset: int = 0, addr: Optional[int] = None,
+            comment: Optional[str] = None) -> Instruction:
+    return Instruction(Opcode.STP_EDE, src=(rs1, rs2, rn), imm=offset,
+                       edk_def=edk_def, edk_use=edk_use, addr=addr, size=16,
+                       comment=comment)
+
+
+def dc_cvap(rn: int, addr: Optional[int] = None,
+            comment: Optional[str] = None) -> Instruction:
+    return Instruction(Opcode.DC_CVAP, src=(rn,), addr=addr, size=8, comment=comment)
+
+
+def dc_cvap_ede(rn: int, edk_def: int, edk_use: int, addr: Optional[int] = None,
+                comment: Optional[str] = None) -> Instruction:
+    return Instruction(Opcode.DC_CVAP_EDE, src=(rn,), edk_def=edk_def,
+                       edk_use=edk_use, addr=addr, size=8, comment=comment)
+
+
+def dsb_sy() -> Instruction:
+    return Instruction(Opcode.DSB_SY)
+
+
+def dmb_st() -> Instruction:
+    return Instruction(Opcode.DMB_ST)
+
+
+def dmb_sy() -> Instruction:
+    return Instruction(Opcode.DMB_SY)
+
+
+def join(edk_def: int, edk_use1: int, edk_use2: int = ZERO_KEY) -> Instruction:
+    return Instruction(Opcode.JOIN, edk_def=edk_def, edk_use=edk_use1,
+                       edk_use2=edk_use2)
+
+
+def wait_key(edk: int) -> Instruction:
+    """WAIT_KEY is both a producer and a consumer of the same key."""
+    return Instruction(Opcode.WAIT_KEY, edk_def=edk, edk_use=edk)
+
+
+def wait_all_keys() -> Instruction:
+    return Instruction(Opcode.WAIT_ALL_KEYS)
+
+
+def branch(target: str) -> Instruction:
+    return Instruction(Opcode.B, target=target)
+
+
+def branch_cond(opcode: Opcode, target: str) -> Instruction:
+    return Instruction(opcode, target=target)

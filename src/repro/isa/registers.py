@@ -1,0 +1,81 @@
+"""AArch64-style general-purpose register file description.
+
+The reproduction models the 64-bit general-purpose registers ``x0``-``x30``,
+the zero register ``xzr`` and the stack pointer ``sp``.  Registers are
+represented as small integers so that instruction objects stay lightweight;
+this module provides the naming conventions and the pretty-printing and
+parsing helpers used by the assembler and disassembler.
+"""
+
+from __future__ import annotations
+
+#: Number of architectural general-purpose registers (x0-x30).
+NUM_GPRS = 31
+
+#: Encoding of the zero register.  Reads return 0, writes are discarded.
+XZR = 31
+
+#: Encoding of the stack pointer.
+SP = 32
+
+#: Total number of register encodings (x0-x30, xzr, sp).
+NUM_REG_ENCODINGS = 33
+
+#: Registers used to pass arguments in the AArch64 procedure call standard.
+ARGUMENT_REGISTERS = tuple(range(0, 8))
+
+#: Callee-saved registers in the AArch64 procedure call standard.
+CALLEE_SAVED_REGISTERS = tuple(range(19, 29))
+
+#: The frame pointer (x29) and link register (x30).
+FP = 29
+LR = 30
+
+
+def reg_name(index: int) -> str:
+    """Return the canonical assembly name for a register encoding.
+
+    >>> reg_name(0)
+    'x0'
+    >>> reg_name(31)
+    'xzr'
+    >>> reg_name(32)
+    'sp'
+    """
+    if 0 <= index < NUM_GPRS:
+        return "x%d" % index
+    if index == XZR:
+        return "xzr"
+    if index == SP:
+        return "sp"
+    raise ValueError("invalid register encoding: %r" % (index,))
+
+
+def parse_reg(name: str) -> int:
+    """Parse an assembly register name into its encoding.
+
+    Accepts ``x0``-``x30``, ``xzr`` and ``sp`` (case-insensitive).
+
+    >>> parse_reg('x7')
+    7
+    >>> parse_reg('XZR')
+    31
+    """
+    text = name.strip().lower()
+    if text == "xzr":
+        return XZR
+    if text == "sp":
+        return SP
+    if text.startswith("x"):
+        try:
+            index = int(text[1:])
+        except ValueError:
+            raise ValueError("invalid register name: %r" % (name,)) from None
+        if 0 <= index < NUM_GPRS:
+            return index
+    raise ValueError("invalid register name: %r" % (name,))
+
+
+def is_writable(index: int) -> bool:
+    """Return whether writes to the register have an architectural effect."""
+    return index != XZR

@@ -1,0 +1,37 @@
+"""Memory subsystem: caches, DRAM, NVM with ADR buffer, persist log.
+
+The model follows Table I of the paper: a three-level cache hierarchy in
+front of a single memory controller whose physical address space is split
+between 2400 MHz DDR4 DRAM and an NVM DIMM with asymmetric latencies and a
+persistent 128-slot on-DIMM buffer.
+"""
+
+from repro.memory.cache import Cache, CacheStats, Eviction
+from repro.memory.controller import AddressMap, MemoryController
+from repro.memory.dram import DramModel, DramParams
+from repro.memory.hierarchy import CacheHierarchy, HierarchyParams
+from repro.memory.nvm import NvmModel, NvmParams
+from repro.memory.persist_domain import (
+    KIND_CVAP,
+    KIND_EVICTION,
+    PersistLog,
+    PersistRecord,
+)
+
+__all__ = [
+    "AddressMap",
+    "Cache",
+    "CacheStats",
+    "CacheHierarchy",
+    "DramModel",
+    "DramParams",
+    "Eviction",
+    "HierarchyParams",
+    "KIND_CVAP",
+    "KIND_EVICTION",
+    "MemoryController",
+    "NvmModel",
+    "NvmParams",
+    "PersistLog",
+    "PersistRecord",
+]

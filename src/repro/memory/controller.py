@@ -1,0 +1,82 @@
+"""Memory controller with a split DRAM / NVM physical address space.
+
+The paper's setup sends both NVM and DRAM requests to one controller but
+splits the physical address space: part targets DRAM, part targets NVM
+(Section VI-A).  Table I gives 2 GB of each.  The controller routes reads
+and writes, and funnels every NVM write through the persistent on-DIMM
+buffer, recording persist events in the :class:`PersistLog`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.memory.dram import DramModel, DramParams
+from repro.memory.nvm import NvmModel, NvmParams
+from repro.memory.persist_domain import KIND_CVAP, KIND_EVICTION, PersistLog
+
+
+@dataclasses.dataclass(frozen=True)
+class AddressMap:
+    """Physical address split: [0, dram_bytes) is DRAM, then NVM."""
+
+    dram_bytes: int = 2 << 30
+    nvm_bytes: int = 2 << 30
+
+    @property
+    def nvm_base(self) -> int:
+        return self.dram_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.dram_bytes + self.nvm_bytes
+
+    def is_nvm(self, addr: int) -> bool:
+        if not 0 <= addr < self.total_bytes:
+            raise ValueError("physical address out of range: %#x" % addr)
+        return addr >= self.dram_bytes
+
+
+class MemoryController:
+    """Routes requests to DRAM or NVM and logs persist events."""
+
+    def __init__(self,
+                 address_map: AddressMap = AddressMap(),
+                 dram_params: DramParams = DramParams(),
+                 nvm_params: NvmParams = NvmParams(),
+                 persist_log: Optional[PersistLog] = None):
+        self.address_map = address_map
+        self.dram = DramModel(dram_params)
+        self.nvm = NvmModel(nvm_params)
+        self.persist_log = persist_log if persist_log is not None else PersistLog()
+
+    def read(self, addr: int, cycle: int) -> int:
+        """Read one line; return the data-return cycle."""
+        if self.address_map.is_nvm(addr):
+            return self.nvm.read(addr, cycle)
+        return self.dram.access(addr, cycle, is_write=False)
+
+    def write(self, addr: int, cycle: int, *, is_eviction: bool,
+              tag: Optional[str] = None,
+              inst_seq: Optional[int] = None) -> int:
+        """Write one line; return the completion cycle.
+
+        For NVM, completion means acceptance into the persistent on-DIMM
+        buffer (the ADR persistence point); a persist event is logged.  For
+        DRAM, completion is the posted-write handoff.
+        """
+        if self.address_map.is_nvm(addr):
+            accept = self.nvm.accept_write(addr, cycle)
+            self.persist_log.record(
+                cycle=accept,
+                line_addr=addr & ~63,
+                kind=KIND_EVICTION if is_eviction else KIND_CVAP,
+                tag=tag,
+                inst_seq=inst_seq,
+            )
+            return accept
+        return self.dram.access(addr, cycle, is_write=True)
+
+    def is_nvm(self, addr: int) -> bool:
+        return self.address_map.is_nvm(addr)

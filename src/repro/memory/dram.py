@@ -1,0 +1,78 @@
+"""A DDR4-like DRAM timing model.
+
+Table I: 2400 MHz DDR4, 2 ranks per channel, 16 banks per rank.  The model
+captures the first-order behaviour the evaluation depends on: bank-level
+parallelism, row-buffer locality, and occupancy-based queueing.  Requests to
+the same bank serialize; a request to an open row is faster than one that
+needs an activate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass(frozen=True)
+class DramParams:
+    """Timing and geometry parameters (cycles are core cycles)."""
+
+    ranks: int = 2
+    banks_per_rank: int = 16
+    row_size: int = 2048            # bytes per row (per bank)
+    row_hit_cycles: int = 60        # ~20 ns at 3 GHz: CAS + bus
+    row_miss_cycles: int = 135      # ~45 ns: precharge + activate + CAS
+    bank_busy_cycles: int = 24      # bank occupancy per access (~8 ns)
+
+    @property
+    def num_banks(self) -> int:
+        return self.ranks * self.banks_per_rank
+
+
+@dataclasses.dataclass
+class DramStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+
+
+class DramModel:
+    """Bank-aware DRAM latency model.
+
+    ``access`` returns the completion cycle of the request.  The model keeps
+    per-bank busy-until times and open-row tracking; interleaving is simple
+    address-bit banking.
+    """
+
+    def __init__(self, params: DramParams = DramParams()):
+        self.params = params
+        self.stats = DramStats()
+        self._bank_free: Dict[int, int] = {}
+        self._open_row: Dict[int, int] = {}
+
+    def _bank_of(self, addr: int) -> int:
+        # Interleave on 64B-line granularity across all banks.
+        return (addr >> 6) % self.params.num_banks
+
+    def _row_of(self, addr: int) -> int:
+        return addr // (self.params.row_size * self.params.num_banks)
+
+    def access(self, addr: int, cycle: int, is_write: bool) -> int:
+        """Issue a request at ``cycle``; return its completion cycle."""
+        bank = self._bank_of(addr)
+        row = self._row_of(addr)
+        start = max(cycle, self._bank_free.get(bank, 0))
+        if self._open_row.get(bank) == row:
+            latency = self.params.row_hit_cycles
+            self.stats.row_hits += 1
+        else:
+            latency = self.params.row_miss_cycles
+            self.stats.row_misses += 1
+            self._open_row[bank] = row
+        self._bank_free[bank] = start + self.params.bank_busy_cycles
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        return start + latency

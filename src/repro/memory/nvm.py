@@ -1,0 +1,161 @@
+"""NVM model with a persistent on-DIMM (ADR) write buffer.
+
+Table I parameters: 150 ns read, 500 ns write, 256 B NVM lines, and a
+persistent 128-slot on-DIMM buffer.  With Asynchronous DRAM Refresh, a write
+is *persistent* as soon as it is accepted into the on-DIMM buffer — this is
+the completion point of ``DC CVAP`` in the paper's model.
+
+The buffer gives two effects the paper leans on:
+
+* **Write coalescing** — multiple cache-line writes to the same 256 B NVM
+  line merge into one pending slot (and one media write) while the slot is
+  still waiting to drain.  Configurations that keep many writes pending
+  (Fig. 10) coalesce more and get higher effective write throughput.
+* **Backpressure** — when all 128 slots are pending, acceptance stalls until
+  the banked media drains a slot.
+
+Fig. 10 samples the number of pending writes each time a store reaches the
+NVM media, i.e. at drain completion; :attr:`NvmModel.pending_samples`
+collects exactly those samples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, List
+
+
+@dataclasses.dataclass(frozen=True)
+class NvmParams:
+    """NVM timing/geometry in core cycles (3 GHz: 1 ns = 3 cycles)."""
+
+    read_cycles: int = 450          # 150 ns
+    write_cycles: int = 1500        # 500 ns media write
+    line_size: int = 256            # NVM media line
+    buffer_slots: int = 128         # persistent on-DIMM buffer
+    write_banks: int = 24           # banked media: concurrent line writes
+    accept_cycles: int = 45         # DIMM-side acceptance into the buffer (~15 ns)
+    read_banks: int = 8
+
+
+@dataclasses.dataclass
+class NvmStats:
+    reads: int = 0
+    line_writes_received: int = 0   # cache-line-granularity writes accepted
+    media_writes: int = 0           # 256B line drains to media
+    coalesced_writes: int = 0       # writes merged into a pending slot
+    stalled_accepts: int = 0        # accepts delayed by a full buffer
+    stall_cycles: int = 0
+
+
+class _PendingLine:
+    """One occupied buffer slot: a 256 B line waiting to drain."""
+
+    __slots__ = ("line", "accept_cycle", "drain_start", "drain_done")
+
+    def __init__(self, line: int, accept_cycle: int,
+                 drain_start: int, drain_done: int):
+        self.line = line
+        self.accept_cycle = accept_cycle
+        self.drain_start = drain_start
+        self.drain_done = drain_done
+
+
+class NvmModel:
+    """Event-lazy NVM timing model.
+
+    ``accept_write`` must be called with non-decreasing cycles (the core's
+    clock only moves forward), which lets the model schedule media drains
+    eagerly and answer backpressure questions with a heap of drain times.
+    """
+
+    def __init__(self, params: NvmParams = NvmParams()):
+        self.params = params
+        self.stats = NvmStats()
+        self._read_bank_free: Dict[int, int] = {}
+        self._write_bank_free: Dict[int, int] = {}
+        self._pending: Dict[int, _PendingLine] = {}
+        self._drain_heap: List[tuple] = []   # (drain_done, line)
+        #: Fig. 10 samples: buffer occupancy at each media-write completion.
+        self.pending_samples: List[int] = []
+        self._sample_limit = 2_000_000
+
+    # --- reads -------------------------------------------------------------
+
+    def read(self, addr: int, cycle: int) -> int:
+        """Issue a read at ``cycle``; return its completion cycle."""
+        bank = (addr // self.params.line_size) % self.params.read_banks
+        start = max(cycle, self._read_bank_free.get(bank, 0))
+        self._read_bank_free[bank] = start + self.params.read_cycles // 4
+        self.stats.reads += 1
+        return start + self.params.read_cycles
+
+    # --- writes (the persist path) ----------------------------------------------
+
+    def _line_of(self, addr: int) -> int:
+        return addr & ~(self.params.line_size - 1)
+
+    def _reap(self, cycle: int) -> None:
+        """Retire drains that completed by ``cycle``, sampling occupancy."""
+        while self._drain_heap and self._drain_heap[0][0] <= cycle:
+            done, line = heapq.heappop(self._drain_heap)
+            pending = self._pending.get(line)
+            if pending is not None and pending.drain_done == done:
+                del self._pending[line]
+            self.stats.media_writes += 1
+            if len(self.pending_samples) < self._sample_limit:
+                self.pending_samples.append(len(self._pending))
+
+    def _schedule_drain(self, line: int, ready: int) -> _PendingLine:
+        bank = (line // self.params.line_size) % self.params.write_banks
+        start = max(ready, self._write_bank_free.get(bank, 0))
+        done = start + self.params.write_cycles
+        self._write_bank_free[bank] = done
+        entry = _PendingLine(line, ready, start, done)
+        self._pending[line] = entry
+        heapq.heappush(self._drain_heap, (done, line))
+        return entry
+
+    def accept_write(self, addr: int, cycle: int) -> int:
+        """Submit a cache-line write at ``cycle``.
+
+        Returns the cycle at which the write is accepted into the persistent
+        on-DIMM buffer — the point of persistence under ADR.
+        """
+        self._reap(cycle)
+        line = self._line_of(addr)
+        accept = cycle + self.params.accept_cycles
+        self.stats.line_writes_received += 1
+
+        existing = self._pending.get(line)
+        if existing is not None and existing.drain_start > accept:
+            # Coalesce into the not-yet-draining slot: no new media write.
+            self.stats.coalesced_writes += 1
+            return accept
+
+        if len(self._pending) >= self.params.buffer_slots:
+            # Buffer full: wait for the earliest drain to free a slot.
+            wait_until = self._drain_heap[0][0]
+            self.stats.stalled_accepts += 1
+            self.stats.stall_cycles += max(0, wait_until - cycle)
+            self._reap(wait_until)
+            accept = wait_until + self.params.accept_cycles
+
+        self._schedule_drain(line, accept)
+        return accept
+
+    # --- introspection -------------------------------------------------------
+
+    def pending_count(self, cycle: int) -> int:
+        """Buffer occupancy as of ``cycle`` (drains reaped lazily)."""
+        self._reap(cycle)
+        return len(self._pending)
+
+    def drain_all(self, cycle: int) -> int:
+        """Reap everything; return the cycle when the buffer is empty."""
+        last = cycle
+        while self._drain_heap:
+            last = max(last, self._drain_heap[0][0])
+            self._reap(last)
+        return last

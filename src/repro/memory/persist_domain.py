@@ -1,0 +1,100 @@
+"""Persist-domain event log.
+
+Every write accepted into the persistent on-DIMM buffer is, under ADR,
+persistent.  The log records the global order in which cache lines reached
+the persistence domain; the crash-consistency checker in
+:mod:`repro.consistency` validates ordering obligations against it, and the
+crash injector replays prefixes of it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional
+
+
+#: Persist-event kinds.
+KIND_CVAP = "cvap"          # explicit DC CVAP
+KIND_EVICTION = "evict"     # dirty line evicted from the cache hierarchy
+
+
+@dataclasses.dataclass(frozen=True)
+class PersistRecord:
+    """One cache line reaching the persistence domain.
+
+    Attributes:
+        seq: Monotonic persist-order index (0, 1, 2, ...).
+        cycle: Acceptance cycle into the ADR buffer.
+        line_addr: Cache-line (64 B) address persisted.
+        kind: ``cvap`` or ``evict``.
+        tag: Optional obligation tag carried from the instruction's
+            ``comment`` field — how the consistency checker identifies
+            framework-level persist operations.
+        inst_seq: Dynamic sequence number of the causing instruction, or
+            None for evictions.
+    """
+
+    seq: int
+    cycle: int
+    line_addr: int
+    kind: str
+    tag: Optional[str] = None
+    inst_seq: Optional[int] = None
+
+
+class PersistLog:
+    """Ordered record of persist events, indexed by line and by tag."""
+
+    def __init__(self) -> None:
+        self._records: List[PersistRecord] = []
+        self._by_tag: Dict[str, List[int]] = {}
+
+    def record(self, cycle: int, line_addr: int, kind: str,
+               tag: Optional[str] = None,
+               inst_seq: Optional[int] = None) -> PersistRecord:
+        entry = PersistRecord(
+            seq=len(self._records),
+            cycle=cycle,
+            line_addr=line_addr,
+            kind=kind,
+            tag=tag,
+            inst_seq=inst_seq,
+        )
+        self._records.append(entry)
+        if tag is not None:
+            self._by_tag.setdefault(tag, []).append(entry.seq)
+        return entry
+
+    # --- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[PersistRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, seq: int) -> PersistRecord:
+        return self._records[seq]
+
+    def records(self) -> List[PersistRecord]:
+        return list(self._records)
+
+    def first_with_tag(self, tag: str) -> Optional[PersistRecord]:
+        seqs = self._by_tag.get(tag)
+        if not seqs:
+            return None
+        return self._records[seqs[0]]
+
+    def all_with_tag(self, tag: str) -> List[PersistRecord]:
+        return [self._records[seq] for seq in self._by_tag.get(tag, ())]
+
+    def first_persist_of_line(self, line_addr: int,
+                              after_seq: int = -1) -> Optional[PersistRecord]:
+        for entry in self._records:
+            if entry.line_addr == line_addr and entry.seq > after_seq:
+                return entry
+        return None
+
+    def prefix(self, count: int) -> List[PersistRecord]:
+        """The first ``count`` persist events — a possible crash point."""
+        return self._records[:count]

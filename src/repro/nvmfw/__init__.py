@@ -1,0 +1,38 @@
+"""PMDK-like persistent-memory framework (undo logging + transactions).
+
+See :class:`repro.nvmfw.framework.PersistentFramework` for the facade
+workloads program against, and :mod:`repro.nvmfw.codegen` for the
+per-configuration fence/EDE disciplines (Table III).
+"""
+
+from repro.nvmfw.allocator import OutOfPersistentMemory, PersistentHeap
+from repro.nvmfw.codegen import (
+    ALL_MODES,
+    MODE_DMB_ST,
+    MODE_DSB,
+    MODE_EDE,
+    MODE_NONE,
+    PersistOpEmitter,
+)
+from repro.nvmfw.framework import BuiltWorkload, PersistentFramework
+from repro.nvmfw.layout import DEFAULT_LAYOUT, NVM_BASE, NvmLayout
+from repro.nvmfw.undo_log import LogEntry, UndoLog, UndoLogFull
+
+__all__ = [
+    "ALL_MODES",
+    "BuiltWorkload",
+    "DEFAULT_LAYOUT",
+    "LogEntry",
+    "MODE_DMB_ST",
+    "MODE_DSB",
+    "MODE_EDE",
+    "MODE_NONE",
+    "NVM_BASE",
+    "NvmLayout",
+    "OutOfPersistentMemory",
+    "PersistOpEmitter",
+    "PersistentFramework",
+    "PersistentHeap",
+    "UndoLog",
+    "UndoLogFull",
+]

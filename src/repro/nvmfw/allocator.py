@@ -1,0 +1,72 @@
+"""Persistent heap allocator.
+
+A segregated free-list allocator over the NVM heap region: allocation
+requests are rounded to 8-byte granularity; frees push blocks onto a
+per-size free list that subsequent allocations of the same size pop.  This
+matches what the PMDK workloads need (fixed-size node allocations with
+occasional frees) while staying deterministic.
+
+The allocator is *volatile metadata over persistent storage* — like PMDK,
+recovery rebuilds allocation state from the data structures themselves, so
+no allocation metadata is written to NVM here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.nvmfw.layout import DEFAULT_LAYOUT, NvmLayout
+
+
+class OutOfPersistentMemory(MemoryError):
+    """The heap region is exhausted."""
+
+
+class PersistentHeap:
+    """Bump allocator with size-segregated free lists."""
+
+    def __init__(self, layout: NvmLayout = DEFAULT_LAYOUT):
+        layout.validate()
+        self.layout = layout
+        self._next = layout.heap_base
+        self._end = layout.heap_base + layout.heap_bytes
+        self._free_lists: Dict[int, List[int]] = {}
+        self.allocated_bytes = 0
+        self.live_bytes = 0
+
+    @staticmethod
+    def _round(size: int, align: int) -> int:
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        if align & (align - 1):
+            raise ValueError("alignment must be a power of two")
+        size = (size + 7) & ~7
+        return max(size, align)
+
+    def alloc(self, size: int, align: int = 8) -> int:
+        """Allocate ``size`` bytes; return the NVM address."""
+        size = self._round(size, align)
+        free_list = self._free_lists.get(size)
+        if free_list:
+            addr = free_list.pop()
+            self.live_bytes += size
+            return addr
+        addr = (self._next + align - 1) & ~(align - 1)
+        if addr + size > self._end:
+            raise OutOfPersistentMemory(
+                "persistent heap exhausted (%d bytes requested)" % size)
+        self._next = addr + size
+        self.allocated_bytes += size
+        self.live_bytes += size
+        return addr
+
+    def free(self, addr: int, size: int, align: int = 8) -> None:
+        """Return a block to the free list for its size class."""
+        size = self._round(size, align)
+        if not self.layout.heap_base <= addr < self._end:
+            raise ValueError("free of non-heap address %#x" % addr)
+        self._free_lists.setdefault(size, []).append(addr)
+        self.live_bytes -= size
+
+    def contains(self, addr: int) -> bool:
+        return self.layout.heap_base <= addr < self._next

@@ -1,0 +1,197 @@
+"""Per-configuration persist-operation code generation.
+
+This is the framework code of Figures 2 and 7, expressed as an instruction
+emitter with one *fence mode* per Table III configuration:
+
+===========  ==================================================places=======
+mode         per-update ordering                        commit ordering
+===========  ================================================================
+``dsb``      ``DC CVAP; DSB SY`` after the log write    ``DSB SY`` both sides
+``dmb_st``   ``DC CVAP; DMB ST`` (SFENCE-like)          ``DMB ST`` both sides
+``ede``      ``DC CVAP (k,0)`` + ``STR (0,k)``          ``WAIT_ALL_KEYS`` /
+             (Figure 7)                                 ``WAIT_KEY``
+``none``     nothing (Unsafe)                           nothing
+===========  ==================================================places=======
+
+Tag convention: every persist-relevant instruction carries a ``comment``
+tag — ``log:<op>``, ``store:<op>``, ``data:<op>``, ``commit:<txn>`` — that
+the persist log and the consistency checker key on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.edk import EdkAllocator
+from repro.isa import instructions as ops
+from repro.isa.program import TraceBuilder
+
+#: Fence modes (Table III).
+MODE_DSB = "dsb"
+MODE_DMB_ST = "dmb_st"
+MODE_EDE = "ede"
+MODE_NONE = "none"
+
+ALL_MODES = (MODE_DSB, MODE_DMB_ST, MODE_EDE, MODE_NONE)
+
+# Register conventions for emitted framework code.
+_R_TARGET = 10   # element address
+_R_OLD = 11      # original value
+_R_SLOT = 12     # log slot address
+_R_NEW = 13      # new value
+_R_TMP = 14      # commit record scratch
+_R_LOAD = 15     # destination of framework reads
+_R_HEAD = 16     # undo-log head index
+_R_HEADP = 17    # address of the head index
+_R_SCALE = 18    # slot-size scratch
+
+
+def log_tag(op_id: int) -> str:
+    return "log:%d" % op_id
+
+
+def store_tag(op_id: int) -> str:
+    return "store:%d" % op_id
+
+
+def data_tag(op_id: int) -> str:
+    return "data:%d" % op_id
+
+
+def commit_tag(txn_id: int) -> str:
+    return "commit:%d" % txn_id
+
+
+class PersistOpEmitter:
+    """Emits the instruction sequences the framework injects."""
+
+    def __init__(self, mode: str, builder: TraceBuilder,
+                 edk_allocator: Optional[EdkAllocator] = None):
+        if mode not in ALL_MODES:
+            raise ValueError("unknown fence mode %r" % (mode,))
+        self.mode = mode
+        self.builder = builder
+        self.edks = edk_allocator if edk_allocator is not None else EdkAllocator()
+
+    # --- reads ---------------------------------------------------------------
+
+    def emit_read(self, addr: int, dest_reg: int = _R_LOAD) -> None:
+        """A framework-level read: materialize the address, then load."""
+        self.builder.emit(ops.mov_imm(_R_TARGET, addr))
+        self.builder.emit(ops.ldr(dest_reg, _R_TARGET, addr=addr))
+
+    # --- the logged update (Figures 2, 4 and 7) ------------------------------------
+
+    def emit_reserve_slot(self, slot_addr: int, head_addr: int) -> None:
+        """``undo_log->reserve_uint64()`` (Figure 2a, line 2).
+
+        Loads the log head index from the framework's volatile (DRAM)
+        bookkeeping, bounds-checks it, computes the slot address and bumps
+        the head.  The head load forwards from the previous operation's
+        head store, which is the realistic serial dependence between
+        consecutive reservations.
+        """
+        emit = self.builder.emit
+        emit(ops.mov_imm(_R_HEADP, head_addr))
+        emit(ops.ldr(_R_HEAD, _R_HEADP, addr=head_addr))
+        emit(ops.cmp(_R_HEAD, imm=1 << 16))
+        emit(ops.Instruction(ops.Opcode.LSL, dst=(_R_SCALE,),
+                             src=(_R_HEAD,), imm=4))
+        emit(ops.add(_R_TMP, _R_HEAD, imm=1))
+        emit(ops.store(_R_TMP, _R_HEADP, addr=head_addr))
+        # Materialize the slot address (base + head * 16).
+        emit(ops.mov_imm(_R_SLOT, slot_addr))
+
+    def emit_logged_update(self, op_id: int, target_addr: int,
+                           new_value: int, slot_addr: int,
+                           head_addr: Optional[int] = None) -> None:
+        """Emit ``log_value`` + ``update_value`` for one element update."""
+        emit = self.builder.emit
+        # log_value: reserve a slot, store addr & original value, persist
+        # the slot.
+        if head_addr is not None:
+            self.emit_reserve_slot(slot_addr, head_addr)
+        else:
+            emit(ops.mov_imm(_R_SLOT, slot_addr))
+        emit(ops.mov_imm(_R_TARGET, target_addr))
+        emit(ops.ldr(_R_OLD, _R_TARGET, addr=target_addr))
+        emit(ops.stp(_R_TARGET, _R_OLD, _R_SLOT, addr=slot_addr))
+
+        if self.mode == MODE_EDE:
+            key = self.edks.allocate()
+            emit(ops.dc_cvap_ede(_R_SLOT, edk_def=key, edk_use=0,
+                                 addr=slot_addr, comment=log_tag(op_id)))
+            emit(ops.mov_imm(_R_NEW, new_value))
+            emit(ops.store_ede(_R_NEW, _R_TARGET, edk_def=0, edk_use=key,
+                               addr=target_addr, comment=store_tag(op_id)))
+            # The data persist re-produces the key so WAIT_ALL_KEYS at
+            # commit covers it (Figure 6 shows keys being reused like this).
+            emit(ops.dc_cvap_ede(_R_TARGET, edk_def=key, edk_use=0,
+                                 addr=target_addr, comment=data_tag(op_id)))
+            return
+
+        emit(ops.dc_cvap(_R_SLOT, addr=slot_addr, comment=log_tag(op_id)))
+        if self.mode == MODE_DSB:
+            emit(ops.dsb_sy())
+        elif self.mode == MODE_DMB_ST:
+            emit(ops.dmb_st())
+        # update_value: store the new value and persist it; ordering with
+        # the store is a plain memory dependence (same line).
+        emit(ops.mov_imm(_R_NEW, new_value))
+        emit(ops.store(_R_NEW, _R_TARGET, addr=target_addr,
+                       comment=store_tag(op_id)))
+        emit(ops.dc_cvap(_R_TARGET, addr=target_addr, comment=data_tag(op_id)))
+
+    # --- unlogged initialization (PMDK: objects allocated in the same
+    # transaction need no undo entries — on abort they are reclaimed) --------
+
+    def emit_init_store(self, addr: int, value: int) -> None:
+        """A plain persistent store to freshly allocated memory."""
+        emit = self.builder.emit
+        emit(ops.mov_imm(_R_NEW, value))
+        emit(ops.mov_imm(_R_TARGET, addr))
+        emit(ops.store(_R_NEW, _R_TARGET, addr=addr))
+
+    def emit_flush(self, addr: int, tag: str) -> None:
+        """Persist one cache line of freshly initialized data.
+
+        Under EDE the flush produces a key so that ``WAIT_ALL_KEYS`` at
+        commit covers it; under the fence modes the commit fence does.
+        """
+        emit = self.builder.emit
+        emit(ops.mov_imm(_R_TARGET, addr))
+        if self.mode == MODE_EDE:
+            key = self.edks.allocate()
+            emit(ops.dc_cvap_ede(_R_TARGET, edk_def=key, edk_use=0,
+                                 addr=addr, comment=tag))
+        else:
+            emit(ops.dc_cvap(_R_TARGET, addr=addr, comment=tag))
+
+    # --- transaction boundaries ------------------------------------------------------
+
+    def emit_commit(self, txn_id: int, commit_addr: int) -> None:
+        """Persist the commit record strictly after the transaction body."""
+        emit = self.builder.emit
+        if self.mode == MODE_DSB:
+            emit(ops.dsb_sy())
+        elif self.mode == MODE_DMB_ST:
+            emit(ops.dmb_st())
+        elif self.mode == MODE_EDE:
+            emit(ops.wait_all_keys())
+
+        emit(ops.mov_imm(_R_TMP, txn_id + 1))
+        emit(ops.mov_imm(_R_TARGET, commit_addr))
+        emit(ops.store(_R_TMP, _R_TARGET, addr=commit_addr,
+                       comment="commit-store:%d" % txn_id))
+        if self.mode == MODE_EDE:
+            key = self.edks.allocate()
+            emit(ops.dc_cvap_ede(_R_TARGET, edk_def=key, edk_use=0,
+                                 addr=commit_addr, comment=commit_tag(txn_id)))
+            emit(ops.wait_key(key))
+        else:
+            emit(ops.dc_cvap(_R_TARGET, addr=commit_addr,
+                             comment=commit_tag(txn_id)))
+            if self.mode == MODE_DSB:
+                emit(ops.dsb_sy())
+            elif self.mode == MODE_DMB_ST:
+                emit(ops.dmb_st())

@@ -1,0 +1,60 @@
+"""Address-space layout for persistent applications.
+
+The physical address space is split per Table I: DRAM occupies
+[0, 2 GB) and NVM occupies [2 GB, 4 GB).  Within the NVM region the
+framework reserves, in order: a transaction metadata block (commit records),
+the undo-log region, and the persistent heap.
+
+Volatile framework state (nothing in the evaluated workloads needs any)
+would live in the DRAM region.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Start of the NVM region (2 GB — matches the default AddressMap).
+NVM_BASE = 2 << 30
+
+#: Size of one undo-log entry: (address, original value), 16 bytes — exactly
+#: what one STP writes (Figure 4, line 6).
+LOG_ENTRY_BYTES = 16
+
+#: Volatile framework state (the undo log's head index and other runtime
+#: bookkeeping) lives in DRAM, so it creates no persist traffic.
+DRAM_SCRATCH_BASE = 1 << 30
+
+
+@dataclasses.dataclass(frozen=True)
+class NvmLayout:
+    """Concrete carve-up of the NVM region."""
+
+    tx_meta_base: int = NVM_BASE
+    tx_meta_bytes: int = 4 << 10
+    log_base: int = NVM_BASE + (4 << 10)
+    log_bytes: int = 1 << 20
+    heap_base: int = NVM_BASE + (4 << 10) + (1 << 20)
+    heap_bytes: int = (2 << 30) - (4 << 10) - (1 << 20)
+
+    @property
+    def commit_record_addr(self) -> int:
+        """Address of the single transaction commit record."""
+        return self.tx_meta_base
+
+    @property
+    def log_head_addr(self) -> int:
+        """Address of the undo-log head index (volatile, in DRAM)."""
+        return DRAM_SCRATCH_BASE
+
+    @property
+    def log_capacity(self) -> int:
+        return self.log_bytes // LOG_ENTRY_BYTES
+
+    def validate(self) -> None:
+        if self.log_base < self.tx_meta_base + self.tx_meta_bytes:
+            raise ValueError("log region overlaps transaction metadata")
+        if self.heap_base < self.log_base + self.log_bytes:
+            raise ValueError("heap overlaps the log region")
+
+
+DEFAULT_LAYOUT = NvmLayout()

@@ -1,0 +1,67 @@
+"""The undo log (Section II-B, Figure 2).
+
+Before a persistent variable is updated, its address and original value are
+stored into a reserved log slot and the slot is persisted; only then may the
+update reach NVM.  The log lives in a dedicated NVM region; slots are 16
+bytes (one STP).  After a transaction commits, the log is reset.
+
+The class tracks functional content so the crash-injection machinery can
+run real undo recovery against a reconstructed NVM image.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.nvmfw.layout import DEFAULT_LAYOUT, LOG_ENTRY_BYTES, NvmLayout
+
+
+class UndoLogFull(RuntimeError):
+    """More slots reserved in one transaction than the region holds."""
+
+
+@dataclasses.dataclass(frozen=True)
+class LogEntry:
+    """Functional view of one reserved slot."""
+
+    slot_addr: int
+    target_addr: int
+    original_value: int
+
+
+class UndoLog:
+    """Slot reservation plus functional entry tracking."""
+
+    def __init__(self, layout: NvmLayout = DEFAULT_LAYOUT):
+        self.layout = layout
+        self._head = 0
+        self.entries: List[LogEntry] = []
+
+    def reserve_slot(self) -> int:
+        """Reserve the next 16-byte slot; return its NVM address."""
+        if self._head >= self.layout.log_capacity:
+            raise UndoLogFull(
+                "undo log exhausted after %d entries" % self._head)
+        addr = self.layout.log_base + self._head * LOG_ENTRY_BYTES
+        self._head += 1
+        return addr
+
+    def record(self, slot_addr: int, target_addr: int,
+               original_value: int) -> LogEntry:
+        """Record the functional content written into a reserved slot."""
+        entry = LogEntry(slot_addr, target_addr, original_value)
+        self.entries.append(entry)
+        return entry
+
+    def reset(self) -> None:
+        """Transaction committed: all slots are reusable."""
+        self._head = 0
+        self.entries.clear()
+
+    @property
+    def head(self) -> int:
+        return self._head
+
+    def __len__(self) -> int:
+        return len(self.entries)

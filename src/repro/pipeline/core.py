@@ -1,0 +1,720 @@
+"""Cycle-level out-of-order core with EDE support.
+
+The core is trace-driven: it consumes a dynamic instruction stream whose
+memory instructions carry resolved effective addresses (produced either by
+the functional machine or by the NVM framework's code generator).  Branches
+are therefore perfectly predicted; an optional squash injector exercises the
+recovery path (EDM checkpoint restore) that real mispredictions would take.
+
+Pipeline structure per cycle (Table I sizes):
+
+1. **events** — scheduled completions (FU results, memory returns, write
+   buffer pushes) land.
+2. **retire** — up to 3 instructions leave the ROB in order; store-class
+   instructions and JOINs move to the write buffer; DSB / WAIT_KEY /
+   WAIT_ALL_KEYS gate here.
+3. **write buffer** — eligible entries begin pushing to the memory system;
+   under the WB policy this is where execution dependences are enforced
+   (srcID CAM, Section V-D).
+4. **issue** — up to 8 ready instructions start executing; under the IQ
+   policy the ``eDepReady`` check gates here (Section V-B1).
+5. **dispatch** — up to 3 instructions enter ROB/IQ/LSQ; EDE instructions
+   access the speculative EDM (Section V-A).
+
+When no stage makes progress the clock fast-forwards to the next scheduled
+event, attributing the skipped cycles to the zero-issue bucket of the
+Fig. 11 histogram.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.core.edk import NUM_KEYS, ZERO_KEY
+from repro.core.edm import CheckpointedEdm
+from repro.core.policies import EnforcementPolicy, FENCE_POLICY
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.memory.hierarchy import CacheHierarchy
+from repro.pipeline.dyninst import DynInst
+from repro.pipeline.params import CoreParams
+from repro.pipeline.stats import PipelineStats
+from repro.pipeline.write_buffer import PENDING, PUSHING, WriteBuffer
+
+_FLAGS_REG = -1
+
+
+class SimulationError(RuntimeError):
+    """Raised on deadlock or runaway simulation."""
+
+
+class OutOfOrderCore:
+    """The A72-like out-of-order core model."""
+
+    def __init__(self,
+                 trace: Sequence[Instruction],
+                 hierarchy: CacheHierarchy,
+                 policy: EnforcementPolicy = FENCE_POLICY,
+                 params: CoreParams = CoreParams(),
+                 squash_at: Sequence[int] = ()):
+        """Args:
+            trace: Dynamic instruction stream ending in HALT.
+            hierarchy: The cache hierarchy + memory controller to run against.
+            policy: Where EDE dependences are enforced (IQ / WB / FENCE).
+            params: Pipeline geometry.
+            squash_at: Trace indices at which to inject a pipeline squash
+                the first time the front end reaches them (testing hook for
+                the EDM checkpoint-recovery path).
+        """
+        params.validate()
+        self.trace = list(trace)
+        if not self.trace or self.trace[-1].opcode is not Opcode.HALT:
+            raise ValueError("trace must end with HALT")
+        self.hierarchy = hierarchy
+        self.policy = policy
+        self.params = params
+        self.stats = PipelineStats()
+        self.edm = CheckpointedEdm()
+        self.wb = WriteBuffer(params.write_buffer_entries,
+                              hierarchy.params.line_size)
+
+        self.now = 0
+        self._fetch_index = 0
+        self._next_seq = 0
+        self._halted = False
+        self._halt_dyn: Optional[DynInst] = None
+
+        self._rob: List[DynInst] = []
+        self._iq: List[DynInst] = []
+        self._lq_used = 0
+        self._sq_used = 0
+
+        # Scoreboard: register -> last in-flight writer.
+        self._scoreboard: Dict[int, DynInst] = {}
+        self._reg_waiters: Dict[int, List[DynInst]] = {}
+        self._ede_waiters: Dict[int, List[DynInst]] = {}
+        self._store_exec_waiters: Dict[int, List[Callable[[], None]]] = {}
+
+        # In-flight completion tracking (for DSB / HALT).
+        self._incomplete: Dict[int, DynInst] = {}
+        self._incomplete_heap: List[int] = []
+
+        self._active_dsbs: List[int] = []
+
+        # DMB ST epochs (store-class ordering, SFENCE-like).
+        self._store_epoch = 0
+        self._store_epoch_outstanding: Dict[int, int] = {}
+        self._min_live_store_epoch = 0
+        # DMB SY epochs (memory-op ordering at issue).
+        self._mem_epoch = 0
+        self._mem_epoch_outstanding: Dict[int, int] = {}
+        self._min_live_mem_epoch = 0
+
+        # Store-to-load forwarding index: word address -> in-flight stores.
+        self._store_by_word: Dict[int, List[DynInst]] = {}
+
+        # Event wheel.
+        self._events: Dict[int, List[Callable[[], None]]] = {}
+        self._event_heap: List[int] = []
+
+        self._squash_at: Set[int] = set(squash_at)
+        self._squash_progress = False
+
+        #: (cycle, seq, tag, addr) for every tagged store becoming visible —
+        #: consumed by the crash-consistency checker.
+        self.store_visibility: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+
+    def _schedule(self, cycle: int, fn: Callable[[], None]) -> None:
+        cycle = max(cycle, self.now + 1)
+        bucket = self._events.get(cycle)
+        if bucket is None:
+            self._events[cycle] = [fn]
+            heapq.heappush(self._event_heap, cycle)
+        else:
+            bucket.append(fn)
+
+    def _process_events(self) -> int:
+        processed = 0
+        while self._event_heap and self._event_heap[0] == self.now:
+            cycle = heapq.heappop(self._event_heap)
+            for fn in self._events.pop(cycle):
+                fn()
+                processed += 1
+        return processed
+
+    # ------------------------------------------------------------------
+    # Completion tracking
+    # ------------------------------------------------------------------
+
+    def _min_incomplete(self) -> Optional[int]:
+        heap = self._incomplete_heap
+        while heap and heap[0] not in self._incomplete:
+            heapq.heappop(heap)
+        return heap[0] if heap else None
+
+    def _all_older_complete(self, seq: int) -> bool:
+        oldest = self._min_incomplete()
+        return oldest is None or oldest >= seq
+
+    def _producer_keys(self, dyn: DynInst) -> List[int]:
+        if dyn.opcode is Opcode.WAIT_ALL_KEYS:
+            return list(range(1, NUM_KEYS))
+        if dyn.inst.edk_def != ZERO_KEY:
+            return [dyn.inst.edk_def]
+        return []
+
+    def _mark_complete(self, dyn: DynInst) -> None:
+        """The EDE notion of completion: effects observable."""
+        if dyn.completed or dyn.squashed:
+            return
+        dyn.completed = True
+        dyn.complete_cycle = self.now
+        self._incomplete.pop(dyn.seq, None)
+
+        if dyn.is_ede:
+            for key in self._producer_keys(dyn):
+                self.edm.complete(key, dyn.seq)
+            for waiter in self._ede_waiters.pop(dyn.seq, ()):
+                waiter.e_deps_outstanding.discard(dyn.seq)
+
+        if dyn.is_store_class:
+            self._store_epoch_outstanding[dyn.store_epoch] -= 1
+        if dyn.is_memory:
+            self._mem_epoch_outstanding[dyn.mem_epoch] -= 1
+        if dyn.is_store:
+            self._unindex_store(dyn)
+
+    # ------------------------------------------------------------------
+    # Store forwarding index
+    # ------------------------------------------------------------------
+
+    def _index_store(self, dyn: DynInst) -> None:
+        for word in dyn.touched_words():
+            self._store_by_word.setdefault(word, []).append(dyn)
+
+    def _unindex_store(self, dyn: DynInst) -> None:
+        for word in dyn.touched_words():
+            stores = self._store_by_word.get(word)
+            if stores and dyn in stores:
+                stores.remove(dyn)
+                if not stores:
+                    del self._store_by_word[word]
+
+    def _forwarding_store(self, load: DynInst) -> Optional[DynInst]:
+        """Youngest in-flight store older than ``load`` covering its word."""
+        best: Optional[DynInst] = None
+        for word in load.touched_words():
+            for store in reversed(self._store_by_word.get(word, ())):
+                if store.seq < load.seq and not store.squashed:
+                    if best is None or store.seq > best.seq:
+                        best = store
+                    break
+        return best
+
+    # ------------------------------------------------------------------
+    # Dispatch stage
+    # ------------------------------------------------------------------
+
+    def _used_regs(self, inst: Instruction) -> List[int]:
+        regs = [r for r in inst.src if r != 31]
+        if inst.opcode in (Opcode.B_EQ, Opcode.B_NE, Opcode.B_LT, Opcode.B_GE):
+            regs.append(_FLAGS_REG)
+        return regs
+
+    def _defined_regs(self, inst: Instruction) -> List[int]:
+        regs = [r for r in inst.dst if r != 31]
+        if inst.opcode is Opcode.CMP:
+            regs.append(_FLAGS_REG)
+        if inst.opcode is Opcode.BL:
+            regs.append(30)
+        return regs
+
+    def _enters_iq(self, inst: Instruction) -> bool:
+        """Barriers, WAITs, NOP and HALT bypass the issue queue."""
+        if inst.is_barrier or inst.opcode in (
+                Opcode.NOP, Opcode.HALT, Opcode.WAIT_KEY, Opcode.WAIT_ALL_KEYS):
+            return False
+        return True
+
+    def _dispatch_stage(self) -> int:
+        dispatched = 0
+        params = self.params
+        while (dispatched < params.decode_width
+               and self._fetch_index < len(self.trace)
+               and self._halt_dyn is None):
+            if self._fetch_index in self._squash_at:
+                self._squash_at.discard(self._fetch_index)
+                self._inject_squash()
+                break
+            inst = self.trace[self._fetch_index]
+            if len(self._rob) >= params.rob_entries:
+                self.stats.dispatch_stall_rob += 1
+                break
+            needs_iq = self._enters_iq(inst)
+            if needs_iq and len(self._iq) >= params.iq_entries:
+                self.stats.dispatch_stall_iq += 1
+                break
+            if inst.is_load and self._lq_used >= params.load_queue_entries:
+                self.stats.dispatch_stall_lsq += 1
+                break
+            if inst.is_store_class and self._sq_used >= params.store_queue_entries:
+                self.stats.dispatch_stall_lsq += 1
+                break
+
+            dyn = DynInst(self._next_seq, inst)
+            self._next_seq += 1
+            self._fetch_index += 1
+            dyn.dispatch_cycle = self.now
+            dispatched += 1
+            self.stats.dispatched += 1
+
+            self._dispatch_ede(dyn)
+            self._dispatch_regs(dyn)
+            self._dispatch_epochs(dyn)
+
+            self._incomplete[dyn.seq] = dyn
+            heapq.heappush(self._incomplete_heap, dyn.seq)
+            self._rob.append(dyn)
+
+            if inst.is_load:
+                self._lq_used += 1
+            if inst.is_store_class:
+                self._sq_used += 1
+            if inst.is_store:
+                self._index_store(dyn)
+            if inst.opcode is Opcode.DSB_SY:
+                self._active_dsbs.append(dyn.seq)
+            if inst.opcode is Opcode.HALT:
+                self._halt_dyn = dyn
+
+            if needs_iq:
+                self._iq.append(dyn)
+            else:
+                dyn.executed = True
+                dyn.execute_done_cycle = self.now
+        return dispatched
+
+    def _dispatch_ede(self, dyn: DynInst) -> None:
+        inst = dyn.inst
+        if not dyn.is_ede:
+            return
+        if inst.opcode is Opcode.WAIT_ALL_KEYS:
+            # Acts as a producer of every key so later consumers chain
+            # behind it; its own waiting happens at retirement via the
+            # write-buffer counters.
+            for key in range(1, NUM_KEYS):
+                self.edm.spec.define(key, dyn.seq)
+            return
+        producers = self.edm.decode(inst.edk_def, inst.consumer_keys(), dyn.seq)
+        producers = tuple(p for p in producers if p in self._incomplete)
+        dyn.src_ids = producers
+        enforce_here = (self.policy.enforce_at_issue
+                        or (dyn.is_load and self.policy.enforces_ede))
+        if enforce_here and not dyn.is_wait:
+            for producer in producers:
+                dyn.e_deps_outstanding.add(producer)
+                self._ede_waiters.setdefault(producer, []).append(dyn)
+
+    def _dispatch_regs(self, dyn: DynInst) -> None:
+        for reg in self._used_regs(dyn.inst):
+            writer = self._scoreboard.get(reg)
+            if writer is not None and not writer.executed and not writer.squashed:
+                dyn.regs_outstanding += 1
+                self._reg_waiters.setdefault(writer.seq, []).append(dyn)
+        for reg in self._defined_regs(dyn.inst):
+            self._scoreboard[reg] = dyn
+
+    def _dispatch_epochs(self, dyn: DynInst) -> None:
+        dyn.store_epoch = self._store_epoch
+        dyn.mem_epoch = self._mem_epoch
+        if dyn.is_store_class:
+            self._store_epoch_outstanding[self._store_epoch] = (
+                self._store_epoch_outstanding.get(self._store_epoch, 0) + 1)
+        if dyn.is_memory:
+            self._mem_epoch_outstanding[self._mem_epoch] = (
+                self._mem_epoch_outstanding.get(self._mem_epoch, 0) + 1)
+        if dyn.opcode is Opcode.DMB_ST:
+            # Architecturally DMB ST only orders the store class, but the
+            # paper's simulator (gem5) implements barriers conservatively in
+            # the LSQ: younger memory operations stall until the barrier's
+            # older accesses complete.  That conservatism is what makes the
+            # paper's SU configuration only ~5% faster than B, so we model
+            # the same behaviour.  Non-memory instructions still proceed —
+            # the difference from DSB SY that the paper calls out.
+            self._store_epoch += 1
+            self._mem_epoch += 1
+        elif dyn.opcode is Opcode.DMB_SY:
+            self._store_epoch += 1
+            self._mem_epoch += 1
+
+    # ------------------------------------------------------------------
+    # Issue stage
+    # ------------------------------------------------------------------
+
+    def _store_epoch_ok(self, epoch: int) -> bool:
+        """True when all store-class ops of strictly older epochs completed."""
+        pointer = self._min_live_store_epoch
+        while (pointer < epoch
+               and self._store_epoch_outstanding.get(pointer, 0) == 0):
+            pointer += 1
+        self._min_live_store_epoch = pointer
+        return pointer >= epoch
+
+    def _mem_epoch_ok(self, epoch: int) -> bool:
+        pointer = self._min_live_mem_epoch
+        while (pointer < epoch
+               and self._mem_epoch_outstanding.get(pointer, 0) == 0):
+            pointer += 1
+        self._min_live_mem_epoch = pointer
+        return pointer >= epoch
+
+    def _min_active_dsb(self) -> Optional[int]:
+        while self._active_dsbs and (
+                self._active_dsbs[0] not in self._incomplete):
+            self._active_dsbs.pop(0)
+        return self._active_dsbs[0] if self._active_dsbs else None
+
+    def _issue_stage(self) -> int:
+        if not self._iq:
+            return 0
+        params = self.params
+        issued = 0
+        int_free = params.int_alus
+        branch_free = params.branch_units
+        load_free = params.load_ports
+        store_free = params.store_ports
+        dsb_barrier = self._min_active_dsb()
+
+        remaining: List[DynInst] = []
+        blocked_tail = False
+        for index, dyn in enumerate(self._iq):
+            if blocked_tail or issued >= params.issue_width:
+                remaining.extend(self._iq[index:])
+                break
+            if dsb_barrier is not None and dyn.seq > dsb_barrier:
+                # A DSB blocks execution of everything younger; the IQ is in
+                # program order, so the rest of the queue is blocked too.
+                remaining.extend(self._iq[index:])
+                blocked_tail = True
+                break
+            if dyn.regs_outstanding or dyn.e_deps_outstanding:
+                remaining.append(dyn)
+                continue
+            if dyn.is_memory and not self._mem_epoch_ok(dyn.mem_epoch):
+                remaining.append(dyn)
+                continue
+            if dyn.is_store_class and not self._store_epoch_ok(dyn.store_epoch):
+                # DMB ST: younger store-class instructions stall until all
+                # older store-class instructions complete (SFENCE-like).
+                remaining.append(dyn)
+                continue
+            if dyn.is_load:
+                if not load_free:
+                    remaining.append(dyn)
+                    continue
+                load_free -= 1
+            elif dyn.is_store_class:
+                if not store_free:
+                    remaining.append(dyn)
+                    continue
+                store_free -= 1
+            elif dyn.is_branch:
+                if not branch_free:
+                    remaining.append(dyn)
+                    continue
+                branch_free -= 1
+            else:
+                if not int_free:
+                    remaining.append(dyn)
+                    continue
+                int_free -= 1
+            self._begin_execute(dyn)
+            issued += 1
+        else:
+            pass
+        if issued or blocked_tail or len(remaining) != len(self._iq):
+            self._iq = remaining
+        self.stats.issued += 0  # histogram handles accounting
+        return issued
+
+    def _begin_execute(self, dyn: DynInst) -> None:
+        dyn.issued = True
+        dyn.issue_cycle = self.now
+        params = self.params
+        opcode = dyn.opcode
+
+        if dyn.is_load:
+            self._schedule(self.now + params.agu_latency,
+                           lambda d=dyn: self._load_agu_done(d))
+            return
+        if dyn.is_store_class:
+            done = self.now + params.agu_latency
+        elif opcode is Opcode.MUL:
+            done = self.now + params.mul_latency
+        elif dyn.is_branch:
+            done = self.now + params.branch_latency
+        else:
+            done = self.now + params.alu_latency
+        self._schedule(done, lambda d=dyn: self._execute_done(d))
+
+    def _load_agu_done(self, dyn: DynInst) -> None:
+        if dyn.squashed:
+            return
+        store = self._forwarding_store(dyn)
+        if store is None:
+            data_cycle = self.hierarchy.load(dyn.addr, self.now)
+            self._schedule(data_cycle, lambda d=dyn: self._load_data_return(d))
+        elif store.executed:
+            self._schedule(self.now + self.params.forward_latency,
+                           lambda d=dyn: self._load_data_return(d))
+        else:
+            def on_store_executed(d: DynInst = dyn) -> None:
+                self._schedule(self.now + self.params.forward_latency,
+                               lambda: self._load_data_return(d))
+            self._store_exec_waiters.setdefault(store.seq, []).append(
+                on_store_executed)
+
+    def _load_data_return(self, dyn: DynInst) -> None:
+        if dyn.squashed:
+            return
+        dyn.executed = True
+        dyn.execute_done_cycle = self.now
+        self._lq_used -= 1
+        self._wake_reg_waiters(dyn)
+        self._mark_complete(dyn)
+
+    def _execute_done(self, dyn: DynInst) -> None:
+        if dyn.squashed:
+            return
+        dyn.executed = True
+        dyn.execute_done_cycle = self.now
+        self._wake_reg_waiters(dyn)
+        if dyn.is_store:
+            for fn in self._store_exec_waiters.pop(dyn.seq, ()):
+                fn()
+        if not dyn.needs_write_buffer:
+            # ALU / branch results are observable once computed.
+            self._mark_complete(dyn)
+
+    def _wake_reg_waiters(self, dyn: DynInst) -> None:
+        for waiter in self._reg_waiters.pop(dyn.seq, ()):
+            if not waiter.squashed:
+                waiter.regs_outstanding -= 1
+
+    # ------------------------------------------------------------------
+    # Retire stage
+    # ------------------------------------------------------------------
+
+    def _can_retire(self, dyn: DynInst) -> bool:
+        opcode = dyn.opcode
+        if opcode is Opcode.DSB_SY:
+            if self._all_older_complete(dyn.seq):
+                # Conditions hold; model the fixed pipeline drain-and-refill
+                # cost of a full synchronization barrier before releasing
+                # younger instructions.
+                if dyn.barrier_ready_cycle < 0:
+                    dyn.barrier_ready_cycle = self.now
+                    self._schedule(self.now + self.params.dsb_penalty,
+                                   lambda: None)
+                if self.now >= dyn.barrier_ready_cycle + self.params.dsb_penalty:
+                    return True
+            self.stats.retire_stall_dsb += 1
+            return False
+        if opcode is Opcode.WAIT_KEY:
+            if not self.wb.older_ede_with_key(dyn.inst.edk_use, dyn.seq):
+                return True
+            self.stats.retire_stall_wait += 1
+            return False
+        if opcode is Opcode.WAIT_ALL_KEYS:
+            if not self.wb.older_ede_any(dyn.seq):
+                return True
+            self.stats.retire_stall_wait += 1
+            return False
+        if opcode is Opcode.HALT:
+            return self._all_older_complete(dyn.seq)
+        if not dyn.executed:
+            return False
+        if dyn.needs_write_buffer and not self.wb.has_space():
+            self.stats.retire_stall_wb_full += 1
+            return False
+        return True
+
+    def _retire_stage(self) -> int:
+        retired = 0
+        while retired < self.params.retire_width and self._rob:
+            dyn = self._rob[0]
+            if not self._can_retire(dyn):
+                break
+            self._rob.pop(0)
+            dyn.retired = True
+            dyn.retire_cycle = self.now
+            retired += 1
+            self.stats.retired += 1
+
+            if dyn.is_ede:
+                for key in self._producer_keys(dyn):
+                    self.edm.retire(key, dyn.seq)
+
+            opcode = dyn.opcode
+            if dyn.needs_write_buffer:
+                self._sq_used -= 1
+                self.wb.deposit(dyn, self.now,
+                                enforce_src_ids=self.policy.enforce_at_write_buffer)
+            elif opcode in (Opcode.DSB_SY, Opcode.WAIT_KEY,
+                            Opcode.WAIT_ALL_KEYS):
+                dyn.executed = True
+                dyn.execute_done_cycle = self.now
+                self._mark_complete(dyn)
+            elif opcode is Opcode.HALT:
+                self._mark_complete(dyn)
+                self._halted = True
+                break
+            elif not dyn.completed:
+                self._mark_complete(dyn)
+        return retired
+
+    # ------------------------------------------------------------------
+    # Write-buffer push stage
+    # ------------------------------------------------------------------
+
+    def _wb_push_stage(self) -> int:
+        if not self.wb.entries:
+            return 0
+        in_flight = sum(1 for e in self.wb.entries if e.state == PUSHING)
+        if in_flight >= self.params.wb_outstanding:
+            return 0
+        pushes = 0
+        for entry in self.wb.eligible_entries(self._store_epoch_ok):
+            if pushes >= self.params.wb_push_width:
+                break
+            if in_flight + pushes >= self.params.wb_outstanding:
+                break
+            entry.state = PUSHING
+            dyn = entry.dyn
+            if dyn.is_store:
+                done = self.hierarchy.store_commit(dyn.addr, self.now + 1)
+            elif dyn.is_writeback:
+                done = self.hierarchy.clean_to_pop(
+                    dyn.addr, self.now + 1,
+                    tag=dyn.inst.comment, inst_seq=dyn.seq)
+            else:  # JOIN: no data, completes once its srcIDs cleared.
+                done = self.now + 1
+            self._schedule(done, lambda e=entry: self._finish_push(e))
+            pushes += 1
+        return pushes
+
+    def _finish_push(self, entry) -> None:
+        self.wb.remove(entry)
+        dyn = entry.dyn
+        if dyn.is_store and dyn.inst.comment is not None:
+            self.store_visibility.append(
+                (self.now, dyn.seq, dyn.inst.comment, dyn.addr))
+        self._mark_complete(dyn)
+
+    # ------------------------------------------------------------------
+    # Squash injection (tests the EDM recovery path)
+    # ------------------------------------------------------------------
+
+    def _inject_squash(self) -> None:
+        """Flush every dispatched-but-unretired instruction and refetch.
+
+        Mirrors misprediction recovery: the speculative EDM is restored from
+        the non-speculative copy, then repaired by replaying the EDM effects
+        of the surviving (retired-but-incomplete instructions are in the
+        write buffer and already reflected in the non-spec copy, so only the
+        in-ROB survivors matter — and a full flush leaves none).
+        """
+        self.stats.squashes += 1
+        self._squash_progress = True
+        refetch_from = None
+        for dyn in self._rob:
+            dyn.squashed = True
+            self._incomplete.pop(dyn.seq, None)
+            if dyn.is_store_class:
+                self._store_epoch_outstanding[dyn.store_epoch] -= 1
+                self._sq_used -= 1
+            if dyn.is_memory:
+                self._mem_epoch_outstanding[dyn.mem_epoch] -= 1
+            if dyn.is_load and not dyn.executed:
+                self._lq_used -= 1
+            elif dyn.is_load and dyn.executed:
+                pass  # LQ entry already freed at data return
+            if dyn.is_store:
+                self._unindex_store(dyn)
+            self._ede_waiters.pop(dyn.seq, None)
+            self._reg_waiters.pop(dyn.seq, None)
+            self._store_exec_waiters.pop(dyn.seq, None)
+        flushed = len(self._rob)
+        if flushed:
+            # Refetch from the oldest flushed instruction's trace position.
+            refetch_from = self._fetch_index - flushed
+        self._rob.clear()
+        self._iq.clear()
+        self._active_dsbs = [s for s in self._active_dsbs if s in self._incomplete]
+        # Rebuild the scoreboard: no unretired writers remain after a full
+        # flush, so every register is architecturally ready.
+        self._scoreboard.clear()
+        self.edm.squash()
+        if refetch_from is not None:
+            self._fetch_index = refetch_from
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 500_000_000) -> PipelineStats:
+        """Simulate until HALT retires; return the statistics."""
+        while not self._halted:
+            if self.now > max_cycles:
+                raise SimulationError(
+                    "exceeded %d cycles at trace index %d"
+                    % (max_cycles, self._fetch_index))
+            events = self._process_events()
+            retired = self._retire_stage()
+            if self._halted:
+                self.stats.record_issue_cycles(0)
+                break
+            pushes = self._wb_push_stage()
+            issued = self._issue_stage()
+            dispatched = self._dispatch_stage()
+            self.stats.record_issue_cycles(issued)
+
+            if (retired or pushes or issued or dispatched or events
+                    or self._squash_progress):
+                self._squash_progress = False
+                self.now += 1
+                continue
+            if self._event_heap:
+                next_cycle = self._event_heap[0]
+                skipped = next_cycle - self.now - 1
+                if skipped > 0:
+                    self.stats.record_issue_cycles(0, skipped)
+                self.now = next_cycle
+                continue
+            raise SimulationError(self._deadlock_report())
+        return self.stats
+
+    def _deadlock_report(self) -> str:
+        head = self._rob[0] if self._rob else None
+        lines = [
+            "pipeline deadlock at cycle %d" % self.now,
+            "  fetch index: %d / %d" % (self._fetch_index, len(self.trace)),
+            "  ROB: %d entries, head=%r" % (len(self._rob), head),
+            "  IQ: %d entries" % len(self._iq),
+            "  WB: %d entries" % len(self.wb),
+        ]
+        if head is not None:
+            lines.append(
+                "  head state: issued=%s executed=%s regs_out=%d edeps=%s"
+                % (head.issued, head.executed, head.regs_outstanding,
+                   sorted(head.e_deps_outstanding)))
+        for entry in self.wb.entries[:4]:
+            lines.append("  wb entry #%d state=%d src_ids=%s line=%#x"
+                         % (entry.seq, entry.state, sorted(entry.src_ids),
+                            entry.line))
+        return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Dynamic (in-flight) instruction state for the timing model."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+
+
+class DynInst:
+    """One dynamic instance of an instruction in the pipeline.
+
+    Lifecycle: dispatched -> issued -> executed -> retired -> completed.
+    ``executed`` means the functional unit work is done (address/data
+    ready, load data returned); ``completed`` is the EDE notion of
+    completion — for store-class instructions it happens *after* retirement
+    when the write buffer push finishes (value visible / line persisted).
+    """
+
+    __slots__ = (
+        "seq", "inst", "opcode",
+        "is_load", "is_store", "is_writeback", "is_store_class",
+        "is_memory", "is_barrier", "is_branch", "is_ede",
+        "addr", "size",
+        "regs_outstanding", "e_deps_outstanding", "src_ids",
+        "dispatch_cycle", "issue_cycle", "execute_done_cycle",
+        "retire_cycle", "complete_cycle",
+        "issued", "executed", "retired", "completed", "squashed",
+        "store_epoch", "mem_epoch", "barrier_ready_cycle",
+        "result_regs",
+    )
+
+    def __init__(self, seq: int, inst: Instruction):
+        self.seq = seq
+        self.inst = inst
+        self.opcode = inst.opcode
+        self.is_load = inst.is_load
+        self.is_store = inst.is_store
+        self.is_writeback = inst.is_writeback
+        self.is_store_class = inst.is_store_class
+        self.is_memory = inst.is_memory
+        self.is_barrier = inst.is_barrier
+        self.is_branch = inst.is_branch
+        self.is_ede = inst.is_ede
+        self.addr = inst.addr
+        self.size = inst.size
+
+        self.regs_outstanding = 0
+        #: Producer seqs this instruction still waits on (IQ enforcement).
+        self.e_deps_outstanding: Set[int] = set()
+        #: Producer seqs carried to the write buffer (WB enforcement).
+        self.src_ids: Tuple[int, ...] = ()
+
+        self.dispatch_cycle = -1
+        self.issue_cycle = -1
+        self.execute_done_cycle = -1
+        self.retire_cycle = -1
+        self.complete_cycle = -1
+
+        self.issued = False
+        self.executed = False
+        self.retired = False
+        self.completed = False
+        self.squashed = False
+
+        self.store_epoch = 0
+        self.mem_epoch = 0
+        self.barrier_ready_cycle = -1
+
+        #: Registers whose value this instruction produces.
+        self.result_regs: Tuple[int, ...] = inst.dst
+
+    # --- classification used by the scheduler --------------------------------
+
+    @property
+    def needs_write_buffer(self) -> bool:
+        """Store-class instructions and JOIN occupy a write-buffer entry."""
+        return self.is_store_class or self.opcode is Opcode.JOIN
+
+    @property
+    def is_wait(self) -> bool:
+        return self.opcode in (Opcode.WAIT_KEY, Opcode.WAIT_ALL_KEYS)
+
+    def touched_words(self) -> List[int]:
+        """8-byte-aligned words this memory op touches (for forwarding)."""
+        if self.addr is None:
+            return []
+        base = self.addr & ~7
+        words = [base]
+        end = self.addr + self.size - 1
+        word = base + 8
+        while word <= end:
+            words.append(word)
+            word += 8
+        return words
+
+    def __repr__(self) -> str:
+        return "DynInst(#%d %s)" % (self.seq, self.inst)

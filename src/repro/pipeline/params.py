@@ -1,0 +1,66 @@
+"""Out-of-order core parameters (Table I: Arm A72-like, 3 GHz).
+
+All latencies are in core cycles.  The clock is 3 GHz, so 1 ns = 3 cycles;
+:func:`ns_to_cycles` converts the paper's nanosecond figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Core clock in GHz (Table I).
+CLOCK_GHZ = 3.0
+
+
+def ns_to_cycles(ns: float) -> int:
+    """Convert nanoseconds to (rounded) core cycles at 3 GHz."""
+    return int(round(ns * CLOCK_GHZ))
+
+
+@dataclasses.dataclass(frozen=True)
+class CoreParams:
+    """Pipeline geometry and latencies.
+
+    Table I fixes the decode width (3), the load/store queues (16 each) and
+    the write buffer (16).  The remaining values follow the Cortex-A72
+    documentation and the paper's text (Section VII-B notes an issue width
+    of 8).
+    """
+
+    decode_width: int = 3
+    issue_width: int = 8
+    retire_width: int = 3
+    rob_entries: int = 128
+    iq_entries: int = 36
+    load_queue_entries: int = 16
+    store_queue_entries: int = 16
+    write_buffer_entries: int = 16
+    wb_push_width: int = 2
+
+    int_alus: int = 2
+    branch_units: int = 1
+    load_ports: int = 1
+    store_ports: int = 1
+
+    #: Writeback-path MSHRs: maximum concurrent in-flight pushes from the
+    #: write buffer to the memory system (stores + cacheline writebacks).
+    wb_outstanding: int = 4
+
+    #: Fixed drain-and-refill cost of ``DSB SY`` beyond waiting for older
+    #: instructions (kept at zero by default: the paper's B and SU results
+    #: track each other within ~5%, which a large DSB-only penalty would
+    #: break; exposed for the ablation benches).
+    dsb_penalty: int = 0
+
+    alu_latency: int = 1
+    mul_latency: int = 3
+    branch_latency: int = 1
+    agu_latency: int = 1
+    forward_latency: int = 1
+
+    def validate(self) -> None:
+        may_be_zero = {"dsb_penalty"}
+        fields = dataclasses.asdict(self)
+        for name, value in fields.items():
+            if value < 0 or (value == 0 and name not in may_be_zero):
+                raise ValueError("%s must be positive, got %r" % (name, value))

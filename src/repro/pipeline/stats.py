@@ -1,0 +1,80 @@
+"""Per-run pipeline statistics.
+
+Collects what the evaluation section reports:
+
+* total cycles and retired instructions (execution time, IPC — Fig. 9 and
+  the IPC numbers quoted in Section VII-B),
+* the per-cycle issue-count distribution (Fig. 11),
+* stall breakdowns useful for analysis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+
+@dataclasses.dataclass
+class PipelineStats:
+    cycles: int = 0
+    dispatched: int = 0
+    issued: int = 0
+    retired: int = 0
+    squashes: int = 0
+
+    #: Histogram: issue count (0..issue_width) -> number of cycles.
+    issue_histogram: Dict[int, int] = dataclasses.field(default_factory=dict)
+
+    # Stall accounting (cycles during which the head-of-ROB could not retire
+    # for the given reason; at most one reason per cycle).
+    retire_stall_wb_full: int = 0
+    retire_stall_dsb: int = 0
+    retire_stall_wait: int = 0
+    dispatch_stall_rob: int = 0
+    dispatch_stall_iq: int = 0
+    dispatch_stall_lsq: int = 0
+
+    def record_issue_cycles(self, issued: int, cycles: int = 1) -> None:
+        self.issue_histogram[issued] = self.issue_histogram.get(issued, 0) + cycles
+        self.cycles += cycles
+        self.issued += issued * (1 if issued else 0)
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle."""
+        if not self.cycles:
+            return 0.0
+        return self.retired / self.cycles
+
+    def issue_distribution(self, max_width: int = 8) -> List[float]:
+        """Fraction of cycles issuing exactly k instructions, k = 0..max."""
+        total = sum(self.issue_histogram.values())
+        if not total:
+            return [0.0] * (max_width + 1)
+        return [
+            self.issue_histogram.get(k, 0) / total for k in range(max_width + 1)
+        ]
+
+    def active_issue_fraction(self) -> float:
+        """Fraction of cycles issuing at least one instruction."""
+        distribution = self.issue_distribution()
+        return 1.0 - distribution[0]
+
+    def mean_issued_when_active(self) -> float:
+        """Average number of instructions issued on non-zero-issue cycles."""
+        total = sum(
+            count for issued, count in self.issue_histogram.items() if issued
+        )
+        if not total:
+            return 0.0
+        weighted = sum(
+            issued * count for issued, count in self.issue_histogram.items()
+        )
+        return weighted / total
+
+    def summary(self) -> str:
+        return (
+            "cycles=%d retired=%d IPC=%.3f issue-active=%.1f%%"
+            % (self.cycles, self.retired, self.ipc,
+               100.0 * self.active_issue_fraction())
+        )

@@ -1,0 +1,90 @@
+"""Text visualization of pipeline execution (gem5-O3-pipeview style).
+
+Renders per-instruction lifecycle lanes so EDE stalls are visible at a
+glance::
+
+    #  12 [D..I.E....R........C] str (0, 1), x3, [x0]
+
+``D`` dispatch, ``I`` issue, ``E`` execute done, ``R`` retire, ``C``
+complete (EDE completion: visible/persisted); dots fill the spans.  The
+capture hook wraps a core before ``run()`` and records every completed
+instruction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.pipeline.core import OutOfOrderCore
+from repro.pipeline.dyninst import DynInst
+
+
+class PipelineCapture:
+    """Records completed DynInsts from a core for later rendering."""
+
+    def __init__(self, core: OutOfOrderCore):
+        self.core = core
+        self.records: List[DynInst] = []
+        original = core._mark_complete
+
+        def capture(dyn: DynInst) -> None:
+            self.records.append(dyn)
+            original(dyn)
+
+        core._mark_complete = capture
+
+    def run(self, *args, **kwargs):
+        stats = self.core.run(*args, **kwargs)
+        self.records.sort(key=lambda d: d.seq)
+        return stats
+
+    def render(self, first: int = 0, count: Optional[int] = None,
+               width: int = 64) -> str:
+        """Render a window of instructions as timeline lanes."""
+        window = self.records[first:first + count if count else None]
+        if not window:
+            return "(no instructions captured)"
+        start = min(d.dispatch_cycle for d in window)
+        end = max(max(d.complete_cycle, d.retire_cycle) for d in window)
+        horizon = max(1, end - start)
+
+        def column(cycle: int) -> int:
+            if cycle < 0:
+                return -1
+            return round((cycle - start) / horizon * (width - 1))
+
+        lines = []
+        header = "cycles %d..%d (1 column ~ %.1f cycles)" % (
+            start, end, horizon / max(1, width - 1))
+        lines.append(header)
+        for dyn in window:
+            lane = [" "] * width
+            stages = [
+                (column(dyn.dispatch_cycle), "D"),
+                (column(dyn.issue_cycle), "I"),
+                (column(dyn.execute_done_cycle), "E"),
+                (column(dyn.retire_cycle), "R"),
+                (column(dyn.complete_cycle), "C"),
+            ]
+            marks = [(col, mark) for col, mark in stages if col >= 0]
+            if marks:
+                low = min(col for col, _ in marks)
+                high = max(col for col, _ in marks)
+                for position in range(low, high + 1):
+                    lane[position] = "."
+                for col, mark in marks:
+                    lane[col] = mark
+            lines.append("#%5d [%s] %s" % (dyn.seq, "".join(lane), dyn.inst))
+        return "\n".join(lines)
+
+
+def trace_pipeline(trace, hierarchy, policy, params=None,
+                   **render_kwargs) -> str:
+    """One-shot helper: run a trace and return its rendered timeline."""
+    from repro.pipeline.params import CoreParams
+
+    core = OutOfOrderCore(trace, hierarchy, policy,
+                          params if params is not None else CoreParams())
+    capture = PipelineCapture(core)
+    capture.run()
+    return capture.render(**render_kwargs)

@@ -1,0 +1,165 @@
+"""The write buffer, including the paper's WB enforcement hardware.
+
+Section V-D: retired stores, cacheline writebacks and JOIN instructions
+occupy write-buffer entries.  Each entry may carry ``srcID`` tags naming the
+in-flight producers it must wait for.  On deposit, a CAM lookup clears tags
+whose producer already left the buffer; whenever an entry completes, younger
+entries holding its ID clear that tag.  Per-EDK and total counters of EDE
+instructions in the buffer support ``WAIT_KEY`` / ``WAIT_ALL_KEYS``.
+
+The buffer also provides the architectural ordering points that exist with
+or without EDE:
+
+* same-line order — two entries touching the same cache line drain in
+  program order;
+* ``DMB ST`` epochs — entries in a younger store-epoch wait until every
+  store-class instruction of older epochs has completed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.edk import NUM_KEYS, ZERO_KEY
+from repro.isa.opcodes import Opcode
+from repro.pipeline.dyninst import DynInst
+
+PENDING = 0
+PUSHING = 1
+
+
+class WbEntry:
+    """One occupied write-buffer slot."""
+
+    __slots__ = ("dyn", "seq", "line", "src_ids", "state", "deposit_cycle")
+
+    def __init__(self, dyn: DynInst, line: int, src_ids: Set[int],
+                 deposit_cycle: int):
+        self.dyn = dyn
+        self.seq = dyn.seq
+        self.line = line
+        self.src_ids = src_ids
+        self.state = PENDING
+        self.deposit_cycle = deposit_cycle
+
+
+class WriteBuffer:
+    """Fixed-capacity, seq-ordered write buffer with srcID enforcement."""
+
+    def __init__(self, capacity: int, line_size: int = 64):
+        self.capacity = capacity
+        self.line_size = line_size
+        self.entries: List[WbEntry] = []
+        #: Seqs of instructions currently occupying entries.
+        self._resident: Set[int] = set()
+        #: Per-EDK count of EDE instructions in the buffer (Section V-D).
+        self.key_counters: Dict[int, int] = {k: 0 for k in range(1, NUM_KEYS)}
+        #: Total EDE instructions in the buffer.
+        self.total_ede = 0
+
+    # --- occupancy --------------------------------------------------------
+
+    def has_space(self) -> bool:
+        return len(self.entries) < self.capacity
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def contains_seq(self, seq: int) -> bool:
+        return seq in self._resident
+
+    # --- deposit / remove -----------------------------------------------------
+
+    def _keys_of(self, dyn: DynInst) -> List[int]:
+        inst = dyn.inst
+        keys = []
+        for key in (inst.edk_def, inst.edk_use, inst.edk_use2):
+            if key != ZERO_KEY and key not in keys:
+                keys.append(key)
+        return keys
+
+    def deposit(self, dyn: DynInst, cycle: int,
+                enforce_src_ids: bool) -> WbEntry:
+        """Allocate an entry for a retiring instruction.
+
+        ``enforce_src_ids`` is True under the WB policy: the deposit CAMs
+        for each srcID and keeps only tags whose producer is still resident
+        (a producer not in the buffer has already completed).
+        """
+        if not self.has_space():
+            raise RuntimeError("write buffer overflow")
+        line = (dyn.addr & ~(self.line_size - 1)) if dyn.addr is not None else -1
+        if enforce_src_ids:
+            src_ids = {s for s in dyn.src_ids if s in self._resident}
+        else:
+            src_ids = set()
+        entry = WbEntry(dyn, line, src_ids, cycle)
+        self.entries.append(entry)
+        self._resident.add(dyn.seq)
+        if dyn.is_ede:
+            self.total_ede += 1
+            for key in self._keys_of(dyn):
+                self.key_counters[key] += 1
+        return entry
+
+    def remove(self, entry: WbEntry) -> None:
+        """Free an entry whose push completed; clear matching srcIDs."""
+        self.entries.remove(entry)
+        self._resident.discard(entry.seq)
+        dyn = entry.dyn
+        if dyn.is_ede:
+            self.total_ede -= 1
+            for key in self._keys_of(dyn):
+                self.key_counters[key] -= 1
+        for other in self.entries:
+            other.src_ids.discard(entry.seq)
+
+    # --- scheduling ----------------------------------------------------------
+
+    def eligible_entries(self, epoch_ok: Callable[[int], bool]) -> List[WbEntry]:
+        """Entries that may start pushing now, oldest first.
+
+        ``epoch_ok(epoch)`` answers whether all
+
+        store-class instructions of strictly older DMB ST epochs have
+        completed.  Same-line order: an entry is blocked while an older
+        entry for the same line is resident.
+        """
+        ready = []
+        lines_seen: Set[int] = set()
+        for entry in self.entries:  # entries are in deposit (program) order
+            blocked_by_line = entry.line >= 0 and entry.line in lines_seen
+            if entry.line >= 0:
+                lines_seen.add(entry.line)
+            if entry.state != PENDING:
+                continue
+            if blocked_by_line:
+                continue
+            if entry.src_ids:
+                continue
+            if not epoch_ok(entry.dyn.store_epoch):
+                continue
+            ready.append(entry)
+        return ready
+
+    # --- WAIT support (Section V-D counters) --------------------------------------
+
+    def older_ede_with_key(self, key: int, seq: int) -> bool:
+        """Any EDE instruction touching ``key`` older than ``seq`` resident?
+
+        Used by WAIT_KEY at retirement.  Because retirement is in order,
+        every resident entry is older than a retiring WAIT — the seq check
+        is defensive.
+        """
+        if self.key_counters.get(key, 0) == 0:
+            return False
+        return any(
+            entry.seq < seq and key in self._keys_of(entry.dyn)
+            for entry in self.entries
+        )
+
+    def older_ede_any(self, seq: int) -> bool:
+        """Any EDE instruction older than ``seq`` resident (WAIT_ALL_KEYS)."""
+        if self.total_ede == 0:
+            return False
+        return any(entry.seq < seq and entry.dyn.is_ede for entry in self.entries)

@@ -1,0 +1,29 @@
+"""Workloads from Table II plus the Section VIII hazard-pointer kernel."""
+
+from repro.workloads.base import (
+    BENCH_SCALE,
+    PAPER_SCALE,
+    TEST_SCALE,
+    Scale,
+    build,
+    workload_names,
+)
+
+# Importing the modules registers the workloads.
+from repro.workloads import update as _update    # noqa: F401
+from repro.workloads import swap as _swap        # noqa: F401
+from repro.workloads import btree as _btree      # noqa: F401
+from repro.workloads import ctree as _ctree      # noqa: F401
+from repro.workloads import rbtree as _rbtree    # noqa: F401
+from repro.workloads import rtree as _rtree      # noqa: F401
+from repro.workloads import hazard as _hazard    # noqa: F401
+from repro.workloads import publication as _publication  # noqa: F401
+
+__all__ = [
+    "BENCH_SCALE",
+    "PAPER_SCALE",
+    "TEST_SCALE",
+    "Scale",
+    "build",
+    "workload_names",
+]

@@ -1,0 +1,80 @@
+"""Workload infrastructure: scales, registry, common helpers.
+
+Each workload (Table II) is a function that functionally executes its
+operations through the :class:`~repro.nvmfw.framework.PersistentFramework`
+and returns the resulting :class:`~repro.nvmfw.framework.BuiltWorkload`.
+The paper groups 100 operations per transaction and runs 1000 transactions;
+the :class:`Scale` dataclass parameterizes that so the pure-Python model can
+run scaled-down but steady-state-reaching sizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Dict
+
+from repro.nvmfw.framework import BuiltWorkload, PersistentFramework
+
+
+@dataclasses.dataclass(frozen=True)
+class Scale:
+    """Run size: ``txns`` transactions of ``ops_per_txn`` operations."""
+
+    ops_per_txn: int = 100
+    txns: int = 1000
+    seed: int = 2021
+
+    @property
+    def total_ops(self) -> int:
+        return self.ops_per_txn * self.txns
+
+
+#: The paper's scale (Section VI-B): 100 ops/txn x 1000 txns.
+PAPER_SCALE = Scale(ops_per_txn=100, txns=1000)
+
+#: Default scaled-down size for the benchmark harness.
+BENCH_SCALE = Scale(ops_per_txn=20, txns=8)
+
+#: Tiny size for unit tests.
+TEST_SCALE = Scale(ops_per_txn=5, txns=3)
+
+
+WorkloadFn = Callable[[str, Scale], BuiltWorkload]
+
+_REGISTRY: Dict[str, WorkloadFn] = {}
+
+
+def register(name: str) -> Callable[[WorkloadFn], WorkloadFn]:
+    """Decorator adding a workload builder to the registry."""
+
+    def wrap(fn: WorkloadFn) -> WorkloadFn:
+        if name in _REGISTRY:
+            raise ValueError("duplicate workload name %r" % name)
+        _REGISTRY[name] = fn
+        return fn
+
+    return wrap
+
+
+def build(name: str, mode: str, scale: Scale) -> BuiltWorkload:
+    """Build the named workload's trace for the given fence mode."""
+    try:
+        fn = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "unknown workload %r (have: %s)"
+            % (name, ", ".join(sorted(_REGISTRY)))) from None
+    return fn(mode, scale)
+
+
+def workload_names() -> tuple:
+    return tuple(sorted(_REGISTRY))
+
+
+def make_rng(scale: Scale) -> random.Random:
+    return random.Random(scale.seed)
+
+
+def new_framework(mode: str) -> PersistentFramework:
+    return PersistentFramework(mode)

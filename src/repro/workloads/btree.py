@@ -1,0 +1,184 @@
+"""The ``btree`` workload: persistent B-tree, 3–7 keys per node (Table II).
+
+A classic B-tree of order 8 (max 7 keys, min 3), insert-only as in PMDK's
+pmembench.  Descent splits full children preemptively so an insertion never
+propagates upward.  Every traversal read goes through the framework (real
+loads); every mutation of an existing node is undo-logged; fresh nodes from
+a split use unlogged initialization + flush (PMDK same-transaction
+allocation semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.nvmfw.framework import BuiltWorkload, PersistentFramework
+from repro.workloads.base import Scale, make_rng, new_framework, register
+from repro.workloads.pstruct import PNULL, PStruct, alloc_struct, array_layout
+
+#: Maximum keys per node ("between 3 and 7 keys per node").
+MAX_KEYS = 7
+#: Children per full node.
+MAX_CHILDREN = MAX_KEYS + 1
+
+#: Node layout: count, keys[7], values[7], children[8].
+NODE = array_layout(
+    ("count", 0, 1),
+    ("key", 8, MAX_KEYS),
+    ("value", 8 + 8 * MAX_KEYS, MAX_KEYS),
+    ("child", 8 + 16 * MAX_KEYS, MAX_CHILDREN),
+)
+
+
+class PersistentBTree:
+    """Insert-only persistent B-tree over the NVM framework."""
+
+    def __init__(self, fw: PersistentFramework):
+        self.fw = fw
+        self.root = alloc_struct(fw, NODE, {"count": 0}).addr
+
+    # --- node helpers -----------------------------------------------------
+
+    def _node(self, addr: int) -> PStruct:
+        return PStruct(self.fw, NODE, addr)
+
+    @staticmethod
+    def _is_leaf(node: PStruct) -> bool:
+        return node.peek("child[0]") == PNULL
+
+    def _find_slot(self, node: PStruct, count: int, key: int) -> int:
+        """Index of the first stored key >= ``key`` (emits the compares)."""
+        for index in range(count):
+            stored = node.get("key[%d]" % index)
+            if stored >= key:
+                return index
+        return count
+
+    # --- splitting ----------------------------------------------------------
+
+    def _split_child(self, parent: PStruct, index: int,
+                     child: PStruct) -> None:
+        """Split a full child; hoist its median into ``parent``."""
+        median = MAX_KEYS // 2
+        right_init = {"count": MAX_KEYS - median - 1}
+        for j in range(median + 1, MAX_KEYS):
+            right_init["key[%d]" % (j - median - 1)] = child.peek("key[%d]" % j)
+            right_init["value[%d]" % (j - median - 1)] = child.peek("value[%d]" % j)
+        if not self._is_leaf(child):
+            for j in range(median + 1, MAX_CHILDREN):
+                right_init["child[%d]" % (j - median - 1)] = (
+                    child.peek("child[%d]" % j))
+        right = alloc_struct(self.fw, NODE, right_init)
+
+        parent_count = parent.get("count")
+        # Shift parent's keys/children right of `index` one slot over.
+        for j in range(parent_count - 1, index - 1, -1):
+            parent.set("key[%d]" % (j + 1), parent.get("key[%d]" % j))
+            parent.set("value[%d]" % (j + 1), parent.get("value[%d]" % j))
+        for j in range(parent_count, index, -1):
+            parent.set("child[%d]" % (j + 1), parent.get("child[%d]" % j))
+        parent.set("key[%d]" % index, child.get("key[%d]" % median))
+        parent.set("value[%d]" % index, child.get("value[%d]" % median))
+        parent.set("child[%d]" % (index + 1), right.addr)
+        parent.set("count", parent_count + 1)
+        child.set("count", median)
+
+    # --- insertion ------------------------------------------------------------
+
+    def insert(self, key: int, value: int) -> None:
+        root = self._node(self.root)
+        if root.get("count") == MAX_KEYS:
+            new_root = alloc_struct(self.fw, NODE,
+                                    {"count": 0, "child[0]": self.root})
+            self._split_child(new_root, 0, root)
+            # The root pointer is an existing persistent location: logged.
+            self.fw.write(self._root_ptr_addr, new_root.addr)
+            self.root = new_root.addr
+        self._insert_nonfull(self._node(self.root), key, value)
+
+    def _insert_nonfull(self, node: PStruct, key: int, value: int) -> None:
+        while True:
+            count = node.get("count")
+            slot = self._find_slot(node, count, key)
+            if slot < count and node.peek("key[%d]" % slot) == key:
+                node.set("value[%d]" % slot, value)
+                return
+            if self._is_leaf(node):
+                for j in range(count - 1, slot - 1, -1):
+                    node.set("key[%d]" % (j + 1), node.get("key[%d]" % j))
+                    node.set("value[%d]" % (j + 1), node.get("value[%d]" % j))
+                node.set("key[%d]" % slot, key)
+                node.set("value[%d]" % slot, value)
+                node.set("count", count + 1)
+                return
+            child = self._node(node.get("child[%d]" % slot))
+            if child.get("count") == MAX_KEYS:
+                self._split_child(node, slot, child)
+                if key > node.peek("key[%d]" % slot):
+                    slot += 1
+                child = self._node(node.peek("child[%d]" % slot))
+            node = child
+
+    # --- verification helpers (functional only, no emission) ----------------------
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        yield from self._items_of(self.root)
+
+    def _items_of(self, addr: int) -> Iterator[Tuple[int, int]]:
+        node = self._node(addr)
+        count = node.peek("count")
+        leaf = self._is_leaf(node)
+        for index in range(count):
+            if not leaf:
+                yield from self._items_of(node.peek("child[%d]" % index))
+            yield node.peek("key[%d]" % index), node.peek("value[%d]" % index)
+        if not leaf:
+            yield from self._items_of(node.peek("child[%d]" % count))
+
+    def lookup(self, key: int):
+        addr = self.root
+        while addr != PNULL:
+            node = self._node(addr)
+            count = node.peek("count")
+            slot = 0
+            while slot < count and node.peek("key[%d]" % slot) < key:
+                slot += 1
+            if slot < count and node.peek("key[%d]" % slot) == key:
+                return node.peek("value[%d]" % slot)
+            if self._is_leaf(node):
+                return None
+            addr = node.peek("child[%d]" % slot)
+        return None
+
+    def depth(self) -> int:
+        depth = 1
+        addr = self.root
+        while not self._is_leaf(self._node(addr)):
+            addr = self._node(addr).peek("child[0]")
+            depth += 1
+        return depth
+
+    # Root pointer cell (set by the builder).
+    _root_ptr_addr = 0
+
+
+@register("btree")
+def build_btree(mode: str, scale: Scale) -> BuiltWorkload:
+    fw = new_framework(mode)
+    rng = make_rng(scale)
+
+    root_ptr = fw.alloc(8)
+    tree = None
+    key_space = max(4 * scale.total_ops, 1024)
+    for _ in range(scale.txns):
+        fw.tx_begin()
+        if tree is None:
+            tree = PersistentBTree(fw)
+            tree._root_ptr_addr = root_ptr
+            fw.write_init(root_ptr, tree.root)
+            fw.flush_init(root_ptr, 8)
+        for _ in range(scale.ops_per_txn):
+            key = rng.randrange(1, key_space)
+            tree.insert(key, key * 2 + 1)
+        fw.tx_commit()
+    return fw.finish()

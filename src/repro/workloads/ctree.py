@@ -1,0 +1,141 @@
+"""The ``ctree`` workload: persistent crit-bit trie (Table II, [40]).
+
+A crit-bit (PATRICIA) trie over 64-bit keys.  Internal nodes store the
+index of the distinguishing bit and two children; leaves store (key,
+value).  Leaf/internal discrimination uses the low pointer bit (all
+allocations are 8-byte aligned).  Insert-only, as in pmembench.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.nvmfw.framework import BuiltWorkload, PersistentFramework
+from repro.workloads.base import Scale, make_rng, new_framework, register
+from repro.workloads.pstruct import PNULL, PStruct, alloc_struct, array_layout
+
+INTERNAL = array_layout(("bit", 0, 1), ("left", 8, 1), ("right", 16, 1))
+LEAF = array_layout(("key", 0, 1), ("value", 8, 1))
+
+_LEAF_TAG = 1
+
+
+def _tag_leaf(addr: int) -> int:
+    return addr | _LEAF_TAG
+
+
+def _is_leaf_ptr(ptr: int) -> bool:
+    return bool(ptr & _LEAF_TAG)
+
+
+def _untag(ptr: int) -> int:
+    return ptr & ~_LEAF_TAG
+
+
+class PersistentCritBitTree:
+    """Crit-bit trie with framework-mediated accesses."""
+
+    def __init__(self, fw: PersistentFramework, root_ptr_addr: int):
+        self.fw = fw
+        self.root_ptr_addr = root_ptr_addr   # persistent cell holding root
+
+    def _root(self) -> int:
+        return self.fw.read(self.root_ptr_addr)
+
+    @staticmethod
+    def _bit_set(key: int, bit: int) -> bool:
+        """Test bit ``bit`` counting from the most significant (bit 0)."""
+        return bool((key >> (63 - bit)) & 1)
+
+    def _alloc_leaf(self, key: int, value: int) -> int:
+        leaf = alloc_struct(self.fw, LEAF, {"key": key, "value": value})
+        return _tag_leaf(leaf.addr)
+
+    def insert(self, key: int, value: int) -> None:
+        root = self._root()
+        if root == PNULL:
+            self.fw.write(self.root_ptr_addr, self._alloc_leaf(key, value))
+            return
+
+        # First walk: find the leaf this key would collide with.
+        ptr = root
+        while not _is_leaf_ptr(ptr):
+            node = PStruct(self.fw, INTERNAL, ptr)
+            bit = node.get("bit")
+            ptr = node.get("right" if self._bit_set(key, bit) else "left")
+        leaf = PStruct(self.fw, LEAF, _untag(ptr))
+        existing = leaf.get("key")
+        if existing == key:
+            leaf.set("value", value)
+            return
+
+        # Find the first differing bit (most significant first).
+        diff = (existing ^ key) & ((1 << 64) - 1)
+        crit = 63 - diff.bit_length() + 1
+
+        # Second walk: descend until the node's bit passes the crit bit,
+        # remembering the persistent cell to rewrite.
+        cell = self.root_ptr_addr
+        ptr = root
+        while not _is_leaf_ptr(ptr):
+            node = PStruct(self.fw, INTERNAL, ptr)
+            bit = node.get("bit")
+            if bit > crit:
+                break
+            side = "right" if self._bit_set(key, bit) else "left"
+            cell = node.addr + INTERNAL.offset(side)
+            ptr = node.get(side)
+
+        new_leaf = self._alloc_leaf(key, value)
+        if self._bit_set(key, crit):
+            init = {"bit": crit, "left": ptr, "right": new_leaf}
+        else:
+            init = {"bit": crit, "left": new_leaf, "right": ptr}
+        internal = alloc_struct(self.fw, INTERNAL, init)
+        self.fw.write(cell, internal.addr)
+
+    # --- verification helpers (functional only) --------------------------------
+
+    def lookup(self, key: int) -> Optional[int]:
+        ptr = self.fw.peek(self.root_ptr_addr)
+        if ptr == PNULL:
+            return None
+        while not _is_leaf_ptr(ptr):
+            node = PStruct(self.fw, INTERNAL, ptr)
+            bit = node.peek("bit")
+            side = "right" if self._bit_set(key, bit) else "left"
+            ptr = node.peek(side)
+        leaf = PStruct(self.fw, LEAF, _untag(ptr))
+        if leaf.peek("key") == key:
+            return leaf.peek("value")
+        return None
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        ptr = self.fw.peek(self.root_ptr_addr)
+        if ptr != PNULL:
+            yield from self._items_of(ptr)
+
+    def _items_of(self, ptr: int) -> Iterator[Tuple[int, int]]:
+        if _is_leaf_ptr(ptr):
+            leaf = PStruct(self.fw, LEAF, _untag(ptr))
+            yield leaf.peek("key"), leaf.peek("value")
+            return
+        node = PStruct(self.fw, INTERNAL, ptr)
+        yield from self._items_of(node.peek("left"))
+        yield from self._items_of(node.peek("right"))
+
+
+@register("ctree")
+def build_ctree(mode: str, scale: Scale) -> BuiltWorkload:
+    fw = new_framework(mode)
+    rng = make_rng(scale)
+    root_ptr = fw.alloc(8)
+    tree = PersistentCritBitTree(fw, root_ptr)
+    key_space = max(4 * scale.total_ops, 1024)
+    for _ in range(scale.txns):
+        fw.tx_begin()
+        for _ in range(scale.ops_per_txn):
+            key = rng.randrange(1, key_space)
+            tree.insert(key, key * 2 + 1)
+        fw.tx_commit()
+    return fw.finish()

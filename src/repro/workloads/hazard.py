@@ -1,0 +1,97 @@
+"""Hazard-pointer announcement kernel (Section VIII, Figure 12).
+
+The paper's future-work section shows that announcing a hazard pointer
+needs a full fence (``DMB SY``) between the announcement store and the
+validating re-load — a load-store ordering current ISAs cannot express any
+other way — and that EDE eliminates it::
+
+    str (1, 0), x3, [x2]   ; announce (dependence producer)
+    ldr (0, 1), x4, [x1]   ; re-load  (dependence consumer)
+
+This kernel runs the announcement sequence over a pool of elements, plus a
+few "use the element" loads per iteration.  It is a volatile (DRAM)
+workload: no persists, no undo logging.  Fence modes map as: ``dsb`` and
+``dmb_st`` -> the Figure 12 code with ``DMB SY``; ``ede`` -> the EDE
+variant; ``none`` -> no ordering (unsafe; for reference only).
+"""
+
+from __future__ import annotations
+
+from repro.isa import instructions as ops
+from repro.isa.program import TraceBuilder
+from repro.nvmfw import codegen
+from repro.nvmfw.framework import BuiltWorkload
+from repro.nvmfw.layout import DEFAULT_LAYOUT
+from repro.core.edk import EdkAllocator
+from repro.workloads.base import Scale, make_rng, register
+
+#: DRAM pool of shared elements the threads would contend on.
+_POOL_BASE = 64 << 20
+_POOL_ELEMENTS = 1024
+#: This thread's hazard-pointer slot.
+_HAZARD_SLOT = 32 << 20
+
+_R_LOCP = 1    # pointer to the element's location
+_R_HAZ = 2     # hazard pointer slot
+_R_ELEM = 3    # loaded element location
+_R_CHECK = 4   # re-loaded element location
+_R_VAL = 5     # element payload
+
+
+@register("hazard")
+def build_hazard(mode: str, scale: Scale) -> BuiltWorkload:
+    builder = TraceBuilder()
+    edks = EdkAllocator()
+    rng = make_rng(scale)
+    memory = {}
+    use_ede = mode == codegen.MODE_EDE
+    use_fence = mode in (codegen.MODE_DSB, codegen.MODE_DMB_ST)
+
+    # Element location cells hold pointers to payloads further up the pool.
+    payload_base = _POOL_BASE + _POOL_ELEMENTS * 8
+    for index in range(_POOL_ELEMENTS):
+        memory[_POOL_BASE + 8 * index] = payload_base + 64 * index
+        memory[payload_base + 64 * index] = index
+    memory[_HAZARD_SLOT] = 0
+
+    emit = builder.emit
+    for _ in range(scale.total_ops):
+        index = rng.randrange(_POOL_ELEMENTS)
+        loc_addr = _POOL_BASE + 8 * index
+        payload = memory[loc_addr]
+
+        emit(ops.mov_imm(_R_LOCP, loc_addr))
+        emit(ops.mov_imm(_R_HAZ, _HAZARD_SLOT))
+        emit(ops.ldr(_R_ELEM, _R_LOCP, addr=loc_addr))
+        if use_ede:
+            key = edks.allocate()
+            emit(ops.store_ede(_R_ELEM, _R_HAZ, edk_def=key, edk_use=0,
+                               addr=_HAZARD_SLOT, comment="announce"))
+            emit(ops.ldr_ede(_R_CHECK, _R_LOCP, edk_def=0, edk_use=key,
+                             addr=loc_addr))
+        else:
+            emit(ops.store(_R_ELEM, _R_HAZ, addr=_HAZARD_SLOT,
+                           comment="announce"))
+            if use_fence:
+                emit(ops.dmb_sy())
+            emit(ops.ldr(_R_CHECK, _R_LOCP, addr=loc_addr))
+        memory[_HAZARD_SLOT] = payload
+        emit(ops.cmp(_R_CHECK, _R_ELEM))
+        # Perfectly predicted not-taken branch (no concurrent mutator).
+        emit(ops.Instruction(ops.Opcode.B_NE, target=None, imm=0))
+        # Use the protected element: a dependent load plus some ALU work.
+        emit(ops.ldr(_R_VAL, _R_ELEM, addr=payload))
+        emit(ops.add(_R_VAL, _R_VAL, imm=1))
+        emit(ops.add(_R_VAL, _R_VAL, imm=2))
+
+    return BuiltWorkload(
+        trace=builder.finish(),
+        obligations=[],
+        line_snapshots={},
+        committed_states=[],
+        final_memory=memory,
+        baseline_memory=dict(memory),
+        layout=DEFAULT_LAYOUT,
+        ops=scale.total_ops,
+        txns=0,
+    )

@@ -1,0 +1,92 @@
+"""Persistent fixed-layout structs over the NVM framework.
+
+The tree workloads manipulate nodes through this thin layer so every field
+access goes through the framework — reads emit real loads, mutations emit
+undo-logged persistent updates, and node construction uses PMDK-style
+unlogged initialization followed by line flushes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.nvmfw.framework import PersistentFramework
+
+#: Null persistent pointer.
+PNULL = 0
+
+
+class PStructLayout:
+    """Field name -> byte offset layout for one node type."""
+
+    def __init__(self, **fields: int):
+        self.offsets: Dict[str, int] = dict(fields)
+        if len(set(self.offsets.values())) != len(self.offsets):
+            raise ValueError("overlapping field offsets: %r" % (fields,))
+        self.size = max(self.offsets.values()) + 8 if self.offsets else 0
+
+    def offset(self, name: str) -> int:
+        try:
+            return self.offsets[name]
+        except KeyError:
+            raise KeyError("unknown field %r" % (name,)) from None
+
+
+def array_layout(*arrays: Tuple[str, int, int]) -> PStructLayout:
+    """Build a layout from (name, start_offset, count) array specs plus
+    implicit 8-byte strides; scalar fields are arrays of length 1."""
+    fields = {}
+    for name, start, count in arrays:
+        if count == 1:
+            fields[name] = start
+        else:
+            for index in range(count):
+                fields["%s[%d]" % (name, index)] = start + 8 * index
+    return PStructLayout(**fields)
+
+
+class PStruct:
+    """A typed view of one persistent object."""
+
+    def __init__(self, fw: PersistentFramework, layout: PStructLayout,
+                 addr: int):
+        if addr == PNULL:
+            raise ValueError("PStruct over a null pointer")
+        self.fw = fw
+        self.layout = layout
+        self.addr = addr
+
+    # --- reads ---------------------------------------------------------------
+
+    def get(self, field: str) -> int:
+        """Framework read (emits the load)."""
+        return self.fw.read(self.addr + self.layout.offset(field))
+
+    def peek(self, field: str) -> int:
+        """Functional read without trace emission (verification only)."""
+        return self.fw.peek(self.addr + self.layout.offset(field))
+
+    # --- writes ----------------------------------------------------------------
+
+    def set(self, field: str, value: int) -> None:
+        """Undo-logged persistent update of one field."""
+        self.fw.write(self.addr + self.layout.offset(field), value)
+
+    def init(self, field: str, value: int) -> None:
+        """Unlogged initialization store (fresh allocations only)."""
+        self.fw.write_init(self.addr + self.layout.offset(field), value)
+
+
+def alloc_struct(fw: PersistentFramework, layout: PStructLayout,
+                 init: Dict[str, int]) -> PStruct:
+    """Allocate and initialize a node, flushing its lines.
+
+    Fields not named in ``init`` start at zero (the heap returns fresh,
+    functionally zero memory).
+    """
+    addr = fw.alloc(layout.size, align=8)
+    node = PStruct(fw, layout, addr)
+    for field, value in init.items():
+        node.init(field, value)
+    fw.flush_init(addr, layout.size)
+    return node

@@ -1,0 +1,245 @@
+"""The ``rbtree`` workload: persistent red-black tree with sentinel nodes.
+
+CLRS-style red-black tree with a single NIL sentinel node (as in PMDK's
+rbtree example).  Rotations and recoloring during insert fix-up generate
+the pointer-update-heavy undo-logging pattern this workload is known for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.nvmfw.framework import BuiltWorkload, PersistentFramework
+from repro.workloads.base import Scale, make_rng, new_framework, register
+from repro.workloads.pstruct import PStruct, alloc_struct, array_layout
+
+NODE = array_layout(
+    ("key", 0, 1),
+    ("value", 8, 1),
+    ("left", 16, 1),
+    ("right", 24, 1),
+    ("parent", 32, 1),
+    ("color", 40, 1),
+)
+
+RED = 0
+BLACK = 1
+
+
+class PersistentRedBlackTree:
+    """Red-black tree whose every mutation is an undo-logged update."""
+
+    def __init__(self, fw: PersistentFramework, root_ptr_addr: int):
+        self.fw = fw
+        self.root_ptr_addr = root_ptr_addr
+        nil = alloc_struct(fw, NODE, {"color": BLACK})
+        self.nil = nil.addr
+        # nil's children point to itself; root starts at nil.
+        fw.write_init(self.nil + NODE.offset("left"), self.nil)
+        fw.write_init(self.nil + NODE.offset("right"), self.nil)
+        fw.write_init(self.nil + NODE.offset("parent"), self.nil)
+        fw.flush_init(self.nil, NODE.size)
+        fw.write(root_ptr_addr, self.nil)
+
+    # --- helpers ----------------------------------------------------------
+
+    def _node(self, addr: int) -> PStruct:
+        return PStruct(self.fw, NODE, addr)
+
+    def _root(self) -> int:
+        return self.fw.read(self.root_ptr_addr)
+
+    def _set_root(self, addr: int) -> None:
+        self.fw.write(self.root_ptr_addr, addr)
+
+    # --- rotations -----------------------------------------------------------
+
+    def _rotate_left(self, x_addr: int) -> None:
+        x = self._node(x_addr)
+        y_addr = x.get("right")
+        y = self._node(y_addr)
+        beta = y.get("left")
+        x.set("right", beta)
+        if beta != self.nil:
+            self._node(beta).set("parent", x_addr)
+        parent = x.get("parent")
+        y.set("parent", parent)
+        if parent == self.nil:
+            self._set_root(y_addr)
+        else:
+            p = self._node(parent)
+            if p.get("left") == x_addr:
+                p.set("left", y_addr)
+            else:
+                p.set("right", y_addr)
+        y.set("left", x_addr)
+        x.set("parent", y_addr)
+
+    def _rotate_right(self, x_addr: int) -> None:
+        x = self._node(x_addr)
+        y_addr = x.get("left")
+        y = self._node(y_addr)
+        beta = y.get("right")
+        x.set("left", beta)
+        if beta != self.nil:
+            self._node(beta).set("parent", x_addr)
+        parent = x.get("parent")
+        y.set("parent", parent)
+        if parent == self.nil:
+            self._set_root(y_addr)
+        else:
+            p = self._node(parent)
+            if p.get("right") == x_addr:
+                p.set("right", y_addr)
+            else:
+                p.set("left", y_addr)
+        y.set("right", x_addr)
+        x.set("parent", y_addr)
+
+    # --- insertion -------------------------------------------------------------
+
+    def insert(self, key: int, value: int) -> None:
+        parent = self.nil
+        current = self._root()
+        while current != self.nil:
+            node = self._node(current)
+            stored = node.get("key")
+            if stored == key:
+                node.set("value", value)
+                return
+            parent = current
+            current = node.get("left") if key < stored else node.get("right")
+
+        fresh = alloc_struct(self.fw, NODE, {
+            "key": key, "value": value, "color": RED,
+            "left": self.nil, "right": self.nil, "parent": parent,
+        })
+        z_addr = fresh.addr
+        if parent == self.nil:
+            self._set_root(z_addr)
+        else:
+            p = self._node(parent)
+            if key < p.get("key"):
+                p.set("left", z_addr)
+            else:
+                p.set("right", z_addr)
+        self._fixup(z_addr)
+
+    def _fixup(self, z_addr: int) -> None:
+        while True:
+            z = self._node(z_addr)
+            parent_addr = z.get("parent")
+            if parent_addr == self.nil:
+                break
+            parent = self._node(parent_addr)
+            if parent.get("color") != RED:
+                break
+            grand_addr = parent.get("parent")
+            grand = self._node(grand_addr)
+            if parent_addr == grand.get("left"):
+                uncle_addr = grand.get("right")
+                uncle = self._node(uncle_addr)
+                if uncle.get("color") == RED:
+                    parent.set("color", BLACK)
+                    uncle.set("color", BLACK)
+                    grand.set("color", RED)
+                    z_addr = grand_addr
+                    continue
+                if z_addr == parent.get("right"):
+                    z_addr = parent_addr
+                    self._rotate_left(z_addr)
+                    parent_addr = self._node(z_addr).get("parent")
+                    parent = self._node(parent_addr)
+                    grand_addr = parent.get("parent")
+                    grand = self._node(grand_addr)
+                parent.set("color", BLACK)
+                grand.set("color", RED)
+                self._rotate_right(grand_addr)
+            else:
+                uncle_addr = grand.get("left")
+                uncle = self._node(uncle_addr)
+                if uncle.get("color") == RED:
+                    parent.set("color", BLACK)
+                    uncle.set("color", BLACK)
+                    grand.set("color", RED)
+                    z_addr = grand_addr
+                    continue
+                if z_addr == parent.get("left"):
+                    z_addr = parent_addr
+                    self._rotate_right(z_addr)
+                    parent_addr = self._node(z_addr).get("parent")
+                    parent = self._node(parent_addr)
+                    grand_addr = parent.get("parent")
+                    grand = self._node(grand_addr)
+                parent.set("color", BLACK)
+                grand.set("color", RED)
+                self._rotate_left(grand_addr)
+        root = self._root()
+        if self._node(root).peek("color") != BLACK:
+            self._node(root).set("color", BLACK)
+
+    # --- verification helpers (functional only) -----------------------------------
+
+    def lookup(self, key: int) -> Optional[int]:
+        current = self.fw.peek(self.root_ptr_addr)
+        while current != self.nil:
+            node = self._node(current)
+            stored = node.peek("key")
+            if stored == key:
+                return node.peek("value")
+            current = node.peek("left") if key < stored else node.peek("right")
+        return None
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        yield from self._items_of(self.fw.peek(self.root_ptr_addr))
+
+    def _items_of(self, addr: int) -> Iterator[Tuple[int, int]]:
+        if addr == self.nil:
+            return
+        node = self._node(addr)
+        yield from self._items_of(node.peek("left"))
+        yield node.peek("key"), node.peek("value")
+        yield from self._items_of(node.peek("right"))
+
+    def check_invariants(self) -> int:
+        """Validate red-black invariants; return the black height."""
+        root = self.fw.peek(self.root_ptr_addr)
+        if root != self.nil and self._node(root).peek("color") != BLACK:
+            raise AssertionError("root is not black")
+        return self._check(root)
+
+    def _check(self, addr: int) -> int:
+        if addr == self.nil:
+            return 1
+        node = self._node(addr)
+        color = node.peek("color")
+        left = node.peek("left")
+        right = node.peek("right")
+        if color == RED:
+            for child in (left, right):
+                if child != self.nil and (
+                        self._node(child).peek("color") == RED):
+                    raise AssertionError("red node with red child")
+        left_height = self._check(left)
+        right_height = self._check(right)
+        if left_height != right_height:
+            raise AssertionError("black-height mismatch")
+        return left_height + (1 if color == BLACK else 0)
+
+
+@register("rbtree")
+def build_rbtree(mode: str, scale: Scale) -> BuiltWorkload:
+    fw = new_framework(mode)
+    rng = make_rng(scale)
+    root_ptr = fw.alloc(8)
+    tree = None
+    key_space = max(4 * scale.total_ops, 1024)
+    for _ in range(scale.txns):
+        fw.tx_begin()
+        if tree is None:
+            tree = PersistentRedBlackTree(fw, root_ptr)
+        for _ in range(scale.ops_per_txn):
+            key = rng.randrange(1, key_space)
+            tree.insert(key, key * 2 + 1)
+        fw.tx_commit()
+    return fw.finish()

@@ -1,0 +1,109 @@
+"""The ``rtree`` workload: persistent radix tree with radix 256 (Table II).
+
+A fixed-depth radix-256 tree over 32-bit keys: four levels of 256-slot
+nodes; the last level's slot holds the (tagged) value.  Missing interior
+nodes are allocated and initialized lazily; the slot update linking a new
+node into its parent is undo-logged.  This is the allocation-heavy workload
+of the suite (2 KB nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.nvmfw.framework import BuiltWorkload, PersistentFramework
+from repro.workloads.base import Scale, make_rng, new_framework, register
+
+#: Slots per node.
+RADIX = 256
+#: Key length in bytes (tree depth).
+KEY_BYTES = 4
+#: Node size: 256 eight-byte slots.
+NODE_BYTES = RADIX * 8
+
+#: Values are tagged so that an occupied value slot is never mistaken for a
+#: child pointer (values of zero stay representable).
+VALUE_TAG = 1 << 62
+
+
+class PersistentRadixTree:
+    """Radix-256 tree with framework-mediated slot accesses."""
+
+    def __init__(self, fw: PersistentFramework):
+        self.fw = fw
+        self.root = self._alloc_node()
+
+    def _alloc_node(self) -> int:
+        addr = self.fw.alloc(NODE_BYTES, align=64)
+        # Fresh heap memory is functionally zero; persist the header line
+        # so the node exists durably (PMDK zeroes allocations lazily).
+        self.fw.flush_init(addr, 64)
+        return addr
+
+    @staticmethod
+    def _byte_of(key: int, level: int) -> int:
+        shift = 8 * (KEY_BYTES - 1 - level)
+        return (key >> shift) & 0xFF
+
+    def _slot_addr(self, node: int, key: int, level: int) -> int:
+        return node + 8 * self._byte_of(key, level)
+
+    def insert(self, key: int, value: int) -> None:
+        if not 0 <= key < (1 << (8 * KEY_BYTES)):
+            raise ValueError("key out of range for %d-byte keys" % KEY_BYTES)
+        node = self.root
+        for level in range(KEY_BYTES - 1):
+            slot = self._slot_addr(node, key, level)
+            child = self.fw.read(slot)
+            if child == 0:
+                child = self._alloc_node()
+                self.fw.write(slot, child)
+            node = child
+        self.fw.write(self._slot_addr(node, key, KEY_BYTES - 1),
+                      VALUE_TAG | value)
+
+    # --- verification helpers (functional only) -----------------------------
+
+    def lookup(self, key: int) -> Optional[int]:
+        node = self.root
+        for level in range(KEY_BYTES - 1):
+            node = self.fw.peek(self._slot_addr(node, key, level))
+            if node == 0:
+                return None
+        slot = self.fw.peek(self._slot_addr(node, key, KEY_BYTES - 1))
+        if slot & VALUE_TAG:
+            return slot & ~VALUE_TAG
+        return None
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        yield from self._items_of(self.root, 0, 0)
+
+    def _items_of(self, node: int, level: int,
+                  prefix: int) -> Iterator[Tuple[int, int]]:
+        for byte in range(RADIX):
+            slot = self.fw.peek(node + 8 * byte)
+            if slot == 0:
+                continue
+            key = (prefix << 8) | byte
+            if level == KEY_BYTES - 1:
+                if slot & VALUE_TAG:
+                    yield key, slot & ~VALUE_TAG
+            else:
+                yield from self._items_of(slot, level + 1, key)
+
+
+@register("rtree")
+def build_rtree(mode: str, scale: Scale) -> BuiltWorkload:
+    fw = new_framework(mode)
+    rng = make_rng(scale)
+    tree = None
+    key_space = max(4 * scale.total_ops, 1024)
+    for _ in range(scale.txns):
+        fw.tx_begin()
+        if tree is None:
+            tree = PersistentRadixTree(fw)
+        for _ in range(scale.ops_per_txn):
+            key = rng.randrange(1, min(key_space, 1 << 31))
+            tree.insert(key, key * 2 + 1)
+        fw.tx_commit()
+    return fw.finish()

@@ -1,0 +1,107 @@
+"""Tests for the crash-consistency checker against synthetic logs."""
+
+import pytest
+
+from repro.consistency.checker import check_run
+from repro.consistency.obligations import (
+    LOG_BEFORE_STORE,
+    PERSIST_BEFORE_COMMIT,
+    Obligation,
+)
+from repro.memory.persist_domain import KIND_CVAP, PersistLog
+
+
+def log_before_store(op=0):
+    return Obligation(LOG_BEFORE_STORE, "log:%d" % op, "store:%d" % op, op, 0)
+
+
+def persist_before_commit(tag, txn=0):
+    return Obligation(PERSIST_BEFORE_COMMIT, tag, "commit:%d" % txn, -1, txn)
+
+
+class TestLogBeforeStore:
+    def test_satisfied(self):
+        log = PersistLog()
+        log.record(cycle=100, line_addr=0x40, kind=KIND_CVAP, tag="log:0")
+        visibility = [(150, 1, "store:0", 0x80)]
+        result = check_run([log_before_store()], log, visibility)
+        assert result.violations == []
+        assert result.observed_safe
+
+    def test_violated(self):
+        log = PersistLog()
+        log.record(cycle=200, line_addr=0x40, kind=KIND_CVAP, tag="log:0")
+        visibility = [(150, 1, "store:0", 0x80)]  # visible before persist
+        result = check_run([log_before_store()], log, visibility)
+        assert len(result.violations) == 1
+        assert not result.observed_safe
+
+    def test_equal_cycle_is_allowed(self):
+        log = PersistLog()
+        log.record(cycle=150, line_addr=0x40, kind=KIND_CVAP, tag="log:0")
+        visibility = [(150, 1, "store:0", 0x80)]
+        result = check_run([log_before_store()], log, visibility)
+        assert result.violations == []
+
+    def test_missing_events_are_unresolved(self):
+        result = check_run([log_before_store()], PersistLog(), [])
+        assert len(result.unresolved) == 1
+        assert not result.observed_safe
+
+    def test_first_visibility_wins(self):
+        log = PersistLog()
+        log.record(cycle=100, line_addr=0x40, kind=KIND_CVAP, tag="log:0")
+        visibility = [(90, 1, "store:0", 0x80), (200, 2, "store:0", 0x80)]
+        result = check_run([log_before_store()], log, visibility)
+        assert len(result.violations) == 1
+
+
+class TestPersistBeforeCommit:
+    def test_satisfied(self):
+        log = PersistLog()
+        log.record(100, 0x40, KIND_CVAP, tag="data:0")
+        log.record(200, 0x80, KIND_CVAP, tag="commit:0")
+        result = check_run([persist_before_commit("data:0")], log, [])
+        assert result.violations == []
+
+    def test_violated(self):
+        log = PersistLog()
+        log.record(100, 0x80, KIND_CVAP, tag="commit:0")
+        log.record(200, 0x40, KIND_CVAP, tag="data:0")
+        result = check_run([persist_before_commit("data:0")], log, [])
+        assert len(result.violations) == 1
+
+    def test_order_by_sequence_not_cycle(self):
+        """Persist order is acceptance order (sequence), even if the cycle
+        stamps tie."""
+        log = PersistLog()
+        log.record(100, 0x40, KIND_CVAP, tag="data:0")
+        log.record(100, 0x80, KIND_CVAP, tag="commit:0")
+        result = check_run([persist_before_commit("data:0")], log, [])
+        assert result.violations == []
+
+
+class TestVerdicts:
+    def test_safe_by_spec_clean(self):
+        result = check_run([], PersistLog(), [], safe_by_spec=True)
+        assert result.verdict == "safe"
+
+    def test_unsafe_by_spec_without_observation(self):
+        result = check_run([], PersistLog(), [], safe_by_spec=False)
+        assert "specification" in result.verdict
+
+    def test_observed_violation_dominates(self):
+        log = PersistLog()
+        log.record(200, 0x40, KIND_CVAP, tag="log:0")
+        result = check_run([log_before_store()], log,
+                           [(150, 1, "store:0", 0x80)], safe_by_spec=False)
+        assert result.verdict.startswith("UNSAFE")
+
+    def test_unknown_obligation_kind_rejected(self):
+        bad = Obligation("bogus", "a", "b", 0, 0)
+        with pytest.raises(ValueError):
+            check_run([bad], PersistLog(), [])
+
+    def test_summary_mentions_count(self):
+        result = check_run([], PersistLog(), [])
+        assert "0 obligations" in result.summary()

@@ -1,0 +1,118 @@
+"""Tests for the EDK calling convention (Section IX-B, Figure 13)."""
+
+from repro.core.calling_convention import (
+    CALLEE_SAVED_KEYS,
+    CALLER_SAVED_KEYS,
+    check_callee,
+    check_caller,
+    insert_caller_waits,
+    keys_of,
+)
+from repro.isa import instructions as ops
+from repro.isa.opcodes import Opcode
+
+
+def bl():
+    return ops.Instruction(Opcode.BL, target="foo")
+
+
+CALLER_KEY = CALLER_SAVED_KEYS[0]
+CALLEE_KEY = CALLEE_SAVED_KEYS[0]
+
+
+class TestKeySplit:
+    def test_split_is_disjoint_and_complete(self):
+        assert not set(CALLER_SAVED_KEYS) & set(CALLEE_SAVED_KEYS)
+        assert sorted(CALLER_SAVED_KEYS + CALLEE_SAVED_KEYS) == list(range(1, 16))
+
+    def test_keys_of(self):
+        inst = ops.join(3, 1, 2)
+        assert keys_of(inst) == (3, 1, 2)
+        assert keys_of(ops.wait_key(4)) == (4,)
+        assert keys_of(ops.nop()) == ()
+
+
+class TestFigure13:
+    def _caller(self):
+        """The caller of Figure 13: produce X (caller-saved) and Y
+        (callee-saved), call foo, then consume both."""
+        return [
+            ops.dc_cvap_ede(0, edk_def=CALLER_KEY, edk_use=0, addr=0),
+            ops.dc_cvap_ede(1, edk_def=CALLEE_KEY, edk_use=0, addr=64),
+            bl(),
+            ops.store_ede(2, 3, edk_def=0, edk_use=CALLER_KEY, addr=128),
+            ops.store_ede(4, 5, edk_def=0, edk_use=CALLEE_KEY, addr=192),
+        ]
+
+    def test_caller_without_wait_violates(self):
+        violations = check_caller(self._caller())
+        assert len(violations) == 1
+        assert violations[0].key == CALLER_KEY
+
+    def test_insert_caller_waits_fixes(self):
+        fixed = insert_caller_waits(self._caller())
+        assert any(i.opcode is Opcode.WAIT_KEY and i.edk_use == CALLER_KEY
+                   for i in fixed)
+        assert check_caller(fixed) == []
+
+    def test_wait_inserted_right_after_call(self):
+        fixed = insert_caller_waits(self._caller())
+        call_index = next(i for i, inst in enumerate(fixed)
+                          if inst.opcode is Opcode.BL)
+        assert fixed[call_index + 1].opcode is Opcode.WAIT_KEY
+
+    def test_callee_saved_key_needs_no_caller_wait(self):
+        fixed = insert_caller_waits(self._caller())
+        waits = [i for i in fixed if i.opcode is Opcode.WAIT_KEY]
+        assert all(w.edk_use != CALLEE_KEY for w in waits)
+
+    def test_callee_self_consuming_producer_is_legal(self):
+        """Figure 13, line 10: inst (Y, Y) chains behind the caller's Y."""
+        body = [ops.dc_cvap_ede(0, edk_def=CALLEE_KEY, edk_use=CALLEE_KEY,
+                                addr=0)]
+        assert check_callee(body) == []
+
+    def test_callee_plain_producer_violates(self):
+        body = [ops.dc_cvap_ede(0, edk_def=CALLEE_KEY, edk_use=0, addr=0)]
+        violations = check_callee(body)
+        assert len(violations) == 1
+        assert violations[0].key == CALLEE_KEY
+
+    def test_callee_wait_key_then_produce_is_legal(self):
+        body = [
+            ops.wait_key(CALLEE_KEY),
+            ops.dc_cvap_ede(0, edk_def=CALLEE_KEY, edk_use=0, addr=0),
+        ]
+        assert check_callee(body) == []
+
+    def test_callee_caller_saved_keys_unrestricted(self):
+        body = [ops.dc_cvap_ede(0, edk_def=CALLER_KEY, edk_use=0, addr=0)]
+        assert check_callee(body) == []
+
+
+class TestEdgeCases:
+    def test_no_call_no_waits_inserted(self):
+        insts = [
+            ops.dc_cvap_ede(0, edk_def=CALLER_KEY, edk_use=0, addr=0),
+            ops.store_ede(1, 2, edk_def=0, edk_use=CALLER_KEY, addr=64),
+        ]
+        assert insert_caller_waits(insts) == insts
+        assert check_caller(insts) == []
+
+    def test_reproduced_key_after_call_is_fine(self):
+        insts = [
+            ops.dc_cvap_ede(0, edk_def=CALLER_KEY, edk_use=0, addr=0),
+            bl(),
+            ops.dc_cvap_ede(1, edk_def=CALLER_KEY, edk_use=0, addr=64),
+            ops.store_ede(2, 3, edk_def=0, edk_use=CALLER_KEY, addr=128),
+        ]
+        assert check_caller(insts) == []
+
+    def test_explicit_wait_after_call_is_fine(self):
+        insts = [
+            ops.dc_cvap_ede(0, edk_def=CALLER_KEY, edk_use=0, addr=0),
+            bl(),
+            ops.wait_key(CALLER_KEY),
+            ops.store_ede(2, 3, edk_def=0, edk_use=CALLER_KEY, addr=128),
+        ]
+        assert check_caller(insts) == []

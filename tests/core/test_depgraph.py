@@ -1,0 +1,152 @@
+"""Tests for the dependence graph (Figure 5 reproduction)."""
+
+from repro.core import depgraph
+from repro.core.depgraph import DependenceGraph
+from repro.isa import instructions as ops
+
+
+def figure4_instructions(nvm=0x80000000):
+    """The Figure 4 sequence with resolved addresses."""
+    elem = nvm + 0x1000
+    slot = nvm + 0x2000
+    return [
+        ops.ldr(1, 0, addr=elem),                  # 0: load original value
+        ops.stp(0, 1, 2, addr=slot),               # 1: store addr & val
+        ops.dc_cvap(2, addr=slot),                 # 2: persist slot
+        ops.dsb_sy(),                              # 3
+        ops.mov_imm(3, 6),                         # 4
+        ops.store(3, 0, addr=elem),                # 5: store new value
+        ops.dc_cvap(0, addr=elem),                 # 6: persist new value
+    ]
+
+
+def figure7_instructions(nvm=0x80000000):
+    """The EDE version: producer cvap + consumer str, no DSB."""
+    elem = nvm + 0x1000
+    slot = nvm + 0x2000
+    return [
+        ops.ldr(1, 0, addr=elem),
+        ops.stp(0, 1, 2, addr=slot),
+        ops.dc_cvap_ede(2, edk_def=1, edk_use=0, addr=slot),
+        ops.mov_imm(3, 6),
+        ops.store_ede(3, 0, edk_def=0, edk_use=1, addr=elem),
+        ops.dc_cvap(0, addr=elem),
+    ]
+
+
+class TestRegisterEdges:
+    def test_def_use_edge(self):
+        graph = DependenceGraph(figure4_instructions())
+        # mov x3 (4) -> str x3 (5)
+        edges = graph.successors(4, kinds=[depgraph.REGISTER])
+        assert any(e.dst == 5 for e in edges)
+
+    def test_load_feeds_stp(self):
+        graph = DependenceGraph(figure4_instructions())
+        edges = graph.successors(0, kinds=[depgraph.REGISTER])
+        assert any(e.dst == 1 for e in edges)
+
+    def test_flags_edge(self):
+        insts = [ops.cmp(1, 2), ops.branch_cond(ops.Opcode.B_NE, "x")]
+        graph = DependenceGraph(insts)
+        edges = graph.successors(0, kinds=[depgraph.REGISTER])
+        assert any(e.dst == 1 and e.detail == "flags" for e in edges)
+
+    def test_last_writer_wins(self):
+        insts = [ops.mov_imm(1, 1), ops.mov_imm(1, 2),
+                 ops.add(2, 1, imm=0)]
+        graph = DependenceGraph(insts)
+        assert not graph.successors(0, kinds=[depgraph.REGISTER])
+        assert graph.successors(1, kinds=[depgraph.REGISTER])
+
+
+class TestMemoryEdges:
+    def test_store_then_cvap_same_line(self):
+        graph = DependenceGraph(figure4_instructions())
+        edges = graph.successors(1, kinds=[depgraph.MEMORY])
+        assert any(e.dst == 2 for e in edges)
+
+    def test_str_then_cvap(self):
+        graph = DependenceGraph(figure4_instructions())
+        edges = graph.successors(5, kinds=[depgraph.MEMORY])
+        assert any(e.dst == 6 for e in edges)
+
+    def test_loads_do_not_chain_with_loads(self):
+        insts = [ops.ldr(1, 0, addr=64), ops.ldr(2, 0, addr=64)]
+        graph = DependenceGraph(insts)
+        assert not graph.successors(0, kinds=[depgraph.MEMORY])
+
+    def test_load_after_store_chains(self):
+        insts = [ops.store(1, 0, addr=64), ops.ldr(2, 0, addr=64)]
+        graph = DependenceGraph(insts)
+        assert graph.successors(0, kinds=[depgraph.MEMORY])
+
+
+class TestExecutionEdges:
+    def test_figure7_execution_edge(self):
+        """The red arrow of Figure 5: cvap(slot) -> str(new value)."""
+        graph = DependenceGraph(figure7_instructions())
+        execution = graph.execution_edges()
+        assert len(execution) == 1
+        edge = execution[0]
+        assert edge.src == 2 and edge.dst == 4
+        assert edge.detail == "EDK#1"
+
+    def test_figure4_has_no_execution_edges(self):
+        graph = DependenceGraph(figure4_instructions())
+        assert graph.execution_edges() == []
+
+    def test_key_reuse_creates_new_edges(self):
+        insts = [
+            ops.dc_cvap_ede(0, edk_def=1, edk_use=0, addr=0),
+            ops.store_ede(1, 2, edk_def=0, edk_use=1, addr=64),
+            ops.dc_cvap_ede(3, edk_def=1, edk_use=0, addr=128),
+            ops.store_ede(4, 5, edk_def=0, edk_use=1, addr=192),
+        ]
+        graph = DependenceGraph(insts)
+        edges = {(e.src, e.dst) for e in graph.execution_edges()}
+        assert edges == {(0, 1), (2, 3)}
+
+    def test_one_to_many(self):
+        insts = [
+            ops.dc_cvap_ede(0, edk_def=3, edk_use=0, addr=0),
+            ops.store_ede(1, 2, edk_def=0, edk_use=3, addr=64),
+            ops.store_ede(4, 5, edk_def=0, edk_use=3, addr=128),
+        ]
+        graph = DependenceGraph(insts)
+        edges = {(e.src, e.dst) for e in graph.execution_edges()}
+        assert edges == {(0, 1), (0, 2)}
+
+    def test_join_many_to_one(self):
+        insts = [
+            ops.dc_cvap_ede(0, edk_def=1, edk_use=0, addr=0),
+            ops.dc_cvap_ede(1, edk_def=2, edk_use=0, addr=128),
+            ops.join(3, 1, 2),
+            ops.store_ede(4, 5, edk_def=0, edk_use=3, addr=256),
+        ]
+        graph = DependenceGraph(insts)
+        edges = {(e.src, e.dst) for e in graph.execution_edges()}
+        assert edges == {(0, 2), (1, 2), (2, 3)}
+
+
+class TestQueries:
+    def test_has_path_through_mixed_kinds(self):
+        graph = DependenceGraph(figure7_instructions())
+        # ldr -> stp (reg) -> cvap (mem) -> str (execution) -> cvap (mem)
+        assert graph.has_path(0, 5)
+
+    def test_no_path_between_independent(self):
+        insts = [ops.mov_imm(1, 1), ops.mov_imm(2, 2)]
+        graph = DependenceGraph(insts)
+        assert not graph.has_path(0, 1)
+
+    def test_predecessors(self):
+        graph = DependenceGraph(figure7_instructions())
+        preds = graph.predecessors(4, kinds=[depgraph.EXECUTION])
+        assert [e.src for e in preds] == [2]
+
+    def test_dot_output(self):
+        graph = DependenceGraph(figure7_instructions())
+        dot = graph.to_dot()
+        assert dot.startswith("digraph")
+        assert 'color="red"' in dot  # execution edges are red, as in Fig. 5

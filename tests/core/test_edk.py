@@ -1,0 +1,76 @@
+"""Tests for EDK validation and allocation."""
+
+import pytest
+
+from repro.core.edk import (
+    NUM_EDM_ENTRIES,
+    NUM_KEYS,
+    ZERO_KEY,
+    EdkAllocator,
+    real_keys,
+    validate_edk,
+)
+
+
+class TestConstants:
+    def test_sixteen_keys(self):
+        assert NUM_KEYS == 16
+
+    def test_zero_key_is_zero(self):
+        assert ZERO_KEY == 0
+
+    def test_edm_holds_fifteen(self):
+        assert NUM_EDM_ENTRIES == 15
+
+    def test_real_keys_excludes_zero(self):
+        keys = list(real_keys())
+        assert keys == list(range(1, 16))
+
+
+class TestValidation:
+    def test_valid_range(self):
+        for key in range(16):
+            assert validate_edk(key) == key
+
+    def test_out_of_range(self):
+        for bad in (-1, 16, 100):
+            with pytest.raises(ValueError):
+                validate_edk(bad)
+
+    def test_non_int(self):
+        with pytest.raises(ValueError):
+            validate_edk("1")
+        with pytest.raises(ValueError):
+            validate_edk(True)
+
+
+class TestAllocator:
+    def test_round_robin(self):
+        alloc = EdkAllocator()
+        first_cycle = [alloc.allocate() for _ in range(15)]
+        assert first_cycle == list(range(1, 16))
+        assert alloc.allocate() == 1  # wraps
+
+    def test_never_returns_zero(self):
+        alloc = EdkAllocator()
+        assert all(alloc.allocate() != ZERO_KEY for _ in range(100))
+
+    def test_reset(self):
+        alloc = EdkAllocator()
+        alloc.allocate()
+        alloc.allocate()
+        alloc.reset()
+        assert alloc.allocate() == 1
+
+    def test_restricted_range(self):
+        alloc = EdkAllocator(first=3, last=5)
+        assert [alloc.allocate() for _ in range(4)] == [3, 4, 5, 3]
+        assert alloc.capacity == 3
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            EdkAllocator(first=0, last=5)
+        with pytest.raises(ValueError):
+            EdkAllocator(first=5, last=16)
+        with pytest.raises(ValueError):
+            EdkAllocator(first=8, last=4)

@@ -1,0 +1,183 @@
+"""Tests for the Execution Dependence Map, including checkpoint recovery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.edm import CheckpointedEdm, ExecutionDependenceMap
+
+
+class TestBasicMap:
+    def test_empty_lookup_misses(self):
+        edm = ExecutionDependenceMap()
+        assert edm.lookup(1) is None
+
+    def test_define_then_lookup(self):
+        edm = ExecutionDependenceMap()
+        edm.define(3, 100)
+        assert edm.lookup(3) == 100
+
+    def test_zero_key_never_stored(self):
+        edm = ExecutionDependenceMap()
+        edm.define(0, 100)
+        assert len(edm) == 0
+        assert edm.lookup(0) is None
+
+    def test_redefinition_overwrites(self):
+        edm = ExecutionDependenceMap()
+        edm.define(3, 100)
+        edm.define(3, 200)
+        assert edm.lookup(3) == 200
+
+    def test_clear_on_complete_matching(self):
+        edm = ExecutionDependenceMap()
+        edm.define(3, 100)
+        assert edm.clear_on_complete(3, 100)
+        assert edm.lookup(3) is None
+
+    def test_clear_on_complete_stale_id_keeps_entry(self):
+        """A younger producer overwrote the key: completion of the older
+        one must not clear the younger mapping (Section V-A)."""
+        edm = ExecutionDependenceMap()
+        edm.define(3, 100)
+        edm.define(3, 200)
+        assert not edm.clear_on_complete(3, 100)
+        assert edm.lookup(3) == 200
+
+    def test_clear_zero_key_is_noop(self):
+        edm = ExecutionDependenceMap()
+        assert not edm.clear_on_complete(0, 100)
+
+    def test_clear_id_removes_all_keys(self):
+        edm = ExecutionDependenceMap()
+        edm.define(1, 100)
+        edm.define(2, 100)
+        edm.define(3, 200)
+        assert sorted(edm.clear_id(100)) == [1, 2]
+        assert edm.occupied_keys() == (3,)
+
+    def test_capacity_is_fifteen(self):
+        edm = ExecutionDependenceMap()
+        for key in range(1, 16):
+            edm.define(key, key * 10)
+        assert len(edm) == 15
+
+    def test_snapshot_restore(self):
+        edm = ExecutionDependenceMap()
+        edm.define(5, 50)
+        snap = edm.snapshot()
+        edm.define(5, 99)
+        edm.define(7, 70)
+        edm.restore(snap)
+        assert edm.lookup(5) == 50
+        assert edm.lookup(7) is None
+
+    def test_restore_rejects_zero_key(self):
+        edm = ExecutionDependenceMap()
+        with pytest.raises(ValueError):
+            edm.restore({0: 5})
+
+    def test_contains(self):
+        edm = ExecutionDependenceMap()
+        edm.define(4, 1)
+        assert 4 in edm
+        assert 5 not in edm
+
+
+class TestCheckpointedEdm:
+    def test_decode_returns_producers(self):
+        edm = CheckpointedEdm()
+        edm.decode(1, (), inst_id=10)          # producer of EDK#1
+        deps = edm.decode(0, (1,), inst_id=11)  # consumer of EDK#1
+        assert deps == (10,)
+
+    def test_decode_miss_returns_empty(self):
+        edm = CheckpointedEdm()
+        assert edm.decode(0, (5,), inst_id=1) == ()
+
+    def test_decode_dedups_producers(self):
+        edm = CheckpointedEdm()
+        edm.decode(1, (), inst_id=10)
+        edm.decode(2, (), inst_id=10)  # same producer on two keys
+        assert edm.decode(0, (1, 2), inst_id=11) == (10,)
+
+    def test_consumer_lookup_happens_before_produce(self):
+        """WAIT_KEY-style instructions consume and produce the same key;
+        the lookup must see the *previous* producer."""
+        edm = CheckpointedEdm()
+        edm.decode(4, (), inst_id=10)
+        deps = edm.decode(4, (4,), inst_id=11)
+        assert deps == (10,)
+        assert edm.spec.lookup(4) == 11
+
+    def test_complete_clears_both_copies(self):
+        edm = CheckpointedEdm()
+        edm.decode(1, (), inst_id=10)
+        edm.retire(1, 10)
+        edm.complete(1, 10)
+        assert edm.spec.lookup(1) is None
+        assert edm.non_spec.lookup(1) is None
+
+    def test_squash_restores_retired_state(self):
+        edm = CheckpointedEdm()
+        edm.decode(1, (), inst_id=10)
+        edm.retire(1, 10)
+        # Speculative younger producer overwrites the key, then squashes.
+        edm.decode(1, (), inst_id=20)
+        assert edm.spec.lookup(1) == 20
+        edm.squash()
+        assert edm.spec.lookup(1) == 10
+
+    def test_squash_drops_unretired_definitions(self):
+        edm = CheckpointedEdm()
+        edm.decode(2, (), inst_id=30)  # never retires
+        edm.squash()
+        assert edm.spec.lookup(2) is None
+
+    def test_named_checkpoints(self):
+        edm = CheckpointedEdm()
+        edm.decode(1, (), inst_id=1)
+        edm.take_checkpoint("branch-5")
+        edm.decode(1, (), inst_id=2)
+        edm.restore_checkpoint("branch-5")
+        assert edm.spec.lookup(1) == 1
+
+    def test_discard_checkpoint(self):
+        edm = CheckpointedEdm()
+        edm.take_checkpoint(1)
+        edm.discard_checkpoint(1)
+        edm.discard_checkpoint(99)  # idempotent
+
+    def test_clear(self):
+        edm = CheckpointedEdm()
+        edm.decode(1, (), inst_id=1)
+        edm.retire(1, 1)
+        edm.clear()
+        assert edm.spec.lookup(1) is None
+        assert edm.non_spec.lookup(1) is None
+
+
+class TestEdmModelBased:
+    """The EDM must behave exactly like a 15-entry dict."""
+
+    @given(st.lists(st.tuples(
+        st.sampled_from(["define", "lookup", "clear"]),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=50)), max_size=200))
+    def test_against_dict_model(self, operations):
+        edm = ExecutionDependenceMap()
+        model = {}
+        for action, key, value in operations:
+            if action == "define":
+                edm.define(key, value)
+                if key != 0:
+                    model[key] = value
+            elif action == "lookup":
+                assert edm.lookup(key) == (model.get(key) if key else None)
+            else:
+                cleared = edm.clear_on_complete(key, value)
+                should_clear = key != 0 and model.get(key) == value
+                assert cleared == should_clear
+                if should_clear:
+                    del model[key]
+        assert len(edm) == len(model)
+        assert len(edm) <= 15

@@ -1,0 +1,44 @@
+"""Tests for enforcement policies."""
+
+import pytest
+
+from repro.core.policies import (
+    EnforcementPolicy,
+    FENCE_POLICY,
+    IQ_POLICY,
+    WB_POLICY,
+    policy_by_name,
+)
+
+
+class TestPolicies:
+    def test_iq_enforces_at_issue_only(self):
+        assert IQ_POLICY.enforce_at_issue
+        assert not IQ_POLICY.enforce_at_write_buffer
+        assert IQ_POLICY.enforces_ede
+
+    def test_wb_enforces_at_write_buffer_only(self):
+        assert WB_POLICY.enforce_at_write_buffer
+        assert not WB_POLICY.enforce_at_issue
+        assert WB_POLICY.enforces_ede
+
+    def test_fence_policy_enforces_nothing(self):
+        assert not FENCE_POLICY.enforces_ede
+
+    def test_both_points_rejected(self):
+        with pytest.raises(ValueError):
+            EnforcementPolicy(name="bad", enforce_at_issue=True,
+                              enforce_at_write_buffer=True)
+
+    def test_lookup_by_name(self):
+        assert policy_by_name("iq") is IQ_POLICY
+        assert policy_by_name("WB") is WB_POLICY
+        assert policy_by_name("fence") is FENCE_POLICY
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            policy_by_name("XYZ")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            IQ_POLICY.name = "other"

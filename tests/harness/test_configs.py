@@ -1,0 +1,68 @@
+"""Tests for Table I parameters and Table III configurations."""
+
+import pytest
+
+from repro.harness.configs import (
+    A72Params,
+    CONFIGURATIONS,
+    DEFAULT_PARAMS,
+    configuration,
+)
+from repro.nvmfw import codegen
+
+
+class TestTable1:
+    def test_row_values_match_paper(self):
+        rows = dict(DEFAULT_PARAMS.table())
+        assert "3-instr decode width" in rows["Processor"]
+        assert rows["Ld-St queue"] == "16 entries each"
+        assert rows["Write buffer"] == "16 entries"
+        assert rows["L1 D-cache"] == "48KB, 3-way, 1-cycle access latency"
+        assert rows["L2 cache"] == "256KB, 16-way, 12-cycle access latency"
+        assert rows["L3 cache"] == "1MB/core, 16-way, 20-cycle access latency"
+        assert rows["Capacity"] == "DRAM: 2GB; NVM: 2GB"
+        assert rows["NVM latency"] == "150ns read; 500ns write"
+        assert rows["NVM line size"] == "256B"
+        assert rows["NVM on-DIMM buffer"] == "128 slots"
+        assert rows["DRAM ranks per channel"] == "2"
+        assert rows["DRAM banks per rank"] == "16"
+
+    def test_model_actually_uses_them(self):
+        params = DEFAULT_PARAMS
+        assert params.core.decode_width == 3
+        assert params.nvm.read_cycles == 450   # 150 ns at 3 GHz
+        assert params.nvm.write_cycles == 1500  # 500 ns
+        assert params.nvm.buffer_slots == 128
+        assert params.hierarchy.l1d_size == 48 << 10
+
+
+class TestTable3:
+    def test_five_configurations_in_paper_order(self):
+        assert [c.name for c in CONFIGURATIONS] == ["B", "SU", "IQ", "WB", "U"]
+
+    def test_fence_modes(self):
+        assert configuration("B").fence_mode == codegen.MODE_DSB
+        assert configuration("SU").fence_mode == codegen.MODE_DMB_ST
+        assert configuration("IQ").fence_mode == codegen.MODE_EDE
+        assert configuration("WB").fence_mode == codegen.MODE_EDE
+        assert configuration("U").fence_mode == codegen.MODE_NONE
+
+    def test_policies(self):
+        assert configuration("IQ").policy.enforce_at_issue
+        assert configuration("WB").policy.enforce_at_write_buffer
+        for name in ("B", "SU", "U"):
+            assert not configuration(name).policy.enforces_ede
+
+    def test_safety_flags(self):
+        assert configuration("B").safe_by_spec
+        assert configuration("IQ").safe_by_spec
+        assert configuration("WB").safe_by_spec
+        assert not configuration("SU").safe_by_spec
+        assert not configuration("U").safe_by_spec
+
+    def test_lookup_case_insensitive(self):
+        assert configuration("wb").name == "WB"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            configuration("QQ")

@@ -1,0 +1,64 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.harness import CONFIGURATIONS, run_matrix
+from repro.harness.experiments import (
+    fig9_execution_time,
+    fig10_pending_writes,
+    fig11_issue_distribution,
+    safety_matrix,
+)
+from repro.harness.reporting import (
+    fig9_markdown,
+    fig10_markdown,
+    fig11_markdown,
+    full_report,
+    safety_markdown,
+)
+from repro.workloads import Scale
+
+SMALL = Scale(ops_per_txn=5, txns=2)
+APPS = ["update"]
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_matrix(APPS, list(CONFIGURATIONS), SMALL)
+
+
+class TestSections:
+    def test_fig9_markdown(self, matrix):
+        text = fig9_markdown(fig9_execution_time(SMALL, APPS, results=matrix))
+        assert text.startswith("| app |")
+        assert "update" in text
+        assert "geomean (paper)" in text
+        # Header + separator + app rows + 2 geomean rows.
+        assert text.count("\n") == 1 + len(APPS) + 2
+
+    def test_fig10_markdown(self, matrix):
+        text = fig10_markdown(
+            fig10_pending_writes(SMALL, APPS, results=matrix))
+        assert "update" in text
+        assert "| B |" in text or "B |" in text.splitlines()[0]
+
+    def test_fig11_markdown(self, matrix):
+        text = fig11_markdown(
+            fig11_issue_distribution(SMALL, APPS, results=matrix))
+        assert "measured IPC" in text
+        assert "paper IPC" in text
+
+    def test_safety_markdown(self, matrix):
+        text = safety_markdown(safety_matrix(SMALL, APPS, results=matrix))
+        assert "safe" in text
+        assert "UNSAFE" in text  # the U column
+
+
+class TestFullReport:
+    def test_structure(self, matrix):
+        text = full_report(SMALL, results=matrix)
+        assert text.startswith("# Measured results")
+        for heading in ("## Figure 9", "## Figure 10", "## Figure 11",
+                        "## Crash-consistency"):
+            assert heading in text
+        assert text.endswith("\n")

@@ -1,0 +1,107 @@
+"""Integration: the paper's literal assembly listings run end to end."""
+
+from repro.core.policies import FENCE_POLICY, IQ_POLICY, WB_POLICY
+from repro.isa import Machine, assemble
+from repro.memory import CacheHierarchy, MemoryController
+from repro.pipeline import OutOfOrderCore
+
+NVM = 2 << 30
+ELEM = NVM + (8 << 20)
+SLOT = NVM + (9 << 20)
+
+
+def run_assembly(source, policy, warm=()):
+    program = assemble(source)
+    machine = Machine()
+    trace = machine.run(program)
+    controller = MemoryController()
+    hierarchy = CacheHierarchy(controller)
+    for line in warm:
+        for cache in (hierarchy.l3, hierarchy.l2, hierarchy.l1d):
+            cache.insert(line)
+    core = OutOfOrderCore(trace, hierarchy, policy)
+    stats = core.run()
+    return machine, controller, stats
+
+
+FIGURE4 = """
+    mov x0, #%d
+    mov x2, #%d
+    ldr x1, [x0]        ; load original value
+    stp x0, x1, [x2]    ; store addr & val
+    dc cvap, x2         ; persist slot
+    dsb sy              ; wait for slot to persist
+    mov x3, #6          ; load new value
+    str x3, [x0]        ; store new value
+    dc cvap, x0         ; persist new value
+    halt
+""" % (ELEM, SLOT)
+
+FIGURE7 = """
+    mov x0, #%d
+    mov x2, #%d
+    ldr x1, [x0]
+    stp x0, x1, [x2]
+    dc cvap (1, 0), x2  ; dependence producer, EDK #1
+    mov x3, #6
+    str (0, 1), x3, [x0] ; dependence consumer, EDK #1
+    dc cvap, x0
+    halt
+""" % (ELEM, SLOT)
+
+
+class TestFigure4:
+    def test_functional_result(self):
+        machine, controller, _ = run_assembly(FIGURE4, FENCE_POLICY,
+                                              warm=[ELEM, SLOT])
+        assert machine.memory.load(ELEM) == 6
+        assert machine.memory.load(SLOT) == ELEM
+        assert machine.memory.load(SLOT + 8) == 0  # original value
+
+    def test_persist_order(self):
+        _, controller, _ = run_assembly(FIGURE4, FENCE_POLICY,
+                                        warm=[ELEM, SLOT])
+        lines = [r.line_addr for r in controller.persist_log]
+        assert lines.index(SLOT & ~63) < lines.index(ELEM & ~63)
+
+
+class TestFigure7:
+    def test_same_functional_result_as_figure4(self):
+        for policy in (IQ_POLICY, WB_POLICY):
+            machine, _, _ = run_assembly(FIGURE7, policy, warm=[ELEM, SLOT])
+            assert machine.memory.load(ELEM) == 6
+
+    def test_persist_order_preserved_without_dsb(self):
+        for policy in (IQ_POLICY, WB_POLICY):
+            _, controller, _ = run_assembly(FIGURE7, policy,
+                                            warm=[ELEM, SLOT])
+            lines = [r.line_addr for r in controller.persist_log]
+            assert lines.index(SLOT & ~63) < lines.index(ELEM & ~63)
+
+    def test_ede_no_slower_than_fence(self):
+        _, _, fence_stats = run_assembly(FIGURE4, FENCE_POLICY,
+                                         warm=[ELEM, SLOT])
+        _, _, ede_stats = run_assembly(FIGURE7, WB_POLICY,
+                                       warm=[ELEM, SLOT])
+        assert ede_stats.cycles <= fence_stats.cycles
+
+
+class TestFigure12:
+    def test_hazard_loop_runs(self):
+        source = """
+            mov x1, #%d
+            mov x2, #%d
+            mov x5, #%d
+            str x5, [x1]        ; element location cell
+        Loop: ldr x3, [x1]      ; load element's location
+            str x3, [x2]        ; announce element's location
+            dmb sy              ; full fence: wait for announcement
+            ldr x4, [x1]        ; load element's location again
+            cmp x4, x3          ; compare both locations
+            b.ne Loop           ; try again if locations differ
+            halt
+        """ % (0x100000, 0x200000, 0x300000)
+        machine, _, stats = run_assembly(
+            source, FENCE_POLICY, warm=[0x100000, 0x200000])
+        assert machine.memory.load(0x200000) == 0x300000
+        assert stats.retired == 11  # no retry iterations

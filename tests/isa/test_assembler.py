@@ -1,0 +1,169 @@
+"""Tests for the assembler, including the paper's EDE syntax."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble, assemble_line
+from repro.isa.opcodes import Opcode
+
+
+class TestBasicSyntax:
+    def test_mov_imm(self):
+        inst = assemble_line("mov x1, #42")
+        assert inst.opcode is Opcode.MOV and inst.imm == 42
+
+    def test_mov_reg(self):
+        inst = assemble_line("mov x1, x2")
+        assert inst.src == (2,)
+
+    def test_alu_reg_and_imm(self):
+        assert assemble_line("add x1, x2, x3").src == (2, 3)
+        assert assemble_line("add x1, x2, #8").imm == 8
+        assert assemble_line("mul x1, x2, x3").opcode is Opcode.MUL
+
+    def test_cmp(self):
+        assert assemble_line("cmp x1, x2").opcode is Opcode.CMP
+        assert assemble_line("cmp x1, #0").imm == 0
+
+    def test_ldr(self):
+        inst = assemble_line("ldr x1, [x0]")
+        assert inst.opcode is Opcode.LDR and inst.imm == 0
+        inst = assemble_line("ldr x1, [x0, #16]")
+        assert inst.imm == 16
+
+    def test_str_and_stp(self):
+        assert assemble_line("str x3, [x0]").opcode is Opcode.STR
+        inst = assemble_line("stp x0, x1, [x2]")
+        assert inst.opcode is Opcode.STP and inst.src == (0, 1, 2)
+
+    def test_dc_cvap_with_and_without_comma(self):
+        assert assemble_line("dc cvap, x2").opcode is Opcode.DC_CVAP
+        assert assemble_line("dc cvap x2").opcode is Opcode.DC_CVAP
+
+    def test_barriers(self):
+        assert assemble_line("dsb sy").opcode is Opcode.DSB_SY
+        assert assemble_line("dmb st").opcode is Opcode.DMB_ST
+        assert assemble_line("dmb sy").opcode is Opcode.DMB_SY
+
+    def test_branches(self):
+        assert assemble_line("b loop").target == "loop"
+        assert assemble_line("b.ne Loop").opcode is Opcode.B_NE
+        assert assemble_line("b.eq a").opcode is Opcode.B_EQ
+        assert assemble_line("bl callee").opcode is Opcode.BL
+        assert assemble_line("ret").opcode is Opcode.RET
+
+    def test_nop_halt(self):
+        assert assemble_line("nop").opcode is Opcode.NOP
+        assert assemble_line("halt").opcode is Opcode.HALT
+
+    def test_empty_line(self):
+        assert assemble_line("") is None
+        assert assemble_line("   ") is None
+
+
+class TestEdeSyntax:
+    def test_paper_figure7_producer(self):
+        inst = assemble_line("dc cvap (1,0), x2")
+        assert inst.opcode is Opcode.DC_CVAP_EDE
+        assert inst.edk_def == 1 and inst.edk_use == 0
+
+    def test_paper_figure7_consumer(self):
+        inst = assemble_line("str (0, 1), x3, [x0]")
+        assert inst.opcode is Opcode.STR_EDE
+        assert inst.edk_def == 0 and inst.edk_use == 1
+        assert inst.src == (3, 0)
+
+    def test_stp_ede(self):
+        inst = assemble_line("stp (2, 0), x0, x1, [x2]")
+        assert inst.opcode is Opcode.STP_EDE and inst.edk_def == 2
+
+    def test_ldr_ede(self):
+        inst = assemble_line("ldr (0, 1), x4, [x1]")
+        assert inst.opcode is Opcode.LDR_EDE and inst.edk_use == 1
+
+    def test_join(self):
+        inst = assemble_line("join (3, 1, 2)")
+        assert (inst.edk_def, inst.edk_use, inst.edk_use2) == (3, 1, 2)
+
+    def test_wait_key(self):
+        inst = assemble_line("wait_key (5)")
+        assert inst.opcode is Opcode.WAIT_KEY
+        assert inst.edk_def == inst.edk_use == 5
+
+    def test_wait_all_keys(self):
+        assert assemble_line("wait_all_keys").opcode is Opcode.WAIT_ALL_KEYS
+
+
+class TestPrograms:
+    def test_comments_stripped(self):
+        program = assemble("mov x0, #1 ; set up\nmov x1, #2 // other\n")
+        assert len(program) == 2
+
+    def test_labels(self):
+        program = assemble("""
+        start:
+            mov x0, #0
+        loop:
+            add x0, x0, #1
+            b loop
+        """)
+        assert program.resolve("start") == 0
+        assert program.resolve("loop") == 1
+
+    def test_inline_label(self):
+        program = assemble("Loop: ldr x3, [x1]\nb Loop")
+        assert program.resolve("Loop") == 0
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(ValueError):
+            assemble("a:\nnop\na:\nnop")
+
+    def test_undefined_label_lookup_raises(self):
+        program = assemble("nop")
+        with pytest.raises(KeyError):
+            program.resolve("missing")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble("nop\nbogus x1\n")
+        assert exc.value.line_number == 2
+
+    def test_figure4_assembles(self):
+        """The paper's Figure 4 sequence assembles cleanly."""
+        program = assemble("""
+            ldr x1, [x0]        ; load original value
+            stp x0, x1, [x2]    ; store addr & val
+            dc cvap, x2         ; persist slot
+            dsb sy              ; wait for slot to persist
+            mov x3, #6          ; load new value
+            str x3, [x0]        ; store new value
+            dc cvap, x0         ; persist new value
+        """)
+        assert len(program) == 7
+        assert program[3].opcode is Opcode.DSB_SY
+
+    def test_figure12_assembles(self):
+        """The paper's Figure 12 hazard-pointer announcement."""
+        program = assemble("""
+        Loop: ldr x3, [x1]      ; load element's location
+            str x3, [x2]        ; announce element's location
+            dmb sy              ; full fence: wait for announcement
+            ldr x4, [x1]        ; load element's location again
+            cmp x4, x3          ; compare both locations
+            b.ne Loop           ; try again if locations differ
+        """)
+        assert len(program) == 6
+        assert program[2].opcode is Opcode.DMB_SY
+
+    def test_listing_reassembles(self):
+        source = """
+        top:
+            mov x0, #3
+            str (0, 1), x3, [x0]
+            dc cvap (1, 0), x2
+            join (3, 1, 2)
+            wait_key (1)
+            b top
+        """
+        program = assemble(source)
+        again = assemble(program.listing())
+        assert [i.mnemonic() for i in again] == [i.mnemonic() for i in program]

@@ -1,0 +1,143 @@
+"""Tests for the binary encoding, including hypothesis round-trips."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import instructions as ops
+from repro.isa.encoding import (
+    EncodingError,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+
+
+def _strip_metadata(inst: Instruction) -> Instruction:
+    return dataclasses.replace(inst, addr=None, comment=None, target=None)
+
+
+def roundtrip(inst: Instruction, labels=None) -> Instruction:
+    data = encode_instruction(inst, labels)
+    decoded, offset = decode_instruction(data)
+    assert offset == len(data)
+    return decoded
+
+
+SAMPLES = [
+    ops.nop(),
+    ops.halt(),
+    ops.mov_imm(3, 42),
+    ops.mov_reg(1, 2),
+    ops.add(1, 2, 3),
+    ops.add(1, 2, imm=-8),
+    ops.cmp(4, imm=100),
+    ops.ldr(1, 0, offset=16),
+    ops.store(3, 0, offset=-16),
+    ops.stp(1, 2, 0),
+    ops.dc_cvap(2),
+    ops.dsb_sy(),
+    ops.dmb_st(),
+    ops.dmb_sy(),
+    ops.store_ede(3, 0, edk_def=0, edk_use=1),
+    ops.stp_ede(1, 2, 0, edk_def=5, edk_use=7),
+    ops.dc_cvap_ede(2, edk_def=15, edk_use=0),
+    ops.ldr_ede(4, 5, edk_def=0, edk_use=9),
+    ops.join(3, 1, 2),
+    ops.wait_key(8),
+    ops.wait_all_keys(),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("inst", SAMPLES, ids=lambda i: i.mnemonic())
+    def test_sample_roundtrip(self, inst):
+        assert roundtrip(inst) == _strip_metadata(inst)
+
+    def test_metadata_not_encoded(self):
+        inst = ops.store(1, 0, addr=4096, comment="tagged")
+        decoded = roundtrip(inst)
+        assert decoded.addr is None
+        assert decoded.comment is None
+
+    def test_small_immediate_is_8_bytes(self):
+        assert len(encode_instruction(ops.mov_imm(0, 1000))) == 8
+
+    def test_large_immediate_uses_extension_word(self):
+        inst = ops.mov_imm(0, 2 << 30)
+        data = encode_instruction(inst)
+        assert len(data) == 16
+        assert roundtrip(inst).imm == 2 << 30
+
+    def test_negative_immediates(self):
+        assert roundtrip(ops.mov_imm(0, -1)).imm == -1
+        assert roundtrip(ops.mov_imm(0, -(1 << 40))).imm == -(1 << 40)
+
+    def test_branch_target_resolved_through_labels(self):
+        inst = ops.branch("loop")
+        decoded = roundtrip(inst, labels={"loop": 7})
+        assert decoded.imm == 7
+        assert decoded.opcode is Opcode.B
+
+    def test_unresolved_target_raises(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(ops.branch("nowhere"))
+
+
+class TestErrors:
+    def test_truncated_stream(self):
+        data = encode_instruction(ops.nop())
+        with pytest.raises(EncodingError):
+            decode_instruction(data[:4])
+
+    def test_truncated_extension(self):
+        data = encode_instruction(ops.mov_imm(0, 1 << 40))
+        with pytest.raises(EncodingError):
+            decode_instruction(data[:8] + b"")
+        # exactly the base word: extension flag set but no second word
+        with pytest.raises(EncodingError):
+            decode_instruction(data[:8])
+
+    def test_unknown_opcode(self):
+        word = (59 << 58) | (0x3F << 40) | (0x3F << 34) | (0x3F << 28) | (0x3F << 22)
+        import struct
+        with pytest.raises(EncodingError):
+            decode_instruction(struct.pack(">Q", word))
+
+
+class TestPrograms:
+    def test_program_roundtrip(self):
+        data = encode_program(SAMPLES)
+        decoded = decode_program(data)
+        assert decoded == [_strip_metadata(i) for i in SAMPLES]
+
+    def test_empty_program(self):
+        assert decode_program(b"") == []
+
+
+@st.composite
+def arbitrary_instruction(draw):
+    kind = draw(st.sampled_from(["alu", "mem", "ede", "control"]))
+    imm = draw(st.integers(min_value=-(1 << 62), max_value=(1 << 62) - 1))
+    reg = st.integers(min_value=0, max_value=32)
+    key = st.integers(min_value=0, max_value=15)
+    if kind == "alu":
+        return Instruction(Opcode.ADD, dst=(draw(reg),),
+                           src=(draw(reg),), imm=imm)
+    if kind == "mem":
+        return Instruction(Opcode.STR, src=(draw(reg), draw(reg)), imm=imm)
+    if kind == "ede":
+        return Instruction(Opcode.STR_EDE, src=(draw(reg), draw(reg)),
+                           imm=imm, edk_def=draw(key), edk_use=draw(key))
+    return ops.join(draw(key), draw(key), draw(key))
+
+
+class TestPropertyRoundTrip:
+    @given(st.lists(arbitrary_instruction(), max_size=30))
+    def test_program_roundtrip_random(self, insts):
+        decoded = decode_program(encode_program(insts))
+        assert decoded == [_strip_metadata(i) for i in insts]

@@ -1,0 +1,125 @@
+"""Tests for Instruction construction, validation and printing."""
+
+import pytest
+
+from repro.isa import instructions as ops
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+
+
+class TestValidation:
+    def test_edk_out_of_range(self):
+        with pytest.raises(ValueError):
+            ops.store_ede(1, 2, edk_def=16, edk_use=0, addr=0)
+        with pytest.raises(ValueError):
+            ops.store_ede(1, 2, edk_def=0, edk_use=-1, addr=0)
+
+    def test_non_ede_opcode_rejects_keys(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.STR, src=(1, 2), edk_def=1)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LDR, dst=(1,), src=(2,), edk_use=3)
+
+    def test_edk_use2_only_on_join(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.STR_EDE, src=(1, 2), edk_use2=3)
+        inst = ops.join(1, 2, 3)
+        assert inst.edk_use2 == 3
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LDR, dst=(1,), src=(2,), size=3)
+
+    def test_frozen(self):
+        inst = ops.nop()
+        with pytest.raises(Exception):
+            inst.opcode = Opcode.HALT
+
+
+class TestProducerConsumer:
+    def test_producer_flag(self):
+        assert ops.dc_cvap_ede(1, edk_def=3, edk_use=0, addr=0).is_producer
+        assert not ops.dc_cvap_ede(1, edk_def=0, edk_use=3, addr=0).is_producer
+
+    def test_consumer_flag(self):
+        assert ops.store_ede(1, 2, edk_def=0, edk_use=5, addr=0).is_consumer
+        assert not ops.store_ede(1, 2, edk_def=5, edk_use=0, addr=0).is_consumer
+
+    def test_zero_key_means_unused(self):
+        inst = ops.store_ede(1, 2, edk_def=0, edk_use=0, addr=0)
+        assert not inst.is_producer
+        assert not inst.is_consumer
+        assert inst.consumer_keys() == ()
+
+    def test_join_consumer_keys_in_order(self):
+        assert ops.join(3, 1, 2).consumer_keys() == (1, 2)
+        assert ops.join(3, 0, 2).consumer_keys() == (2,)
+        assert ops.join(3, 1, 0).consumer_keys() == (1,)
+
+    def test_wait_key_is_producer_and_consumer(self):
+        inst = ops.wait_key(4)
+        assert inst.is_producer
+        assert inst.is_consumer
+        assert inst.edk_def == inst.edk_use == 4
+
+
+class TestBuilders:
+    def test_stp_size_is_16(self):
+        assert ops.stp(0, 1, 2, addr=0).size == 16
+
+    def test_store_records_registers(self):
+        inst = ops.store(3, 0, addr=64)
+        assert inst.src == (3, 0)
+        assert inst.dst == ()
+        assert inst.addr == 64
+
+    def test_ldr_records_registers(self):
+        inst = ops.ldr(1, 0, offset=8, addr=72)
+        assert inst.dst == (1,)
+        assert inst.src == (0,)
+        assert inst.imm == 8
+
+    def test_branch_has_target(self):
+        inst = ops.branch("loop")
+        assert inst.target == "loop"
+        assert inst.is_branch
+
+
+class TestMnemonics:
+    def test_paper_ede_notation(self):
+        assert (ops.dc_cvap_ede(2, edk_def=1, edk_use=0, addr=0).mnemonic()
+                == "dc cvap (1, 0), x2")
+        assert (ops.store_ede(3, 0, edk_def=0, edk_use=1, addr=0).mnemonic()
+                == "str (0, 1), x3, [x0, #0]")
+
+    def test_join_notation(self):
+        assert ops.join(3, 1, 2).mnemonic() == "join (3, 1, 2)"
+
+    def test_wait_notation(self):
+        assert ops.wait_key(1).mnemonic() == "wait_key (1)"
+        assert ops.wait_all_keys().mnemonic() == "wait_all_keys"
+
+    def test_barriers(self):
+        assert ops.dsb_sy().mnemonic() == "dsb sy"
+        assert ops.dmb_st().mnemonic() == "dmb st"
+        assert ops.dmb_sy().mnemonic() == "dmb sy"
+
+    def test_comment_appended(self):
+        inst = ops.dc_cvap(2, addr=0, comment="log:0")
+        assert str(inst).endswith("; log:0")
+
+    def test_every_opcode_prints(self):
+        samples = [
+            ops.nop(), ops.halt(), ops.mov_imm(1, 5), ops.mov_reg(1, 2),
+            ops.add(1, 2, 3), ops.add(1, 2, imm=4), ops.sub(1, 2, 3),
+            ops.cmp(1, 2), ops.cmp(1, imm=3),
+            ops.ldr(1, 0, addr=0), ops.store(1, 0, addr=0),
+            ops.stp(1, 2, 0, addr=0), ops.dc_cvap(0, addr=0),
+            ops.dsb_sy(), ops.dmb_st(), ops.dmb_sy(),
+            ops.join(1, 2), ops.wait_key(3), ops.wait_all_keys(),
+            ops.branch("x"), ops.branch_cond(Opcode.B_NE, "x"),
+            ops.ldr_ede(1, 0, 0, 1, addr=0),
+            ops.stp_ede(1, 2, 0, 1, 0, addr=0),
+        ]
+        for inst in samples:
+            assert inst.mnemonic()

@@ -1,0 +1,196 @@
+"""Tests for the functional machine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.machine import Machine, MachineError, SparseMemory
+from repro.isa.opcodes import Opcode
+
+
+def run(source, memory=None, max_steps=10_000):
+    machine = Machine(memory)
+    trace = machine.run(assemble(source + "\nhalt\n"), max_steps=max_steps)
+    return machine, trace
+
+
+class TestSparseMemory:
+    def test_default_zero(self):
+        assert SparseMemory().load(0x1000) == 0
+
+    def test_store_load_roundtrip(self):
+        mem = SparseMemory()
+        mem.store(0x1000, 0xDEADBEEF)
+        assert mem.load(0x1000) == 0xDEADBEEF
+
+    def test_subword_access(self):
+        mem = SparseMemory()
+        mem.store(0x1000, 0x1122334455667788)
+        assert mem.load(0x1000, 1) == 0x88
+        assert mem.load(0x1002, 2) == 0x5566
+        assert mem.load(0x1004, 4) == 0x11223344
+
+    def test_subword_store_preserves_rest(self):
+        mem = SparseMemory()
+        mem.store(0x1000, 0x1122334455667788)
+        mem.store(0x1000, 0xFF, 1)
+        assert mem.load(0x1000) == 0x11223344556677FF
+
+    def test_unaligned_raises(self):
+        mem = SparseMemory()
+        with pytest.raises(MachineError):
+            mem.load(0x1001, 8)
+        with pytest.raises(MachineError):
+            mem.store(0x1004, 1, 8)
+
+
+class TestArithmetic:
+    def test_mov_add_sub(self):
+        machine, _ = run("mov x0, #10\nadd x1, x0, #5\nsub x2, x1, x0")
+        assert machine.regs[1] == 15
+        assert machine.regs[2] == 5
+
+    def test_logic(self):
+        machine, _ = run(
+            "mov x0, #12\nmov x1, #10\nand x2, x0, x1\n"
+            "orr x3, x0, x1\neor x4, x0, x1")
+        assert machine.regs[2] == 12 & 10
+        assert machine.regs[3] == 12 | 10
+        assert machine.regs[4] == 12 ^ 10
+
+    def test_shifts_and_mul(self):
+        machine, _ = run("mov x0, #3\nlsl x1, x0, #4\nlsr x2, x1, #2\n"
+                         "mul x3, x0, x1")
+        assert machine.regs[1] == 48
+        assert machine.regs[2] == 12
+        assert machine.regs[3] == 144
+
+    def test_wraparound_64bit(self):
+        machine, _ = run("mov x0, #0\nsub x1, x0, #1")
+        assert machine.regs[1] == (1 << 64) - 1
+
+    def test_xzr_reads_zero_and_discards_writes(self):
+        machine, _ = run("mov x0, #7\nadd xzr, x0, #1\nadd x1, xzr, #0")
+        assert machine.regs[1] == 0
+
+
+class TestMemoryOps:
+    def test_str_ldr(self):
+        machine, trace = run("mov x0, #4096\nmov x1, #99\nstr x1, [x0]\n"
+                             "ldr x2, [x0]")
+        assert machine.regs[2] == 99
+        assert trace[2].addr == 4096
+
+    def test_stp_writes_two_words(self):
+        machine, _ = run("mov x0, #4096\nmov x1, #1\nmov x2, #2\n"
+                         "stp x1, x2, [x0]\nldr x3, [x0]\nldr x4, [x0, #8]")
+        assert machine.regs[3] == 1
+        assert machine.regs[4] == 2
+
+    def test_offsets(self):
+        machine, _ = run("mov x0, #4096\nmov x1, #5\nstr x1, [x0, #24]\n"
+                         "ldr x2, [x0, #24]")
+        assert machine.regs[2] == 5
+
+    def test_cvap_and_barriers_traced_without_effect(self):
+        machine, trace = run("mov x0, #4096\ndc cvap, x0\ndsb sy\ndmb st")
+        opcodes = [inst.opcode for inst in trace]
+        assert Opcode.DC_CVAP in opcodes
+        assert Opcode.DSB_SY in opcodes
+        assert trace[1].addr == 4096
+
+
+class TestControlFlow:
+    def test_loop(self):
+        machine, trace = run("""
+            mov x0, #0
+        loop:
+            add x0, x0, #1
+            cmp x0, #5
+            b.ne loop
+        """)
+        assert machine.regs[0] == 5
+        # 1 mov + 5 * (add, cmp, b.ne)
+        assert len(trace) == 1 + 15 + 1
+
+    def test_b_ge_and_b_lt(self):
+        machine, _ = run("""
+            mov x0, #3
+            cmp x0, #5
+            b.lt less
+            mov x1, #111
+            b done
+        less:
+            mov x1, #222
+        done:
+            nop
+        """)
+        assert machine.regs[1] == 222
+
+    def test_call_and_return(self):
+        machine, _ = run("""
+            mov x0, #1
+            bl callee
+            add x2, x0, #100
+            b finish
+        callee:
+            add x0, x0, #10
+            ret
+        finish:
+            nop
+        """)
+        assert machine.regs[0] == 11
+        assert machine.regs[2] == 111
+
+    def test_runaway_detection(self):
+        with pytest.raises(MachineError):
+            run("loop:\nb loop", max_steps=100)
+
+    def test_trace_resolves_dynamic_addresses(self):
+        _, trace = run("""
+            mov x0, #4096
+            mov x2, #0
+        loop:
+            str x2, [x0]
+            add x0, x0, #8
+            add x2, x2, #1
+            cmp x2, #3
+            b.ne loop
+        """)
+        store_addrs = [i.addr for i in trace if i.opcode is Opcode.STR]
+        assert store_addrs == [4096, 4104, 4112]
+
+
+class TestEdeTransparency:
+    def test_ede_variants_execute_like_plain(self):
+        machine, trace = run("""
+            mov x0, #4096
+            mov x3, #77
+            dc cvap (1, 0), x0
+            str (0, 1), x3, [x0]
+            ldr x4, [x0]
+            join (2, 1, 0)
+            wait_key (2)
+            wait_all_keys
+        """)
+        assert machine.regs[4] == 77
+        assert any(i.opcode is Opcode.JOIN for i in trace)
+
+
+class TestHypothesisAlu:
+    @given(st.integers(0, (1 << 63) - 1), st.integers(0, (1 << 16) - 1))
+    def test_add_matches_python(self, a, b):
+        machine = Machine()
+        machine.regs[0] = a
+        _ = machine.run(assemble("add x1, x0, #%d\nhalt" % b))
+        assert machine.regs[1] == (a + b) & ((1 << 64) - 1)
+
+    @given(st.integers(0, (1 << 64) - 1), st.integers(0, (1 << 64) - 1))
+    def test_cmp_flags_match_subtraction(self, a, b):
+        machine = Machine()
+        machine.regs[0] = a
+        machine.regs[1] = b
+        machine.run(assemble("cmp x0, x1\nhalt"))
+        result = (a - b) & ((1 << 64) - 1)
+        assert machine.flags.zero == (result == 0)
+        assert machine.flags.negative == bool(result >> 63)

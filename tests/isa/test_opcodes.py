@@ -1,0 +1,72 @@
+"""Tests for opcode classification."""
+
+from repro.isa import opcodes
+from repro.isa.opcodes import Opcode
+
+
+class TestClassification:
+    def test_loads(self):
+        assert opcodes.is_load(Opcode.LDR)
+        assert opcodes.is_load(Opcode.LDR_EDE)
+        assert not opcodes.is_load(Opcode.STR)
+
+    def test_stores(self):
+        for op in (Opcode.STR, Opcode.STP, Opcode.STR_EDE, Opcode.STP_EDE):
+            assert opcodes.is_store(op)
+        assert not opcodes.is_store(Opcode.DC_CVAP)
+
+    def test_writebacks(self):
+        assert opcodes.is_writeback(Opcode.DC_CVAP)
+        assert opcodes.is_writeback(Opcode.DC_CVAP_EDE)
+        assert not opcodes.is_writeback(Opcode.STR)
+
+    def test_store_class_covers_stores_and_writebacks(self):
+        for op in (Opcode.STR, Opcode.STP, Opcode.DC_CVAP,
+                   Opcode.STR_EDE, Opcode.STP_EDE, Opcode.DC_CVAP_EDE):
+            assert opcodes.is_store_class(op)
+        assert not opcodes.is_store_class(Opcode.LDR)
+        assert not opcodes.is_store_class(Opcode.DSB_SY)
+
+    def test_barriers(self):
+        for op in (Opcode.DSB_SY, Opcode.DMB_ST, Opcode.DMB_SY):
+            assert opcodes.is_barrier(op)
+        assert not opcodes.is_barrier(Opcode.WAIT_ALL_KEYS)
+
+    def test_branches(self):
+        for op in (Opcode.B, Opcode.B_EQ, Opcode.B_NE, Opcode.B_LT,
+                   Opcode.B_GE, Opcode.BL, Opcode.RET):
+            assert opcodes.is_branch(op)
+
+    def test_memory_is_union(self):
+        assert opcodes.MEMORY_OPCODES == (
+            opcodes.LOAD_OPCODES | opcodes.STORE_OPCODES
+            | opcodes.WRITEBACK_OPCODES)
+
+
+class TestEdeVariants:
+    def test_every_ede_memory_opcode_is_ede(self):
+        for op in opcodes.EDE_MEMORY_OPCODES:
+            assert opcodes.is_ede(op)
+
+    def test_control_instructions_are_ede(self):
+        for op in (Opcode.JOIN, Opcode.WAIT_KEY, Opcode.WAIT_ALL_KEYS):
+            assert opcodes.is_ede(op)
+            assert opcodes.is_ede_control(op)
+
+    def test_plain_opcodes_are_not_ede(self):
+        for op in (Opcode.STR, Opcode.LDR, Opcode.DC_CVAP, Opcode.DSB_SY):
+            assert not opcodes.is_ede(op)
+
+    def test_variant_mapping_roundtrip(self):
+        for ede, plain in opcodes.PLAIN_OPCODE_OF_EDE_VARIANT.items():
+            assert opcodes.EDE_VARIANT_OF_PLAIN_OPCODE[plain] is ede
+
+    def test_variant_classification_matches_plain(self):
+        for ede, plain in opcodes.PLAIN_OPCODE_OF_EDE_VARIANT.items():
+            assert opcodes.is_load(ede) == opcodes.is_load(plain)
+            assert opcodes.is_store(ede) == opcodes.is_store(plain)
+            assert opcodes.is_writeback(ede) == opcodes.is_writeback(plain)
+
+    def test_opcode_values_unique(self):
+        values = [int(op) for op in Opcode]
+        assert len(values) == len(set(values))

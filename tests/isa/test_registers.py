@@ -1,0 +1,72 @@
+"""Tests for register naming and parsing."""
+
+import pytest
+
+from repro.isa import registers
+
+
+class TestRegNames:
+    def test_gpr_names(self):
+        assert registers.reg_name(0) == "x0"
+        assert registers.reg_name(30) == "x30"
+
+    def test_xzr_name(self):
+        assert registers.reg_name(registers.XZR) == "xzr"
+
+    def test_sp_name(self):
+        assert registers.reg_name(registers.SP) == "sp"
+
+    def test_invalid_encoding_raises(self):
+        with pytest.raises(ValueError):
+            registers.reg_name(33)
+        with pytest.raises(ValueError):
+            registers.reg_name(-1)
+
+
+class TestParse:
+    def test_parse_gprs(self):
+        for index in range(registers.NUM_GPRS):
+            assert registers.parse_reg("x%d" % index) == index
+
+    def test_parse_case_insensitive(self):
+        assert registers.parse_reg("XZR") == registers.XZR
+        assert registers.parse_reg("X5") == 5
+        assert registers.parse_reg("Sp") == registers.SP
+
+    def test_parse_strips_whitespace(self):
+        assert registers.parse_reg("  x7 ") == 7
+
+    def test_parse_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            registers.parse_reg("x31")
+        with pytest.raises(ValueError):
+            registers.parse_reg("x99")
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("y0", "", "x", "xa", "w0"):
+            with pytest.raises(ValueError):
+                registers.parse_reg(bad)
+
+    def test_roundtrip(self):
+        for index in list(range(registers.NUM_GPRS)) + [registers.XZR,
+                                                        registers.SP]:
+            assert registers.parse_reg(registers.reg_name(index)) == index
+
+
+class TestConventions:
+    def test_xzr_not_writable(self):
+        assert not registers.is_writable(registers.XZR)
+        assert registers.is_writable(0)
+        assert registers.is_writable(registers.SP)
+
+    def test_argument_registers(self):
+        assert registers.ARGUMENT_REGISTERS == (0, 1, 2, 3, 4, 5, 6, 7)
+
+    def test_callee_saved(self):
+        assert 19 in registers.CALLEE_SAVED_REGISTERS
+        assert 28 in registers.CALLEE_SAVED_REGISTERS
+        assert 0 not in registers.CALLEE_SAVED_REGISTERS
+
+    def test_special_registers(self):
+        assert registers.FP == 29
+        assert registers.LR == 30

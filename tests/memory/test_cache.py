@@ -1,0 +1,157 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.cache import Cache
+
+
+def small_cache(assoc=2, sets=4, line=64):
+    return Cache("T", assoc * sets * line, assoc, line)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.lookup(0x1000)
+        cache.insert(0x1000)
+        assert cache.lookup(0x1000)
+
+    def test_same_line_addresses_hit(self):
+        cache = small_cache()
+        cache.insert(0x1000)
+        assert cache.lookup(0x1008)
+        assert cache.lookup(0x103F)
+
+    def test_adjacent_line_misses(self):
+        cache = small_cache()
+        cache.insert(0x1000)
+        assert not cache.lookup(0x1040)
+
+    def test_stats(self):
+        cache = small_cache()
+        cache.lookup(0x1000)
+        cache.insert(0x1000)
+        cache.lookup(0x1000)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 1000, 3, 64)
+        with pytest.raises(ValueError):
+            Cache("bad", 4096, 2, 48)
+
+    def test_contains_does_not_disturb(self):
+        cache = small_cache()
+        cache.insert(0x1000)
+        hits = cache.stats.hits
+        assert cache.contains(0x1000)
+        assert cache.stats.hits == hits
+
+
+class TestLru:
+    def test_lru_eviction_order(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.insert(0x0)
+        cache.insert(0x40)
+        victim = cache.insert(0x80)
+        assert victim is not None
+        assert victim.addr == 0x0  # oldest way evicted
+
+    def test_lookup_refreshes_lru(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.insert(0x0)
+        cache.insert(0x40)
+        cache.lookup(0x0)          # refresh
+        victim = cache.insert(0x80)
+        assert victim.addr == 0x40
+
+    def test_reinsert_refreshes_lru(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.insert(0x0)
+        cache.insert(0x40)
+        cache.insert(0x0)
+        victim = cache.insert(0x80)
+        assert victim.addr == 0x40
+
+
+class TestDirty:
+    def test_dirty_eviction_flagged(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.insert(0x0, dirty=True)
+        victim = cache.insert(0x40)
+        assert victim.dirty
+        assert cache.stats.dirty_evictions == 1
+
+    def test_clean_eviction(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.insert(0x0)
+        victim = cache.insert(0x40)
+        assert not victim.dirty
+
+    def test_mark_dirty(self):
+        cache = small_cache()
+        cache.insert(0x0)
+        assert cache.mark_dirty(0x0)
+        assert not cache.mark_dirty(0x999000)
+
+    def test_clean_clears_dirty(self):
+        cache = small_cache()
+        cache.insert(0x0, dirty=True)
+        assert cache.clean(0x0)
+        assert not cache.clean(0x0)  # already clean
+
+    def test_reinsert_dirty_keeps_dirty(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.insert(0x0, dirty=True)
+        cache.insert(0x0, dirty=False)
+        victim_blocker = cache.insert(0x40)
+        victim = cache.insert(0x80)
+        assert victim.addr == 0x0 and victim.dirty
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.insert(0x0, dirty=True)
+        assert cache.invalidate(0x0) is True
+        assert cache.invalidate(0x0) is None
+
+
+class TestOccupancy:
+    def test_occupancy_counts_lines(self):
+        cache = small_cache(assoc=2, sets=4)
+        for i in range(3):
+            cache.insert(i * 0x40)
+        assert cache.occupancy() == 3
+
+    def test_occupancy_bounded_by_capacity(self):
+        cache = small_cache(assoc=2, sets=2)
+        for i in range(100):
+            cache.insert(i * 0x40)
+        assert cache.occupancy() <= 4
+
+
+class TestAgainstReferenceModel:
+    @given(st.lists(st.tuples(st.sampled_from(["access", "dirty-access"]),
+                              st.integers(0, 15)), max_size=300))
+    def test_matches_lru_reference(self, operations):
+        """Per-set contents always match a reference LRU list."""
+        assoc, sets, line = 2, 2, 64
+        cache = Cache("T", assoc * sets * line, assoc, line)
+        model = {s: [] for s in range(sets)}  # set -> [line numbers], MRU last
+        for action, line_number in operations:
+            addr = line_number * line
+            set_index = line_number % sets
+            dirty = action == "dirty-access"
+            hit = cache.lookup(addr)
+            assert hit == (line_number in model[set_index])
+            cache.insert(addr, dirty=dirty)
+            if line_number in model[set_index]:
+                model[set_index].remove(line_number)
+            model[set_index].append(line_number)
+            if len(model[set_index]) > assoc:
+                model[set_index].pop(0)
+        for set_index in range(sets):
+            for line_number in model[set_index]:
+                assert cache.contains(line_number * line)

@@ -1,0 +1,147 @@
+"""Tests for the memory controller and the cache hierarchy."""
+
+import pytest
+
+from repro.memory.controller import AddressMap, MemoryController
+from repro.memory.hierarchy import CacheHierarchy, HierarchyParams
+from repro.memory.persist_domain import KIND_CVAP, KIND_EVICTION
+
+NVM = AddressMap().nvm_base
+
+
+class TestAddressMap:
+    def test_split(self):
+        amap = AddressMap()
+        assert not amap.is_nvm(0)
+        assert not amap.is_nvm(amap.dram_bytes - 1)
+        assert amap.is_nvm(amap.dram_bytes)
+        assert amap.is_nvm(amap.total_bytes - 1)
+
+    def test_out_of_range(self):
+        amap = AddressMap()
+        with pytest.raises(ValueError):
+            amap.is_nvm(amap.total_bytes)
+        with pytest.raises(ValueError):
+            amap.is_nvm(-1)
+
+
+class TestControllerRouting:
+    def test_nvm_write_logged(self):
+        ctrl = MemoryController()
+        ctrl.write(NVM + 0x40, 100, is_eviction=False, tag="log:0")
+        assert len(ctrl.persist_log) == 1
+        record = ctrl.persist_log[0]
+        assert record.kind == KIND_CVAP
+        assert record.tag == "log:0"
+        assert record.line_addr == NVM + 0x40
+
+    def test_eviction_kind(self):
+        ctrl = MemoryController()
+        ctrl.write(NVM + 0x80, 100, is_eviction=True)
+        assert ctrl.persist_log[0].kind == KIND_EVICTION
+
+    def test_dram_write_not_logged(self):
+        ctrl = MemoryController()
+        ctrl.write(0x1000, 100, is_eviction=False)
+        assert len(ctrl.persist_log) == 0
+
+    def test_nvm_read_slower_than_dram(self):
+        ctrl = MemoryController()
+        dram_done = ctrl.read(0x1000, 0)
+        nvm_done = ctrl.read(NVM + 0x1000, 0)
+        assert nvm_done > dram_done
+
+
+def hierarchy():
+    return CacheHierarchy(MemoryController(), HierarchyParams())
+
+
+class TestLoads:
+    def test_l1_hit_is_one_cycle(self):
+        h = hierarchy()
+        h.l1d.insert(NVM)
+        assert h.load(NVM, 100) == 101
+
+    def test_l2_hit_latency(self):
+        h = hierarchy()
+        h.l2.insert(NVM)
+        done = h.load(NVM, 100)
+        assert done == 100 + h.l1d.latency + h.l2.latency
+
+    def test_miss_goes_to_memory(self):
+        h = hierarchy()
+        done = h.load(NVM, 0)
+        assert done >= 450  # NVM read latency
+
+    def test_fill_after_miss(self):
+        h = hierarchy()
+        h.load(NVM, 0)
+        assert h.l1d.contains(NVM)
+        assert h.l2.contains(NVM)
+        assert h.l3.contains(NVM)
+
+    def test_l2_hit_promotes_to_l1(self):
+        h = hierarchy()
+        h.l2.insert(NVM)
+        h.load(NVM, 0)
+        assert h.l1d.contains(NVM)
+
+
+class TestStores:
+    def test_store_hit_marks_dirty(self):
+        h = hierarchy()
+        h.l1d.insert(NVM)
+        done = h.store_commit(NVM, 100)
+        assert done == 101
+        assert h.l1d.clean(NVM)  # was dirty
+
+    def test_store_miss_write_allocates(self):
+        h = hierarchy()
+        h.store_commit(NVM, 0)
+        assert h.l1d.contains(NVM)
+
+    def test_dirty_eviction_to_nvm_is_persist_event(self):
+        """A dirty NVM line leaving L3 reaches the persistence domain."""
+        params = HierarchyParams(
+            l1d_size=64 * 2, l1d_assoc=1,
+            l2_size=64 * 2, l2_assoc=1,
+            l3_size=64 * 2, l3_assoc=1)
+        ctrl = MemoryController()
+        h = CacheHierarchy(ctrl, params)
+        h.store_commit(NVM, 0)
+        # Push enough conflicting lines through to force the dirty line out
+        # of every level.
+        for index in range(1, 8):
+            h.store_commit(NVM + index * 64 * 2, 1000 * index)
+        assert any(r.kind == KIND_EVICTION for r in ctrl.persist_log)
+
+
+class TestCleanToPop:
+    def test_cvap_persists_and_cleans(self):
+        h = hierarchy()
+        h.store_commit(NVM, 0)
+        done = h.clean_to_pop(NVM, 100, tag="data:0")
+        assert done > 100
+        log = h.controller.persist_log
+        assert log.first_with_tag("data:0") is not None
+        # Dirty bit cleared everywhere: evicting it later is clean.
+        assert not h.l1d.clean(NVM)
+
+    def test_cvap_retains_line_in_cache(self):
+        """Like CLWB, DC CVAP writes back but retains the line."""
+        h = hierarchy()
+        h.store_commit(NVM, 0)
+        h.clean_to_pop(NVM, 100)
+        assert h.l1d.contains(NVM)
+
+    def test_cvap_of_absent_line_still_completes(self):
+        h = hierarchy()
+        done = h.clean_to_pop(NVM + 0x4000, 100, tag="x")
+        assert done > 100
+        assert h.controller.persist_log.first_with_tag("x") is not None
+
+    def test_cvap_to_dram_not_logged(self):
+        h = hierarchy()
+        h.store_commit(0x1000, 0)
+        h.clean_to_pop(0x1000, 100)
+        assert len(h.controller.persist_log) == 0

@@ -1,0 +1,51 @@
+"""Tests for the DRAM model."""
+
+from repro.memory.dram import DramModel, DramParams
+
+
+class TestLatency:
+    def test_first_access_is_row_miss(self):
+        dram = DramModel()
+        done = dram.access(0x0, 0, is_write=False)
+        assert done == DramParams().row_miss_cycles
+        assert dram.stats.row_misses == 1
+
+    def test_second_access_same_row_hits(self):
+        dram = DramModel()
+        dram.access(0x0, 0, is_write=False)
+        done = dram.access(0x0, 1000, is_write=False)
+        assert done == 1000 + DramParams().row_hit_cycles
+        assert dram.stats.row_hits == 1
+
+    def test_row_conflict_misses_again(self):
+        params = DramParams()
+        dram = DramModel(params)
+        stride = params.row_size * params.num_banks  # same bank, new row
+        dram.access(0x0, 0, is_write=False)
+        dram.access(stride, 10_000, is_write=False)
+        assert dram.stats.row_misses == 2
+
+
+class TestBankBehaviour:
+    def test_same_bank_serializes(self):
+        params = DramParams()
+        dram = DramModel(params)
+        first = dram.access(0x0, 0, is_write=False)
+        second = dram.access(0x0, 0, is_write=False)
+        assert second >= params.bank_busy_cycles + params.row_hit_cycles
+
+    def test_different_banks_parallel(self):
+        dram = DramModel()
+        first = dram.access(0x0, 0, is_write=False)
+        second = dram.access(0x40, 0, is_write=False)  # next line, next bank
+        assert second == first  # both row misses, no serialization
+
+    def test_counters(self):
+        dram = DramModel()
+        dram.access(0x0, 0, is_write=True)
+        dram.access(0x0, 0, is_write=False)
+        assert dram.stats.writes == 1
+        assert dram.stats.reads == 1
+
+    def test_bank_count(self):
+        assert DramParams(ranks=2, banks_per_rank=16).num_banks == 32

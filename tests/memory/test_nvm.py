@@ -1,0 +1,116 @@
+"""Tests for the NVM model and its persistent on-DIMM buffer."""
+
+from repro.memory.nvm import NvmModel, NvmParams
+
+
+def model(**kwargs) -> NvmModel:
+    return NvmModel(NvmParams(**kwargs))
+
+
+class TestReads:
+    def test_read_latency(self):
+        nvm = model()
+        assert nvm.read(0x0, 100) == 100 + nvm.params.read_cycles
+
+    def test_same_bank_reads_serialize(self):
+        nvm = model(read_banks=1)
+        first = nvm.read(0x0, 0)
+        second = nvm.read(0x0, 0)
+        assert second > first
+
+
+class TestAcceptance:
+    def test_accept_latency(self):
+        nvm = model()
+        assert nvm.accept_write(0x100, 50) == 50 + nvm.params.accept_cycles
+
+    def test_line_writes_counted(self):
+        nvm = model()
+        nvm.accept_write(0x0, 0)
+        nvm.accept_write(0x4000, 0)
+        assert nvm.stats.line_writes_received == 2
+
+    def test_media_write_scheduled(self):
+        nvm = model()
+        nvm.accept_write(0x0, 0)
+        nvm.drain_all(0)
+        assert nvm.stats.media_writes == 1
+
+
+class TestCoalescing:
+    def test_same_nvm_line_coalesces_when_drain_blocked(self):
+        """Two 64B writes to one 256B line merge if the drain of the first
+        has not started (bank kept busy by another line)."""
+        nvm = model(write_banks=1)
+        nvm.accept_write(0x0, 0)        # occupies the single bank
+        nvm.accept_write(0x10000, 0)    # same bank, queued behind
+        nvm.accept_write(0x10040, 1)    # same 256B line as previous: merge
+        assert nvm.stats.coalesced_writes == 1
+        nvm.drain_all(0)
+        assert nvm.stats.media_writes == 2
+
+    def test_different_lines_do_not_coalesce(self):
+        nvm = model()
+        nvm.accept_write(0x0, 0)
+        nvm.accept_write(0x100, 0)
+        assert nvm.stats.coalesced_writes == 0
+
+    def test_no_coalesce_once_drain_started(self):
+        nvm = model(write_banks=4)
+        nvm.accept_write(0x0, 0)        # drain starts immediately
+        nvm.accept_write(0x40, 10)      # same line but already draining
+        assert nvm.stats.coalesced_writes == 0
+        nvm.drain_all(0)
+        assert nvm.stats.media_writes == 2
+
+
+class TestBackpressure:
+    def test_full_buffer_stalls_accept(self):
+        nvm = model(buffer_slots=2, write_banks=1, accept_cycles=10)
+        nvm.accept_write(0x000, 0)
+        nvm.accept_write(0x100, 0)
+        accept = nvm.accept_write(0x200, 0)
+        # Must wait for the first drain (write_cycles after its start).
+        assert accept > nvm.params.write_cycles
+        assert nvm.stats.stalled_accepts == 1
+        assert nvm.stats.stall_cycles > 0
+
+    def test_occupancy_never_exceeds_slots(self):
+        nvm = model(buffer_slots=4, write_banks=1)
+        for index in range(32):
+            nvm.accept_write(index * 0x100, index)
+        assert nvm.pending_count(32) <= 4
+
+
+class TestSampling:
+    def test_sample_taken_per_media_write(self):
+        nvm = model()
+        for index in range(5):
+            nvm.accept_write(index * 0x100, 0)
+        nvm.drain_all(0)
+        assert len(nvm.pending_samples) == 5
+
+    def test_samples_reflect_occupancy(self):
+        nvm = model(write_banks=1)
+        for index in range(4):
+            nvm.accept_write(index * 0x100, 0)
+        nvm.drain_all(0)
+        # Draining one at a time: occupancy decreases monotonically.
+        assert nvm.pending_samples == sorted(nvm.pending_samples, reverse=True)
+
+    def test_out_of_order_reap_tolerated(self):
+        """Accept cycles can jitter slightly (variable cache lookup)."""
+        nvm = model()
+        nvm.accept_write(0x000, 100)
+        nvm.accept_write(0x100, 90)   # slightly earlier call is fine
+        nvm.drain_all(100)
+        assert nvm.stats.media_writes == 2
+
+
+class TestDrainAll:
+    def test_drain_all_empties(self):
+        nvm = model(write_banks=2)
+        for index in range(10):
+            nvm.accept_write(index * 0x100, 0)
+        done = nvm.drain_all(0)
+        assert nvm.pending_count(done) == 0

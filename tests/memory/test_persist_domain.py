@@ -1,0 +1,62 @@
+"""Tests for the persist-domain event log."""
+
+from repro.memory.persist_domain import KIND_CVAP, KIND_EVICTION, PersistLog
+
+
+class TestRecording:
+    def test_sequence_numbers_monotonic(self):
+        log = PersistLog()
+        for index in range(5):
+            record = log.record(cycle=index * 10, line_addr=index * 64,
+                                kind=KIND_CVAP)
+            assert record.seq == index
+
+    def test_iteration_order(self):
+        log = PersistLog()
+        log.record(1, 0x40, KIND_CVAP, tag="a")
+        log.record(2, 0x80, KIND_EVICTION)
+        assert [r.tag for r in log] == ["a", None]
+
+    def test_len_and_index(self):
+        log = PersistLog()
+        log.record(1, 0x40, KIND_CVAP)
+        assert len(log) == 1
+        assert log[0].line_addr == 0x40
+
+
+class TestTagQueries:
+    def test_first_with_tag(self):
+        log = PersistLog()
+        log.record(1, 0x40, KIND_CVAP, tag="log:0")
+        log.record(2, 0x40, KIND_CVAP, tag="log:0")
+        first = log.first_with_tag("log:0")
+        assert first.seq == 0
+
+    def test_missing_tag(self):
+        assert PersistLog().first_with_tag("nope") is None
+
+    def test_all_with_tag(self):
+        log = PersistLog()
+        log.record(1, 0x40, KIND_CVAP, tag="t")
+        log.record(2, 0x80, KIND_CVAP, tag="u")
+        log.record(3, 0xC0, KIND_CVAP, tag="t")
+        assert [r.seq for r in log.all_with_tag("t")] == [0, 2]
+
+
+class TestLineQueries:
+    def test_first_persist_of_line(self):
+        log = PersistLog()
+        log.record(1, 0x40, KIND_CVAP)
+        log.record(2, 0x80, KIND_CVAP)
+        log.record(3, 0x40, KIND_EVICTION)
+        assert log.first_persist_of_line(0x40).seq == 0
+        assert log.first_persist_of_line(0x40, after_seq=0).seq == 2
+        assert log.first_persist_of_line(0x100) is None
+
+    def test_prefix(self):
+        log = PersistLog()
+        for index in range(10):
+            log.record(index, index * 64, KIND_CVAP)
+        assert len(log.prefix(3)) == 3
+        assert len(log.prefix(100)) == 10
+        assert log.prefix(0) == []

@@ -1,0 +1,127 @@
+"""Tests for the NVM layout, persistent heap and undo log."""
+
+import pytest
+
+from repro.nvmfw.allocator import OutOfPersistentMemory, PersistentHeap
+from repro.nvmfw.layout import DEFAULT_LAYOUT, LOG_ENTRY_BYTES, NvmLayout
+from repro.nvmfw.undo_log import UndoLog, UndoLogFull
+
+
+class TestLayout:
+    def test_regions_do_not_overlap(self):
+        DEFAULT_LAYOUT.validate()
+        assert DEFAULT_LAYOUT.log_base >= (
+            DEFAULT_LAYOUT.tx_meta_base + DEFAULT_LAYOUT.tx_meta_bytes)
+        assert DEFAULT_LAYOUT.heap_base >= (
+            DEFAULT_LAYOUT.log_base + DEFAULT_LAYOUT.log_bytes)
+
+    def test_everything_in_nvm(self):
+        from repro.memory.controller import AddressMap
+        amap = AddressMap()
+        assert amap.is_nvm(DEFAULT_LAYOUT.tx_meta_base)
+        assert amap.is_nvm(DEFAULT_LAYOUT.heap_base)
+
+    def test_log_head_is_volatile_dram(self):
+        from repro.memory.controller import AddressMap
+        assert not AddressMap().is_nvm(DEFAULT_LAYOUT.log_head_addr)
+
+    def test_capacity(self):
+        assert (DEFAULT_LAYOUT.log_capacity
+                == DEFAULT_LAYOUT.log_bytes // LOG_ENTRY_BYTES)
+
+    def test_invalid_layout_rejected(self):
+        bad = NvmLayout(heap_base=DEFAULT_LAYOUT.log_base)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestHeap:
+    def test_alloc_returns_heap_addresses(self):
+        heap = PersistentHeap()
+        addr = heap.alloc(64)
+        assert heap.contains(addr)
+        assert addr >= DEFAULT_LAYOUT.heap_base
+
+    def test_allocations_do_not_overlap(self):
+        heap = PersistentHeap()
+        first = heap.alloc(64)
+        second = heap.alloc(64)
+        assert abs(second - first) >= 64
+
+    def test_alignment(self):
+        heap = PersistentHeap()
+        assert heap.alloc(24, align=64) % 64 == 0
+        assert heap.alloc(8) % 8 == 0
+
+    def test_size_rounded_to_8(self):
+        heap = PersistentHeap()
+        first = heap.alloc(1)
+        second = heap.alloc(1)
+        assert second - first >= 8
+
+    def test_free_then_realloc_reuses(self):
+        heap = PersistentHeap()
+        addr = heap.alloc(48)
+        heap.free(addr, 48)
+        assert heap.alloc(48) == addr
+
+    def test_free_list_is_per_size(self):
+        heap = PersistentHeap()
+        addr = heap.alloc(48)
+        heap.free(addr, 48)
+        other = heap.alloc(96)
+        assert other != addr
+
+    def test_accounting(self):
+        heap = PersistentHeap()
+        addr = heap.alloc(64)
+        assert heap.live_bytes == 64
+        heap.free(addr, 64)
+        assert heap.live_bytes == 0
+        assert heap.allocated_bytes == 64
+
+    def test_invalid_requests(self):
+        heap = PersistentHeap()
+        with pytest.raises(ValueError):
+            heap.alloc(0)
+        with pytest.raises(ValueError):
+            heap.alloc(8, align=3)
+        with pytest.raises(ValueError):
+            heap.free(0x10, 8)
+
+    def test_exhaustion(self):
+        layout = NvmLayout()
+        heap = PersistentHeap(layout)
+        with pytest.raises(OutOfPersistentMemory):
+            heap.alloc(layout.heap_bytes + 64)
+
+
+class TestUndoLog:
+    def test_slots_are_sequential_16_bytes(self):
+        log = UndoLog()
+        first = log.reserve_slot()
+        second = log.reserve_slot()
+        assert second - first == LOG_ENTRY_BYTES
+        assert first == DEFAULT_LAYOUT.log_base
+
+    def test_record_tracks_entries(self):
+        log = UndoLog()
+        slot = log.reserve_slot()
+        entry = log.record(slot, 0x1000, 42)
+        assert entry.target_addr == 0x1000
+        assert entry.original_value == 42
+        assert len(log) == 1
+
+    def test_reset_reuses_slots(self):
+        log = UndoLog()
+        first = log.reserve_slot()
+        log.reset()
+        assert log.reserve_slot() == first
+        assert len(log) == 0
+
+    def test_overflow(self):
+        layout = NvmLayout()
+        log = UndoLog(layout)
+        log._head = layout.log_capacity  # simulate exhaustion
+        with pytest.raises(UndoLogFull):
+            log.reserve_slot()

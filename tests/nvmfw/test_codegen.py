@@ -1,0 +1,142 @@
+"""Tests for the per-configuration code generator."""
+
+import pytest
+
+from repro.isa.opcodes import Opcode
+from repro.isa.program import TraceBuilder
+from repro.nvmfw import codegen
+from repro.nvmfw.codegen import PersistOpEmitter
+
+
+def emit_update(mode, op_id=0, head=None):
+    builder = TraceBuilder()
+    emitter = PersistOpEmitter(mode, builder)
+    emitter.emit_logged_update(op_id, target_addr=0x80001000, new_value=7,
+                               slot_addr=0x80002000, head_addr=head)
+    return builder.trace
+
+
+def opcodes_of(trace):
+    return [inst.opcode for inst in trace]
+
+
+class TestModes:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PersistOpEmitter("bogus", TraceBuilder())
+
+    def test_dsb_mode_has_dsb_after_log_persist(self):
+        trace = emit_update(codegen.MODE_DSB)
+        opcodes = opcodes_of(trace)
+        dsb_index = opcodes.index(Opcode.DSB_SY)
+        cvap_index = opcodes.index(Opcode.DC_CVAP)
+        assert cvap_index < dsb_index
+        # The data store comes after the barrier (Figure 4).
+        str_index = opcodes.index(Opcode.STR)
+        assert dsb_index < str_index
+
+    def test_dmb_st_mode(self):
+        opcodes = opcodes_of(emit_update(codegen.MODE_DMB_ST))
+        assert Opcode.DMB_ST in opcodes
+        assert Opcode.DSB_SY not in opcodes
+
+    def test_unsafe_mode_has_no_ordering(self):
+        opcodes = opcodes_of(emit_update(codegen.MODE_NONE))
+        for barrier in (Opcode.DSB_SY, Opcode.DMB_ST, Opcode.DMB_SY):
+            assert barrier not in opcodes
+        assert Opcode.STR_EDE not in opcodes
+
+    def test_ede_mode_matches_figure7(self):
+        trace = emit_update(codegen.MODE_EDE)
+        opcodes = opcodes_of(trace)
+        assert Opcode.DSB_SY not in opcodes
+        assert Opcode.DC_CVAP_EDE in opcodes
+        assert Opcode.STR_EDE in opcodes
+        producer = next(i for i in trace if i.opcode is Opcode.DC_CVAP_EDE)
+        consumer = next(i for i in trace if i.opcode is Opcode.STR_EDE)
+        assert producer.edk_def != 0
+        assert consumer.edk_use == producer.edk_def
+
+
+class TestTags:
+    def test_persist_tags(self):
+        trace = emit_update(codegen.MODE_DSB, op_id=9)
+        comments = [i.comment for i in trace if i.comment]
+        assert codegen.log_tag(9) in comments
+        assert codegen.store_tag(9) in comments
+        assert codegen.data_tag(9) in comments
+
+    def test_memory_instructions_carry_addresses(self):
+        for mode in codegen.ALL_MODES:
+            for inst in emit_update(mode):
+                if inst.is_memory:
+                    assert inst.addr is not None
+
+
+class TestReservation:
+    def test_reserve_emits_head_load_and_bump(self):
+        trace = emit_update(codegen.MODE_DSB, head=0x40000000)
+        opcodes = opcodes_of(trace)
+        assert Opcode.LDR in opcodes     # head load
+        assert Opcode.CMP in opcodes     # bounds check
+        head_stores = [i for i in trace if i.is_store and i.addr == 0x40000000]
+        assert len(head_stores) == 1
+
+    def test_no_reservation_without_head(self):
+        trace = emit_update(codegen.MODE_DSB, head=None)
+        assert Opcode.LDR in opcodes_of(trace)  # only the element load
+        loads = [i for i in trace if i.opcode is Opcode.LDR]
+        assert len(loads) == 1
+
+
+class TestCommit:
+    def emit_commit(self, mode):
+        builder = TraceBuilder()
+        emitter = PersistOpEmitter(mode, builder)
+        emitter.emit_commit(3, commit_addr=0x80000000)
+        return builder.trace
+
+    def test_dsb_commit_is_double_fenced(self):
+        opcodes = opcodes_of(self.emit_commit(codegen.MODE_DSB))
+        assert opcodes.count(Opcode.DSB_SY) == 2
+
+    def test_ede_commit_uses_waits(self):
+        trace = self.emit_commit(codegen.MODE_EDE)
+        opcodes = opcodes_of(trace)
+        assert Opcode.WAIT_ALL_KEYS in opcodes
+        assert Opcode.WAIT_KEY in opcodes
+        wait_key = next(i for i in trace if i.opcode is Opcode.WAIT_KEY)
+        producer = next(i for i in trace if i.opcode is Opcode.DC_CVAP_EDE)
+        assert wait_key.edk_use == producer.edk_def
+
+    def test_unsafe_commit_has_no_waits(self):
+        opcodes = opcodes_of(self.emit_commit(codegen.MODE_NONE))
+        assert Opcode.WAIT_ALL_KEYS not in opcodes
+        assert Opcode.DSB_SY not in opcodes
+
+    def test_commit_tag(self):
+        trace = self.emit_commit(codegen.MODE_DSB)
+        comments = [i.comment for i in trace if i.comment]
+        assert codegen.commit_tag(3) in comments
+
+
+class TestKeyRotation:
+    def test_distinct_ops_get_distinct_keys(self):
+        builder = TraceBuilder()
+        emitter = PersistOpEmitter(codegen.MODE_EDE, builder)
+        for op in range(3):
+            emitter.emit_logged_update(op, 0x80001000 + 64 * op, op,
+                                       0x80002000 + 16 * op)
+        producers = [i for i in builder.trace
+                     if i.opcode is Opcode.DC_CVAP_EDE and "log" in (i.comment or "")]
+        keys = [p.edk_def for p in producers]
+        assert len(set(keys)) == 3
+
+    def test_init_flush_produces_key_only_in_ede_mode(self):
+        for mode, expect_key in ((codegen.MODE_EDE, True),
+                                 (codegen.MODE_DSB, False)):
+            builder = TraceBuilder()
+            emitter = PersistOpEmitter(mode, builder)
+            emitter.emit_flush(0x80003000, "init:0")
+            cvap = next(i for i in builder.trace if i.is_writeback)
+            assert (cvap.edk_def != 0) == expect_key

@@ -1,0 +1,174 @@
+"""Tests for the persistent framework facade."""
+
+import pytest
+
+from repro.consistency.obligations import LOG_BEFORE_STORE, PERSIST_BEFORE_COMMIT
+from repro.nvmfw import codegen
+from repro.nvmfw.framework import PersistentFramework
+
+
+def framework(mode="dsb"):
+    return PersistentFramework(mode)
+
+
+class TestFunctionalMemory:
+    def test_raw_store_peek(self):
+        fw = framework()
+        fw.raw_store(0x80001000, 99)
+        assert fw.peek(0x80001000) == 99
+
+    def test_peek_default_zero(self):
+        assert framework().peek(0x80005000) == 0
+
+    def test_read_emits_instructions(self):
+        fw = framework()
+        fw.raw_store(0x80001000, 7)
+        before = len(fw.builder)
+        assert fw.read(0x80001000) == 7
+        assert len(fw.builder) == before + 2  # mov + ldr
+
+    def test_values_truncate_to_64_bits(self):
+        fw = framework()
+        fw.raw_store(0x80001000, 1 << 70)
+        assert fw.peek(0x80001000) == 0
+
+
+class TestTransactions:
+    def test_write_outside_txn_rejected(self):
+        fw = framework()
+        with pytest.raises(RuntimeError):
+            fw.write(0x80001000, 1)
+        with pytest.raises(RuntimeError):
+            fw.write_init(0x80001000, 1)
+
+    def test_nested_txn_rejected(self):
+        fw = framework()
+        fw.tx_begin()
+        with pytest.raises(RuntimeError):
+            fw.tx_begin()
+
+    def test_commit_outside_txn_rejected(self):
+        with pytest.raises(RuntimeError):
+            framework().tx_commit()
+
+    def test_finish_inside_txn_rejected(self):
+        fw = framework()
+        fw.tx_begin()
+        with pytest.raises(RuntimeError):
+            fw.finish()
+
+    def test_txn_ids_increment(self):
+        fw = framework()
+        assert fw.tx_begin() == 0
+        fw.tx_commit()
+        assert fw.tx_begin() == 1
+
+
+class TestWrite:
+    def test_functional_update(self):
+        fw = framework()
+        fw.raw_store(0x80200000, 5)
+        fw.tx_begin()
+        fw.write(0x80200000, 6)
+        assert fw.peek(0x80200000) == 6
+
+    def test_log_entry_records_old_value_with_epoch(self):
+        fw = framework()
+        fw.raw_store(0x80200000, 5)
+        fw.tx_begin()
+        fw.write(0x80200000, 6)
+        slot = fw.log.entries[0].slot_addr
+        assert fw.peek(slot) == 0x80200000 | 0  # txn 0 epoch
+        assert fw.peek(slot + 8) == 5
+        fw.tx_commit()
+        fw.tx_begin()
+        fw.write(0x80200000, 7)
+        slot = fw.log.entries[0].slot_addr
+        assert fw.peek(slot) & 7 == 1  # txn 1 epoch
+
+    def test_obligations_registered(self):
+        fw = framework()
+        fw.tx_begin()
+        fw.write(0x80200000, 6)
+        fw.tx_commit()
+        kinds = [o.kind for o in fw.obligations]
+        assert kinds.count(LOG_BEFORE_STORE) == 1
+        assert kinds.count(PERSIST_BEFORE_COMMIT) == 2  # log + data tags
+
+    def test_snapshots_capture_line_content(self):
+        fw = framework()
+        fw.tx_begin()
+        fw.write(0x80200000, 6)
+        snap = fw.line_snapshots[codegen.data_tag(0)]
+        assert snap[0x80200000] == 6
+
+
+class TestInitPath:
+    def test_write_init_emits_no_log(self):
+        fw = framework()
+        fw.tx_begin()
+        before_entries = len(fw.log.entries)
+        fw.write_init(fw.alloc(8), 3)
+        assert len(fw.log.entries) == before_entries
+
+    def test_flush_init_covers_all_lines(self):
+        fw = framework()
+        fw.tx_begin()
+        addr = fw.alloc(200, align=64)
+        fw.flush_init(addr, 200)
+        flushes = [i for i in fw.builder.trace if i.is_writeback]
+        assert len(flushes) == 4  # 200 bytes spans 4 lines from 64B-aligned
+
+    def test_init_tags_become_commit_obligations(self):
+        fw = framework()
+        fw.tx_begin()
+        addr = fw.alloc(8)
+        fw.write_init(addr, 1)
+        fw.flush_init(addr, 8)
+        fw.tx_commit()
+        init_obligations = [
+            o for o in fw.obligations
+            if o.kind == PERSIST_BEFORE_COMMIT and o.first_tag.startswith("init")
+        ]
+        assert len(init_obligations) == 1
+
+
+class TestFinish:
+    def test_built_workload_contents(self):
+        fw = framework()
+        fw.raw_store(0x80200000, 1)
+        fw.tx_begin()
+        fw.write(0x80200000, 2)
+        fw.tx_commit()
+        built = fw.finish()
+        assert built.trace[-1].opcode.name == "HALT"
+        assert built.ops == 1
+        assert built.txns == 1
+        assert built.baseline_memory[0x80200000] == 1
+        assert built.final_memory[0x80200000] == 2
+
+    def test_warm_lines_cover_memory(self):
+        fw = framework()
+        fw.raw_store(0x80200000, 1)
+        built_lines = None
+        fw.tx_begin()
+        fw.write(0x80200000, 2)
+        fw.tx_commit()
+        built = fw.finish()
+        lines = built.warm_lines()
+        assert (0x80200000 & ~63) in lines
+        assert lines == sorted(lines)
+
+    def test_tracked_state_snapshots(self):
+        fw = framework()
+        fw.raw_store(0x80200000, 1)
+        fw.track_state(lambda: {0x80200000: fw.peek(0x80200000)})
+        fw.tx_begin()
+        fw.write(0x80200000, 2)
+        fw.tx_commit()
+        fw.tx_begin()
+        fw.write(0x80200000, 3)
+        fw.tx_commit()
+        built = fw.finish()
+        assert built.committed_states[0][0x80200000] == 2
+        assert built.committed_states[1][0x80200000] == 3

@@ -1,0 +1,49 @@
+"""Shared pipeline test fixtures and helpers."""
+
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.core.policies import EnforcementPolicy, FENCE_POLICY
+from repro.isa.instructions import Instruction, halt
+from repro.memory.controller import AddressMap, MemoryController
+from repro.memory.hierarchy import CacheHierarchy
+from repro.pipeline.core import OutOfOrderCore
+from repro.pipeline.params import CoreParams
+
+NVM = AddressMap().nvm_base
+
+
+def make_core(trace: Sequence[Instruction],
+              policy: EnforcementPolicy = FENCE_POLICY,
+              params: CoreParams = CoreParams(),
+              warm_lines: Optional[List[int]] = None,
+              squash_at: Sequence[int] = ()):
+    """Build a core over a fresh memory system; warm the given lines."""
+    trace = list(trace)
+    if not trace or trace[-1].opcode.name != "HALT":
+        trace.append(halt())
+    controller = MemoryController()
+    hierarchy = CacheHierarchy(controller)
+    for line in warm_lines or ():
+        for cache in (hierarchy.l3, hierarchy.l2, hierarchy.l1d):
+            cache.insert(line)
+    core = OutOfOrderCore(trace, hierarchy, policy, params,
+                          squash_at=squash_at)
+    return core, controller
+
+
+def run_and_capture(trace, policy=FENCE_POLICY, params=CoreParams(),
+                    warm_lines=None, squash_at=()):
+    """Run a trace; return (core, controller, completed DynInsts by seq)."""
+    core, controller = make_core(trace, policy, params, warm_lines, squash_at)
+    completed = {}
+    original = core._mark_complete
+
+    def capture(dyn):
+        completed[dyn.seq] = dyn
+        original(dyn)
+
+    core._mark_complete = capture
+    core.run()
+    return core, controller, completed

@@ -1,0 +1,120 @@
+"""Tests for barrier semantics: DSB SY, DMB ST, DMB SY."""
+
+from repro.isa import instructions as ops
+from repro.pipeline.params import CoreParams
+
+from tests.pipeline.conftest import NVM, make_core, run_and_capture
+
+LINE_A = NVM + 0x4000
+LINE_B = NVM + 0x8000
+
+
+def persist_pair(addr, tag):
+    """store + cvap to one line."""
+    return [
+        ops.mov_imm(0, addr),
+        ops.mov_imm(1, 1),
+        ops.store(1, 0, addr=addr, comment="st-%s" % tag),
+        ops.dc_cvap(0, addr=addr, comment="cv-%s" % tag),
+    ]
+
+
+class TestDsbSy:
+    def test_dsb_blocks_younger_execution(self):
+        trace = (persist_pair(LINE_A, "a")
+                 + [ops.dsb_sy(), ops.mov_imm(5, 99)])
+        _, controller, completed = run_and_capture(
+            trace, warm_lines=[LINE_A])
+        cvap = completed[3]
+        younger_mov = completed[5]
+        assert younger_mov.issue_cycle >= cvap.complete_cycle
+
+    def test_dsb_waits_for_persist(self):
+        trace = persist_pair(LINE_A, "a") + [ops.dsb_sy()]
+        _, controller, completed = run_and_capture(trace, warm_lines=[LINE_A])
+        dsb = completed[4]
+        persist = controller.persist_log.first_with_tag("cv-a")
+        assert dsb.complete_cycle >= persist.cycle
+
+    def test_no_dsb_allows_overlap(self):
+        with_dsb = (persist_pair(LINE_A, "a") + [ops.dsb_sy()]
+                    + persist_pair(LINE_B, "b"))
+        without = persist_pair(LINE_A, "a") + persist_pair(LINE_B, "b")
+        core1, _ = make_core(with_dsb, warm_lines=[LINE_A, LINE_B])
+        core2, _ = make_core(without, warm_lines=[LINE_A, LINE_B])
+        assert core1.run().cycles > core2.run().cycles
+
+    def test_dsb_penalty_adds_fixed_cost(self):
+        trace = persist_pair(LINE_A, "a") + [ops.dsb_sy(), ops.mov_imm(5, 1)]
+        base_core, _ = make_core(trace, warm_lines=[LINE_A])
+        base = base_core.run().cycles
+        slow_core, _ = make_core(
+            trace, params=CoreParams(dsb_penalty=40), warm_lines=[LINE_A])
+        slow = slow_core.run().cycles
+        assert slow >= base + 40
+
+
+class TestDmbSt:
+    def test_store_after_dmb_waits_for_older_persist(self):
+        trace = (persist_pair(LINE_A, "a") + [ops.dmb_st()]
+                 + persist_pair(LINE_B, "b"))
+        _, controller, completed = run_and_capture(
+            trace, warm_lines=[LINE_A, LINE_B])
+        persist_a = controller.persist_log.first_with_tag("cv-a")
+        store_b = completed[7]
+        assert store_b.issue_cycle >= persist_a.cycle
+
+    def test_non_memory_work_proceeds_past_dmb(self):
+        """The difference from DSB: ALU work is not blocked."""
+        trace = (persist_pair(LINE_A, "a") + [ops.dmb_st()]
+                 + [ops.mov_imm(9, 1)] + persist_pair(LINE_B, "b"))
+        _, controller, completed = run_and_capture(
+            trace, warm_lines=[LINE_A, LINE_B])
+        persist_a = controller.persist_log.first_with_tag("cv-a")
+        mov = completed[5]
+        assert mov.execute_done_cycle < persist_a.cycle
+
+    def test_dmb_st_cheaper_than_dsb(self):
+        def body(barrier):
+            trace = []
+            for index, line in enumerate((LINE_A, LINE_B, NVM + 0xC000)):
+                trace += persist_pair(line, str(index))
+                trace.append(barrier())
+                trace += [ops.mov_imm(9, index), ops.add(9, 9, imm=1),
+                          ops.add(10, 9, imm=2), ops.add(11, 10, imm=3)]
+            return trace
+        lines = [LINE_A, LINE_B, NVM + 0xC000]
+        dsb_core, _ = make_core(body(ops.dsb_sy), warm_lines=lines)
+        dmb_core, _ = make_core(body(ops.dmb_st), warm_lines=lines)
+        assert dmb_core.run().cycles <= dsb_core.run().cycles
+
+
+class TestDmbSy:
+    def test_load_after_dmb_waits_for_older_store(self):
+        """The hazard-pointer pattern (Figure 12)."""
+        trace = [
+            ops.mov_imm(0, LINE_A),
+            ops.mov_imm(1, 42),
+            ops.store(1, 0, addr=LINE_A, comment="announce"),
+            ops.dmb_sy(),
+            ops.mov_imm(2, LINE_B),
+            ops.ldr(3, 2, addr=LINE_B),
+        ]
+        core, _, completed = run_and_capture(
+            trace, warm_lines=[LINE_A, LINE_B])
+        store = completed[2]
+        load = completed[5]
+        assert load.issue_cycle >= store.complete_cycle
+
+    def test_without_dmb_load_runs_ahead(self):
+        trace = [
+            ops.mov_imm(0, LINE_A),
+            ops.mov_imm(1, 42),
+            ops.store(1, 0, addr=LINE_A, comment="announce"),
+            ops.mov_imm(2, LINE_B),
+            ops.ldr(3, 2, addr=LINE_B),
+        ]
+        _, _, completed = run_and_capture(trace, warm_lines=[LINE_A, LINE_B])
+        store = completed[2]
+        load = completed[4]
+        assert load.issue_cycle < store.complete_cycle

@@ -1,0 +1,167 @@
+"""Basic out-of-order core behaviour: dataflow, widths, memory timing."""
+
+import pytest
+
+from repro.isa import instructions as ops
+from repro.pipeline.core import SimulationError
+from repro.pipeline.params import CoreParams
+
+from tests.pipeline.conftest import NVM, make_core, run_and_capture
+
+
+class TestDataflow:
+    def test_dependent_chain_serializes(self):
+        trace = [ops.mov_imm(0, 1)]
+        for _ in range(10):
+            trace.append(ops.add(0, 0, imm=1))
+        core, _, completed = run_and_capture(trace)
+        times = [completed[s].execute_done_cycle for s in range(11)]
+        assert times == sorted(times)
+        assert times[-1] - times[0] >= 10  # one cycle per chain link
+
+    def test_independent_ops_overlap(self):
+        trace = [ops.mov_imm(r, r) for r in range(8)]
+        core, _, completed = run_and_capture(trace)
+        cycles = {completed[s].execute_done_cycle for s in range(8)}
+        # Eight independent movs at decode width 3 finish within ~4 cycles.
+        assert max(cycles) - min(cycles) <= 4
+
+    def test_mul_latency(self):
+        trace = [
+            ops.mov_imm(1, 3),
+            ops.Instruction(ops.Opcode.MUL, dst=(2,), src=(1, 1)),
+            ops.add(3, 2, imm=0),
+        ]
+        _, _, completed = run_and_capture(trace)
+        assert (completed[2].execute_done_cycle
+                - completed[1].issue_cycle) >= CoreParams().mul_latency
+
+    def test_xzr_creates_no_dependence(self):
+        trace = [
+            ops.mov_imm(31, 5),           # writes discarded
+            ops.add(1, 31, imm=1),        # must not wait on the mov
+        ]
+        _, _, completed = run_and_capture(trace)
+        assert completed[1].regs_outstanding == 0
+
+
+class TestWidths:
+    def test_decode_width_bounds_dispatch(self):
+        trace = [ops.nop() for _ in range(30)]
+        core, _ = make_core(trace)
+        stats = core.run()
+        # 31 instructions (with HALT) at width 3 needs >= 10 cycles.
+        assert stats.cycles >= 10
+
+    def test_issue_histogram_capped_by_width(self):
+        trace = [ops.mov_imm(r % 20, r) for r in range(64)]
+        core, _ = make_core(trace)
+        stats = core.run()
+        assert max(stats.issue_histogram) <= CoreParams().issue_width
+
+    def test_retired_equals_trace_length(self):
+        trace = [ops.mov_imm(1, 1), ops.add(2, 1, imm=1)]
+        core, _ = make_core(trace)
+        stats = core.run()
+        assert stats.retired == len(core.trace)
+
+
+class TestLoads:
+    def test_warm_load_is_fast(self):
+        trace = [ops.mov_imm(0, NVM), ops.ldr(1, 0, addr=NVM)]
+        _, _, completed = run_and_capture(trace, warm_lines=[NVM])
+        load = completed[1]
+        assert load.execute_done_cycle - load.issue_cycle <= 3
+
+    def test_cold_nvm_load_is_slow(self):
+        trace = [ops.mov_imm(0, NVM), ops.ldr(1, 0, addr=NVM)]
+        _, _, completed = run_and_capture(trace)
+        load = completed[1]
+        assert load.execute_done_cycle - load.issue_cycle >= 450
+
+    def test_store_to_load_forwarding(self):
+        trace = [
+            ops.mov_imm(0, NVM + 0x4000),
+            ops.mov_imm(1, 77),
+            ops.store(1, 0, addr=NVM + 0x4000),
+            ops.ldr(2, 0, addr=NVM + 0x4000),
+        ]
+        _, _, completed = run_and_capture(trace)
+        load = completed[3]
+        # Forwarded from the in-flight store: no memory round trip.
+        assert load.execute_done_cycle - load.issue_cycle <= 4
+
+    def test_forwarding_from_stp(self):
+        trace = [
+            ops.mov_imm(0, NVM + 0x4000),
+            ops.stp(0, 0, 0, addr=NVM + 0x4000),
+            ops.ldr(2, 0, offset=8, addr=NVM + 0x4008),
+        ]
+        _, _, completed = run_and_capture(trace)
+        load = completed[2]
+        assert load.execute_done_cycle - load.issue_cycle <= 4
+
+
+class TestStores:
+    def test_store_completes_after_retire(self):
+        trace = [
+            ops.mov_imm(0, NVM),
+            ops.mov_imm(1, 5),
+            ops.store(1, 0, addr=NVM, comment="s"),
+        ]
+        _, _, completed = run_and_capture(trace, warm_lines=[NVM])
+        store = completed[2]
+        assert store.complete_cycle > store.retire_cycle
+
+    def test_store_visibility_recorded(self):
+        trace = [
+            ops.mov_imm(0, NVM),
+            ops.mov_imm(1, 5),
+            ops.store(1, 0, addr=NVM, comment="tagged-store"),
+        ]
+        core, _ = make_core(trace, warm_lines=[NVM])
+        core.run()
+        assert len(core.store_visibility) == 1
+        _cycle, _seq, tag, addr = core.store_visibility[0]
+        assert tag == "tagged-store" and addr == NVM
+
+    def test_untagged_store_not_recorded(self):
+        trace = [ops.mov_imm(0, NVM), ops.store(0, 0, addr=NVM)]
+        core, _ = make_core(trace, warm_lines=[NVM])
+        core.run()
+        assert core.store_visibility == []
+
+    def test_cvap_generates_persist_event(self):
+        trace = [
+            ops.mov_imm(0, NVM),
+            ops.mov_imm(1, 5),
+            ops.store(1, 0, addr=NVM),
+            ops.dc_cvap(0, addr=NVM, comment="p"),
+        ]
+        _, controller, _ = run_and_capture(trace, warm_lines=[NVM])
+        assert controller.persist_log.first_with_tag("p") is not None
+
+    def test_same_line_stores_commit_in_order(self):
+        trace = [ops.mov_imm(0, NVM)]
+        for value in range(4):
+            trace.append(ops.mov_imm(1, value))
+            trace.append(ops.store(1, 0, addr=NVM, comment="s%d" % value))
+        core, _ = make_core(trace, warm_lines=[NVM])
+        core.run()
+        cycles = [c for c, _s, _t, _a in core.store_visibility]
+        assert cycles == sorted(cycles)
+
+
+class TestErrors:
+    def test_trace_must_end_with_halt(self):
+        from repro.memory.controller import MemoryController
+        from repro.memory.hierarchy import CacheHierarchy
+        from repro.pipeline.core import OutOfOrderCore
+        with pytest.raises(ValueError):
+            OutOfOrderCore([ops.nop()], CacheHierarchy(MemoryController()))
+
+    def test_max_cycles_guard(self):
+        trace = [ops.mov_imm(0, NVM), ops.ldr(1, 0, addr=NVM)]
+        core, _ = make_core(trace)
+        with pytest.raises(SimulationError):
+            core.run(max_cycles=3)

@@ -1,0 +1,259 @@
+"""Tests for EDE enforcement in the pipeline: IQ and WB designs,
+JOIN, WAIT_KEY and WAIT_ALL_KEYS."""
+
+from repro.core.policies import FENCE_POLICY, IQ_POLICY, WB_POLICY
+from repro.isa import instructions as ops
+
+from tests.pipeline.conftest import NVM, make_core, run_and_capture
+
+LINE_A = NVM + 0x4000
+LINE_B = NVM + 0x8000
+LINE_C = NVM + 0xC000
+LINE_D = NVM + 0x10000
+ALL_LINES = [LINE_A, LINE_B, LINE_C, LINE_D]
+
+
+def producer_consumer_trace(key=1):
+    """cvap(A) produces EDK#key; str(B) consumes it (Figure 7)."""
+    return [
+        ops.mov_imm(0, LINE_A),
+        ops.mov_imm(1, 1),
+        ops.store(1, 0, addr=LINE_A),
+        ops.dc_cvap_ede(0, edk_def=key, edk_use=0, addr=LINE_A,
+                        comment="producer"),
+        ops.mov_imm(2, LINE_B),
+        ops.mov_imm(3, 2),
+        ops.store_ede(3, 2, edk_def=0, edk_use=key, addr=LINE_B,
+                      comment="consumer"),
+    ]
+
+
+class TestIqEnforcement:
+    def test_consumer_issue_delayed_until_producer_completes(self):
+        _, controller, completed = run_and_capture(
+            producer_consumer_trace(), policy=IQ_POLICY, warm_lines=ALL_LINES)
+        producer = completed[3]
+        consumer = completed[6]
+        assert consumer.issue_cycle >= producer.complete_cycle
+
+    def test_independent_younger_instructions_still_issue(self):
+        trace = producer_consumer_trace() + [ops.mov_imm(9, 5)]
+        _, controller, completed = run_and_capture(
+            trace, policy=IQ_POLICY, warm_lines=ALL_LINES)
+        producer = completed[3]
+        mov = completed[7]
+        assert mov.execute_done_cycle < producer.complete_cycle
+
+
+class TestWbEnforcement:
+    def test_consumer_issues_and_retires_without_stall(self):
+        _, controller, completed = run_and_capture(
+            producer_consumer_trace(), policy=WB_POLICY, warm_lines=ALL_LINES)
+        producer = completed[3]
+        consumer = completed[6]
+        assert consumer.issue_cycle < producer.complete_cycle
+        assert consumer.retire_cycle < producer.complete_cycle
+
+    def test_consumer_push_still_ordered(self):
+        core, controller, completed = run_and_capture(
+            producer_consumer_trace(), policy=WB_POLICY, warm_lines=ALL_LINES)
+        producer = completed[3]
+        visibility = {t: c for c, _s, t, _a in core.store_visibility}
+        assert visibility["consumer"] >= producer.complete_cycle
+
+    def test_wb_faster_than_iq_on_figure8_pattern(self):
+        """Figure 8: IQ serializes the two independent pairs via retire
+        order; WB overlaps them."""
+        trace = []
+        for index, (src, dst) in enumerate(((LINE_A, LINE_B),
+                                            (LINE_C, LINE_D))):
+            key = index + 1
+            trace += [
+                ops.mov_imm(0, src),
+                ops.mov_imm(1, index),
+                ops.store(1, 0, addr=src),
+                ops.dc_cvap_ede(0, edk_def=key, edk_use=0, addr=src),
+                ops.mov_imm(2, dst),
+                ops.mov_imm(3, index),
+                ops.store_ede(3, 2, edk_def=0, edk_use=key, addr=dst),
+            ]
+        iq_core, _ = make_core(trace, policy=IQ_POLICY, warm_lines=ALL_LINES)
+        wb_core, _ = make_core(trace, policy=WB_POLICY, warm_lines=ALL_LINES)
+        assert wb_core.run().cycles < iq_core.run().cycles
+
+
+class TestNoEnforcement:
+    def test_fence_policy_ignores_ede_annotations(self):
+        """Under the fence-only policy EDE carries no ordering (the
+        configuration relies on the fences the program contains)."""
+        _, controller, completed = run_and_capture(
+            producer_consumer_trace(), policy=FENCE_POLICY,
+            warm_lines=ALL_LINES)
+        producer = completed[3]
+        consumer = completed[6]
+        assert consumer.complete_cycle < producer.complete_cycle
+
+    def test_zero_key_consumer_not_ordered(self):
+        trace = producer_consumer_trace()
+        trace[6] = ops.store_ede(3, 2, edk_def=0, edk_use=0, addr=LINE_B,
+                                 comment="consumer")
+        _, controller, completed = run_and_capture(
+            trace, policy=IQ_POLICY, warm_lines=ALL_LINES)
+        assert completed[6].complete_cycle < completed[3].complete_cycle
+
+    def test_consumer_without_live_producer_not_ordered(self):
+        trace = [
+            ops.mov_imm(2, LINE_B),
+            ops.mov_imm(3, 2),
+            ops.store_ede(3, 2, edk_def=0, edk_use=7, addr=LINE_B),
+        ]
+        core, _ = make_core(trace, policy=IQ_POLICY, warm_lines=ALL_LINES)
+        stats = core.run()
+        assert stats.retired == len(core.trace)
+
+
+class TestKeyReuse:
+    def test_redefined_key_links_to_newest_producer(self):
+        trace = [
+            ops.mov_imm(0, LINE_A),
+            ops.dc_cvap_ede(0, edk_def=1, edk_use=0, addr=LINE_A,
+                            comment="old-producer"),
+            ops.mov_imm(1, LINE_C),
+            ops.dc_cvap_ede(1, edk_def=1, edk_use=0, addr=LINE_C,
+                            comment="new-producer"),
+            ops.mov_imm(2, LINE_B),
+            ops.mov_imm(3, 2),
+            ops.store_ede(3, 2, edk_def=0, edk_use=1, addr=LINE_B,
+                          comment="consumer"),
+        ]
+        _, controller, completed = run_and_capture(
+            trace, policy=IQ_POLICY, warm_lines=ALL_LINES)
+        newest = completed[3]
+        consumer = completed[6]
+        assert consumer.issue_cycle >= newest.complete_cycle
+
+    def test_one_producer_many_consumers(self):
+        trace = [
+            ops.mov_imm(0, LINE_A),
+            ops.dc_cvap_ede(0, edk_def=3, edk_use=0, addr=LINE_A),
+            ops.mov_imm(2, LINE_B),
+            ops.mov_imm(3, 2),
+            ops.store_ede(3, 2, edk_def=0, edk_use=3, addr=LINE_B),
+            ops.mov_imm(4, LINE_C),
+            ops.store_ede(3, 4, edk_def=0, edk_use=3, addr=LINE_C),
+        ]
+        _, _, completed = run_and_capture(
+            trace, policy=IQ_POLICY, warm_lines=ALL_LINES)
+        producer = completed[1]
+        for consumer_seq in (4, 6):
+            assert completed[consumer_seq].issue_cycle >= producer.complete_cycle
+
+
+class TestJoin:
+    def _join_trace(self):
+        return [
+            ops.mov_imm(0, LINE_A),
+            ops.dc_cvap_ede(0, edk_def=1, edk_use=0, addr=LINE_A,
+                            comment="p1"),
+            ops.mov_imm(1, LINE_B),
+            ops.dc_cvap_ede(1, edk_def=2, edk_use=0, addr=LINE_B,
+                            comment="p2"),
+            ops.join(3, 1, 2),
+            ops.mov_imm(2, LINE_C),
+            ops.mov_imm(3, 5),
+            ops.store_ede(3, 2, edk_def=0, edk_use=3, addr=LINE_C,
+                          comment="sink"),
+        ]
+
+    def test_join_waits_for_both_producers(self):
+        for policy in (IQ_POLICY, WB_POLICY):
+            core, controller, completed = run_and_capture(
+                self._join_trace(), policy=policy, warm_lines=ALL_LINES)
+            join = completed[4]
+            assert join.complete_cycle >= completed[1].complete_cycle
+            assert join.complete_cycle >= completed[3].complete_cycle
+
+    def test_sink_waits_for_join(self):
+        for policy in (IQ_POLICY, WB_POLICY):
+            core, controller, completed = run_and_capture(
+                self._join_trace(), policy=policy, warm_lines=ALL_LINES)
+            join = completed[4]
+            visibility = {t: c for c, _s, t, _a in core.store_visibility}
+            assert visibility["sink"] >= join.complete_cycle
+
+
+class TestWaits:
+    def test_wait_key_blocks_retire_until_key_completes(self):
+        trace = [
+            ops.mov_imm(0, LINE_A),
+            ops.dc_cvap_ede(0, edk_def=5, edk_use=0, addr=LINE_A,
+                            comment="p"),
+            ops.wait_key(5),
+            ops.mov_imm(9, 1),
+        ]
+        for policy in (IQ_POLICY, WB_POLICY):
+            _, controller, completed = run_and_capture(
+                trace, policy=policy, warm_lines=ALL_LINES)
+            wait = completed[2]
+            producer = completed[1]
+            assert wait.retire_cycle >= producer.complete_cycle
+
+    def test_wait_key_ignores_other_keys(self):
+        trace = [
+            ops.mov_imm(0, LINE_A),
+            ops.dc_cvap_ede(0, edk_def=5, edk_use=0, addr=LINE_A,
+                            comment="p"),
+            ops.wait_key(6),
+        ]
+        _, _, completed = run_and_capture(
+            trace, policy=WB_POLICY, warm_lines=ALL_LINES)
+        wait = completed[2]
+        producer = completed[1]
+        assert wait.retire_cycle < producer.complete_cycle
+
+    def test_wait_all_keys_waits_for_everything(self):
+        trace = [
+            ops.mov_imm(0, LINE_A),
+            ops.dc_cvap_ede(0, edk_def=1, edk_use=0, addr=LINE_A),
+            ops.mov_imm(1, LINE_B),
+            ops.dc_cvap_ede(1, edk_def=9, edk_use=0, addr=LINE_B),
+            ops.wait_all_keys(),
+        ]
+        for policy in (IQ_POLICY, WB_POLICY):
+            _, _, completed = run_and_capture(
+                trace, policy=policy, warm_lines=ALL_LINES)
+            wait = completed[4]
+            assert wait.retire_cycle >= completed[1].complete_cycle
+            assert wait.retire_cycle >= completed[3].complete_cycle
+
+    def test_consumer_after_wait_all_keys_is_ordered_behind_it(self):
+        trace = [
+            ops.mov_imm(0, LINE_A),
+            ops.dc_cvap_ede(0, edk_def=1, edk_use=0, addr=LINE_A),
+            ops.wait_all_keys(),
+            ops.mov_imm(2, LINE_B),
+            ops.mov_imm(3, 1),
+            ops.store_ede(3, 2, edk_def=0, edk_use=1, addr=LINE_B,
+                          comment="after"),
+        ]
+        core, _, completed = run_and_capture(
+            trace, policy=WB_POLICY, warm_lines=ALL_LINES)
+        wait = completed[2]
+        visibility = {t: c for c, _s, t, _a in core.store_visibility}
+        assert visibility["after"] >= wait.complete_cycle
+
+
+class TestEdmIntegration:
+    def test_edm_entry_cleared_after_completion(self):
+        trace = producer_consumer_trace()
+        core, _ = make_core(trace, policy=IQ_POLICY, warm_lines=ALL_LINES)
+        core.run()
+        assert len(core.edm.spec) == 0
+        assert len(core.edm.non_spec) == 0
+
+    def test_wb_counters_return_to_zero(self):
+        trace = producer_consumer_trace() + [ops.wait_all_keys()]
+        core, _ = make_core(trace, policy=WB_POLICY, warm_lines=ALL_LINES)
+        core.run()
+        assert core.wb.total_ede == 0
+        assert all(v == 0 for v in core.wb.key_counters.values())

@@ -1,0 +1,153 @@
+"""Property-based tests: the EDE ordering invariant on random programs.
+
+The central invariant (Section III-A): the effects of a dependence
+consumer must not be observable before its producer completes — under both
+hardware designs, for arbitrary interleavings of producers, consumers,
+plain stores, loads, JOINs and WAITs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.edm import ExecutionDependenceMap
+from repro.core.policies import IQ_POLICY, WB_POLICY
+from repro.isa import instructions as ops
+
+from tests.pipeline.conftest import NVM, make_core
+
+_LINES = [NVM + 0x40000 + 64 * i for i in range(24)]
+
+
+@st.composite
+def random_ede_program(draw):
+    """A random mix of EDE producers/consumers over distinct lines."""
+    length = draw(st.integers(min_value=2, max_value=24))
+    trace = []
+    line_index = 0
+    for position in range(length):
+        kind = draw(st.sampled_from(
+            ["producer", "consumer", "both", "store", "load", "join",
+             "wait_key", "wait_all"]))
+        line = _LINES[line_index % len(_LINES)]
+        line_index += 1
+        key = draw(st.integers(min_value=1, max_value=4))
+        key2 = draw(st.integers(min_value=1, max_value=4))
+        tag = "i%d" % position
+        if kind == "producer":
+            trace.append(ops.mov_imm(0, line))
+            trace.append(ops.dc_cvap_ede(0, edk_def=key, edk_use=0,
+                                         addr=line, comment=tag))
+        elif kind == "consumer":
+            trace.append(ops.mov_imm(1, line))
+            trace.append(ops.store_ede(0, 1, edk_def=0, edk_use=key,
+                                       addr=line, comment=tag))
+        elif kind == "both":
+            trace.append(ops.mov_imm(1, line))
+            trace.append(ops.store_ede(0, 1, edk_def=key2, edk_use=key,
+                                       addr=line, comment=tag))
+        elif kind == "store":
+            trace.append(ops.mov_imm(1, line))
+            trace.append(ops.store(0, 1, addr=line, comment=tag))
+        elif kind == "load":
+            trace.append(ops.mov_imm(1, line))
+            trace.append(ops.ldr(2, 1, addr=line))
+        elif kind == "join":
+            trace.append(ops.join(key2, key, 0))
+        elif kind == "wait_key":
+            trace.append(ops.wait_key(key))
+        else:
+            trace.append(ops.wait_all_keys())
+    return trace
+
+
+def expected_execution_edges(trace):
+    """Architectural producer->consumer pairs, derived with a model EDM."""
+    edm = ExecutionDependenceMap()
+    edges = []
+    for index, inst in enumerate(trace):
+        if not inst.is_ede:
+            continue
+        if inst.opcode is ops.Opcode.WAIT_ALL_KEYS:
+            for key in range(1, 16):
+                edm.define(key, index)
+            continue
+        for key in inst.consumer_keys():
+            producer = edm.lookup(key)
+            if producer is not None:
+                edges.append((producer, index))
+        edm.define(inst.edk_def, index)
+    return edges
+
+
+class TestOrderingInvariant:
+    @settings(max_examples=40, deadline=None)
+    @given(random_ede_program())
+    def test_consumer_never_observable_before_producer(self, trace):
+        edges = expected_execution_edges(trace)
+        for policy in (IQ_POLICY, WB_POLICY):
+            core, controller = make_core(
+                list(trace), policy=policy, warm_lines=_LINES)
+            complete_cycle = {}
+            original = core._mark_complete
+
+            def capture(dyn, complete_cycle=complete_cycle,
+                        original=original):
+                complete_cycle[dyn.seq] = core.now
+                original(dyn)
+
+            core._mark_complete = capture
+            stats = core.run()
+            assert stats.retired == len(core.trace)
+
+            # Map trace positions back to dynamic seqs (1:1, no squash).
+            for producer_pos, consumer_pos in edges:
+                producer_seq = producer_pos
+                consumer_seq = consumer_pos
+                producer = core.trace[producer_pos]
+                consumer = core.trace[consumer_pos]
+                if not (producer.is_ede and producer.is_producer):
+                    continue
+                if consumer.opcode in (ops.Opcode.WAIT_KEY,
+                                       ops.Opcode.WAIT_ALL_KEYS):
+                    continue
+                assert complete_cycle[consumer_seq] >= \
+                    complete_cycle[producer_seq], (
+                        "consumer @%d completed before producer @%d under %s"
+                        % (consumer_pos, producer_pos, policy.name))
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_ede_program())
+    def test_no_deadlock_and_full_retirement(self, trace):
+        for policy in (IQ_POLICY, WB_POLICY):
+            core, _ = make_core(list(trace), policy=policy,
+                                warm_lines=_LINES)
+            stats = core.run(max_cycles=2_000_000)
+            assert stats.retired == len(core.trace)
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_ede_program(),
+           st.integers(min_value=0, max_value=20))
+    def test_squash_does_not_break_ordering(self, trace, squash_point):
+        edges = expected_execution_edges(trace)
+        core, _ = make_core(list(trace), policy=WB_POLICY,
+                            warm_lines=_LINES,
+                            squash_at=[min(squash_point, len(trace))])
+        by_comment = {}
+        original = core._mark_complete
+
+        def capture(dyn, by_comment=by_comment, original=original):
+            if dyn.inst.comment:
+                by_comment[dyn.inst.comment] = core.now
+            original(dyn)
+
+        core._mark_complete = capture
+        core.run(max_cycles=2_000_000)
+        for producer_pos, consumer_pos in edges:
+            producer = trace[producer_pos]
+            consumer = trace[consumer_pos]
+            if producer.comment in by_comment and consumer.comment in by_comment:
+                if consumer.opcode in (ops.Opcode.WAIT_KEY,
+                                       ops.Opcode.WAIT_ALL_KEYS,
+                                       ops.Opcode.JOIN):
+                    continue
+                assert by_comment[consumer.comment] >= \
+                    by_comment[producer.comment]

@@ -1,0 +1,85 @@
+"""Tests for pipeline parameters and statistics."""
+
+import dataclasses
+
+import pytest
+
+from repro.pipeline.params import CLOCK_GHZ, CoreParams, ns_to_cycles
+from repro.pipeline.stats import PipelineStats
+
+
+class TestParams:
+    def test_table1_defaults(self):
+        params = CoreParams()
+        assert params.decode_width == 3
+        assert params.issue_width == 8
+        assert params.load_queue_entries == 16
+        assert params.store_queue_entries == 16
+        assert params.write_buffer_entries == 16
+
+    def test_validate_accepts_defaults(self):
+        CoreParams().validate()
+
+    def test_validate_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CoreParams(decode_width=0).validate()
+        with pytest.raises(ValueError):
+            CoreParams(rob_entries=-1).validate()
+
+    def test_dsb_penalty_may_be_zero(self):
+        CoreParams(dsb_penalty=0).validate()
+
+    def test_ns_conversion(self):
+        assert CLOCK_GHZ == 3.0
+        assert ns_to_cycles(150) == 450
+        assert ns_to_cycles(500) == 1500
+        assert ns_to_cycles(1) == 3
+
+
+class TestStats:
+    def test_issue_histogram(self):
+        stats = PipelineStats()
+        stats.record_issue_cycles(0)
+        stats.record_issue_cycles(3)
+        stats.record_issue_cycles(0, cycles=8)
+        assert stats.cycles == 10
+        assert stats.issue_histogram[0] == 9
+        assert stats.issue_histogram[3] == 1
+
+    def test_distribution_sums_to_one(self):
+        stats = PipelineStats()
+        for issued in (0, 1, 2, 2, 8):
+            stats.record_issue_cycles(issued)
+        distribution = stats.issue_distribution()
+        assert abs(sum(distribution) - 1.0) < 1e-9
+        assert distribution[2] == 0.4
+
+    def test_ipc(self):
+        stats = PipelineStats()
+        stats.retired = 30
+        stats.record_issue_cycles(0, cycles=100)
+        assert stats.ipc == 0.3
+
+    def test_empty_stats(self):
+        stats = PipelineStats()
+        assert stats.ipc == 0.0
+        assert stats.issue_distribution() == [0.0] * 9
+        assert stats.mean_issued_when_active() == 0.0
+
+    def test_active_fraction(self):
+        stats = PipelineStats()
+        stats.record_issue_cycles(0, cycles=3)
+        stats.record_issue_cycles(2)
+        assert abs(stats.active_issue_fraction() - 0.25) < 1e-9
+
+    def test_mean_issued_when_active(self):
+        stats = PipelineStats()
+        stats.record_issue_cycles(0, cycles=10)
+        stats.record_issue_cycles(2)
+        stats.record_issue_cycles(4)
+        assert stats.mean_issued_when_active() == 3.0
+
+    def test_summary_renders(self):
+        stats = PipelineStats()
+        stats.record_issue_cycles(1)
+        assert "IPC" in stats.summary()

@@ -1,0 +1,65 @@
+"""Tests for the pipeline visualization helper."""
+
+from repro.core.policies import WB_POLICY
+from repro.isa import instructions as ops
+from repro.memory import CacheHierarchy, MemoryController
+from repro.pipeline.core import OutOfOrderCore
+from repro.pipeline.visualize import PipelineCapture, trace_pipeline
+
+from tests.pipeline.conftest import NVM
+
+
+def sample_trace():
+    return [
+        ops.mov_imm(0, NVM),
+        ops.mov_imm(1, 5),
+        ops.store(1, 0, addr=NVM),
+        ops.dc_cvap(0, addr=NVM),
+        ops.halt(),
+    ]
+
+
+def warm_hierarchy():
+    hierarchy = CacheHierarchy(MemoryController())
+    for cache in (hierarchy.l3, hierarchy.l2, hierarchy.l1d):
+        cache.insert(NVM)
+    return hierarchy
+
+
+class TestCapture:
+    def test_records_every_instruction(self):
+        core = OutOfOrderCore(sample_trace(), warm_hierarchy(), WB_POLICY)
+        capture = PipelineCapture(core)
+        stats = capture.run()
+        assert len(capture.records) == stats.retired
+        assert [d.seq for d in capture.records] == sorted(
+            d.seq for d in capture.records)
+
+    def test_render_contains_stage_marks(self):
+        core = OutOfOrderCore(sample_trace(), warm_hierarchy(), WB_POLICY)
+        capture = PipelineCapture(core)
+        capture.run()
+        text = capture.render()
+        assert "D" in text and "R" in text and "C" in text
+        assert "str" in text
+
+    def test_render_window(self):
+        core = OutOfOrderCore(sample_trace(), warm_hierarchy(), WB_POLICY)
+        capture = PipelineCapture(core)
+        capture.run()
+        text = capture.render(first=2, count=1)
+        assert "str" in text
+        assert "mov" not in text
+
+    def test_render_empty_window(self):
+        core = OutOfOrderCore(sample_trace(), warm_hierarchy(), WB_POLICY)
+        capture = PipelineCapture(core)
+        capture.run()
+        assert "no instructions" in capture.render(first=99)
+
+
+class TestOneShot:
+    def test_trace_pipeline_helper(self):
+        text = trace_pipeline(sample_trace(), warm_hierarchy(), WB_POLICY)
+        assert text.startswith("cycles")
+        assert text.count("\n") == len(sample_trace())

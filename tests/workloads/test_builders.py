@@ -1,0 +1,133 @@
+"""Tests for the workload builders (Table II plus the hazard kernel)."""
+
+import pytest
+
+from repro.isa.opcodes import Opcode
+from repro.nvmfw import codegen
+from repro.workloads import Scale, build, workload_names
+from repro.workloads.base import TEST_SCALE
+
+SMALL = Scale(ops_per_txn=4, txns=2)
+
+
+class TestRegistry:
+    def test_table2_applications_registered(self):
+        names = workload_names()
+        for app in ("update", "swap", "btree", "ctree", "rbtree", "rtree"):
+            assert app in names
+        assert "hazard" in names
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build("nope", "dsb", SMALL)
+
+
+class TestScales:
+    def test_total_ops(self):
+        assert Scale(ops_per_txn=100, txns=1000).total_ops == 100_000
+
+    def test_paper_scale(self):
+        from repro.workloads import PAPER_SCALE
+        assert PAPER_SCALE.ops_per_txn == 100
+        assert PAPER_SCALE.txns == 1000
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("app", ["update", "swap", "btree", "ctree",
+                                     "rbtree", "rtree"])
+    def test_builds_for_every_mode(self, app):
+        for mode in codegen.ALL_MODES:
+            built = build(app, mode, SMALL)
+            assert built.trace[-1].opcode is Opcode.HALT
+            assert built.txns == SMALL.txns
+            assert built.ops >= SMALL.total_ops  # trees add init flush ops
+
+    @pytest.mark.parametrize("app", ["update", "swap", "btree", "ctree",
+                                     "rbtree", "rtree"])
+    def test_deterministic(self, app):
+        first = build(app, "dsb", SMALL)
+        second = build(app, "dsb", SMALL)
+        assert first.trace == second.trace
+
+    def test_update_obligations_per_op(self):
+        built = build("update", "dsb", SMALL)
+        log_before = [o for o in built.obligations
+                      if o.kind == "log-before-store"]
+        assert len(log_before) == SMALL.total_ops
+
+    def test_swap_has_two_writes_per_op(self):
+        built = build("swap", "dsb", SMALL)
+        log_before = [o for o in built.obligations
+                      if o.kind == "log-before-store"]
+        assert len(log_before) == 2 * SMALL.total_ops
+
+    def test_fence_counts_differ_by_mode(self):
+        dsb = build("update", "dsb", SMALL)
+        unsafe = build("update", "none", SMALL)
+        dsb_count = sum(1 for i in dsb.trace if i.opcode is Opcode.DSB_SY)
+        unsafe_count = sum(1 for i in unsafe.trace
+                           if i.opcode is Opcode.DSB_SY)
+        assert dsb_count > 0
+        assert unsafe_count == 0
+
+    def test_ede_mode_has_ede_instructions(self):
+        built = build("update", "ede", SMALL)
+        assert any(i.opcode is Opcode.DC_CVAP_EDE for i in built.trace)
+        assert any(i.opcode is Opcode.STR_EDE for i in built.trace)
+        assert any(i.opcode is Opcode.WAIT_ALL_KEYS for i in built.trace)
+
+    def test_trees_functionally_equal_across_modes(self):
+        """Fence mode changes ordering instructions, not results."""
+        for app in ("btree", "rbtree"):
+            base = build(app, "dsb", SMALL).final_memory
+            ede = build(app, "ede", SMALL).final_memory
+            # Heap contents identical (log slots differ by fence-free
+            # emission order is identical too in our generator).
+            assert base == ede
+
+
+class TestHazardKernel:
+    def test_fence_mode_uses_dmb_sy(self):
+        built = build("hazard", "dsb", SMALL)
+        assert any(i.opcode is Opcode.DMB_SY for i in built.trace)
+
+    def test_ede_mode_uses_load_variant(self):
+        built = build("hazard", "ede", SMALL)
+        assert any(i.opcode is Opcode.LDR_EDE for i in built.trace)
+        assert any(i.opcode is Opcode.STR_EDE for i in built.trace)
+        assert not any(i.opcode is Opcode.DMB_SY for i in built.trace)
+
+    def test_unsafe_mode_has_neither(self):
+        built = build("hazard", "none", SMALL)
+        assert not any(i.opcode is Opcode.DMB_SY for i in built.trace)
+        assert not any(i.is_ede for i in built.trace)
+
+    def test_ede_pairs_link(self):
+        built = build("hazard", "ede", SMALL)
+        trace = built.trace
+        for index, inst in enumerate(trace):
+            if inst.opcode is Opcode.STR_EDE:
+                consumer = trace[index + 1]
+                assert consumer.opcode is Opcode.LDR_EDE
+                assert consumer.edk_use == inst.edk_def
+
+
+class TestPublicationKernel:
+    def test_fence_mode_uses_dmb_sy(self):
+        built = build("publication", "dsb", SMALL)
+        assert any(i.opcode is Opcode.DMB_SY for i in built.trace)
+
+    def test_ede_mode_links_last_field_to_publish(self):
+        built = build("publication", "ede", SMALL)
+        trace = built.trace
+        producers = [i for i in trace if i.opcode is Opcode.STR_EDE
+                     and i.is_producer]
+        consumers = [i for i in trace if i.opcode is Opcode.STR_EDE
+                     and i.is_consumer]
+        assert len(producers) == len(consumers) == SMALL.total_ops
+        for producer, consumer in zip(producers, consumers):
+            assert consumer.edk_use == producer.edk_def
+
+    def test_unsafe_mode_unordered(self):
+        built = build("publication", "none", SMALL)
+        assert not any(i.is_ede or i.is_barrier for i in built.trace)

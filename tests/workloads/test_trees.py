@@ -1,0 +1,207 @@
+"""Functional correctness of the four persistent data structures."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.base import new_framework
+from repro.workloads.btree import MAX_KEYS, PersistentBTree
+from repro.workloads.ctree import PersistentCritBitTree
+from repro.workloads.rbtree import PersistentRedBlackTree
+from repro.workloads.rtree import PersistentRadixTree
+
+
+def in_txn_framework():
+    fw = new_framework("none")
+    fw.tx_begin()
+    return fw
+
+
+def make_btree(fw):
+    tree = PersistentBTree(fw)
+    root_ptr = fw.alloc(8)
+    fw.write_init(root_ptr, tree.root)
+    tree._root_ptr_addr = root_ptr
+    return tree
+
+
+class TestBTree:
+    def test_sorted_iteration(self):
+        fw = in_txn_framework()
+        tree = make_btree(fw)
+        keys = random.Random(1).sample(range(1, 10_000), 200)
+        for key in keys:
+            tree.insert(key, key + 1)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_lookup(self):
+        fw = in_txn_framework()
+        tree = make_btree(fw)
+        for key in (5, 1, 9, 3):
+            tree.insert(key, key * 10)
+        assert tree.lookup(9) == 90
+        assert tree.lookup(4) is None
+
+    def test_update_existing_key(self):
+        fw = in_txn_framework()
+        tree = make_btree(fw)
+        tree.insert(5, 1)
+        tree.insert(5, 2)
+        assert tree.lookup(5) == 2
+        assert len(list(tree.items())) == 1
+
+    def test_splits_grow_depth(self):
+        fw = in_txn_framework()
+        tree = make_btree(fw)
+        for key in range(1, 100):
+            tree.insert(key, key)
+        assert tree.depth() >= 2
+
+    def test_node_key_bounds(self):
+        """3-7 keys per node (root exempt from the minimum)."""
+        fw = in_txn_framework()
+        tree = make_btree(fw)
+        for key in range(1, 500):
+            tree.insert(key, key)
+
+        def check(addr):
+            node = tree._node(addr)
+            count = node.peek("count")
+            assert count <= MAX_KEYS
+            if addr != tree.root:
+                assert count >= MAX_KEYS // 2
+            if not tree._is_leaf(node):
+                for index in range(count + 1):
+                    check(node.peek("child[%d]" % index))
+
+        check(tree.root)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=500), max_size=120))
+    def test_matches_dict_model(self, keys):
+        fw = in_txn_framework()
+        tree = make_btree(fw)
+        model = {}
+        for key in keys:
+            tree.insert(key, key * 3)
+            model[key] = key * 3
+        assert dict(tree.items()) == model
+
+
+class TestCritBit:
+    def test_sorted_by_bits(self):
+        fw = in_txn_framework()
+        tree = PersistentCritBitTree(fw, fw.alloc(8))
+        keys = random.Random(2).sample(range(1, 10_000), 200)
+        for key in keys:
+            tree.insert(key, key + 1)
+        assert sorted(k for k, _ in tree.items()) == sorted(keys)
+        # Crit-bit tries over fixed-width integers iterate in key order.
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_lookup_and_update(self):
+        fw = in_txn_framework()
+        tree = PersistentCritBitTree(fw, fw.alloc(8))
+        tree.insert(10, 1)
+        tree.insert(10, 2)
+        tree.insert(11, 3)
+        assert tree.lookup(10) == 2
+        assert tree.lookup(11) == 3
+        assert tree.lookup(12) is None
+
+    def test_empty_lookup(self):
+        fw = in_txn_framework()
+        tree = PersistentCritBitTree(fw, fw.alloc(8))
+        assert tree.lookup(1) is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=1 << 62), max_size=120))
+    def test_matches_dict_model(self, keys):
+        fw = in_txn_framework()
+        tree = PersistentCritBitTree(fw, fw.alloc(8))
+        model = {}
+        for key in keys:
+            tree.insert(key, key & 0xFFFF)
+            model[key] = key & 0xFFFF
+        assert dict(tree.items()) == model
+
+
+class TestRedBlack:
+    def test_sorted_iteration_and_invariants(self):
+        fw = in_txn_framework()
+        tree = PersistentRedBlackTree(fw, fw.alloc(8))
+        keys = random.Random(3).sample(range(1, 10_000), 300)
+        for key in keys:
+            tree.insert(key, key + 1)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        tree.check_invariants()
+
+    def test_sequential_inserts_stay_balanced(self):
+        fw = in_txn_framework()
+        tree = PersistentRedBlackTree(fw, fw.alloc(8))
+        for key in range(1, 200):
+            tree.insert(key, key)
+        black_height = tree.check_invariants()
+        assert black_height <= 10  # log-ish, not a 200-deep list
+
+    def test_update_existing(self):
+        fw = in_txn_framework()
+        tree = PersistentRedBlackTree(fw, fw.alloc(8))
+        tree.insert(7, 1)
+        tree.insert(7, 2)
+        assert tree.lookup(7) == 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=400), max_size=120))
+    def test_matches_dict_model_with_invariants(self, keys):
+        fw = in_txn_framework()
+        tree = PersistentRedBlackTree(fw, fw.alloc(8))
+        model = {}
+        for key in keys:
+            tree.insert(key, key * 7)
+            model[key] = key * 7
+        assert dict(tree.items()) == model
+        tree.check_invariants()
+
+
+class TestRadix:
+    def test_insert_lookup(self):
+        fw = in_txn_framework()
+        tree = PersistentRadixTree(fw)
+        for key in (0x01020304, 0x01020305, 0xFFFFFFFF, 1):
+            tree.insert(key, key & 0xFFFF)
+        assert tree.lookup(0x01020304) == 0x0304
+        assert tree.lookup(0x01020306) is None
+
+    def test_zero_value_representable(self):
+        fw = in_txn_framework()
+        tree = PersistentRadixTree(fw)
+        tree.insert(42, 0)
+        assert tree.lookup(42) == 0
+
+    def test_key_range_checked(self):
+        fw = in_txn_framework()
+        tree = PersistentRadixTree(fw)
+        with pytest.raises(ValueError):
+            tree.insert(1 << 33, 1)
+
+    def test_items_sorted(self):
+        fw = in_txn_framework()
+        tree = PersistentRadixTree(fw)
+        keys = random.Random(4).sample(range(1, 1 << 30), 100)
+        for key in keys:
+            tree.insert(key, key & 0xFF)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                    max_size=80))
+    def test_matches_dict_model(self, keys):
+        fw = in_txn_framework()
+        tree = PersistentRadixTree(fw)
+        model = {}
+        for key in keys:
+            tree.insert(key, key % 1000)
+            model[key] = key % 1000
+        assert dict(tree.items()) == model
