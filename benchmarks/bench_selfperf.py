@@ -1,0 +1,158 @@
+"""Simulator self-performance: throughput and experiment-engine timings.
+
+Unlike the other benches, this one measures the reproduction itself rather
+than the paper's claims: simulator throughput in retired kilo-instructions
+per second (kIPS), serial-vs-parallel full-matrix wall time, and the
+persistent result cache's cold/warm behaviour.  The numbers land in the
+BENCH JSON (``benchmark.extra_info``) so the performance trajectory is
+tracked across commits.
+
+Scale control: ``REPRO_BENCH_OPS`` / ``REPRO_BENCH_TXNS`` as in
+:mod:`benchmarks.common`; CI runs this at a tiny scale as a smoke test.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+from benchmarks.common import bench_scale, print_header
+from repro.harness.configs import DEFAULT_PARAMS, configuration
+from repro.harness.parallel import resolve_workers, run_matrix_parallel
+from repro.harness.runner import run_matrix, run_one, warm_hierarchy
+from repro.memory.controller import MemoryController
+from repro.memory.hierarchy import CacheHierarchy
+from repro.pipeline.core import OutOfOrderCore
+from repro.workloads import Scale, base as workload_base
+
+#: Matrix used by the serial-vs-parallel and cache measurements — small
+#: enough to run twice in one bench, large enough to dominate overheads.
+MATRIX_APPS = ("btree", "update")
+MATRIX_CONFIGS = ("B", "SU", "IQ", "WB", "U")
+
+
+def _simulate(built, config, params=DEFAULT_PARAMS):
+    """One timing simulation of a pre-built trace (no build, no checker)."""
+    controller = MemoryController(
+        address_map=params.address_map,
+        dram_params=params.dram,
+        nvm_params=params.nvm,
+    )
+    hierarchy = CacheHierarchy(controller, params.hierarchy)
+    warm_hierarchy(hierarchy, built)
+    core = OutOfOrderCore(built.trace, hierarchy, config.policy, params.core)
+    return core.run()
+
+
+def test_selfperf_single_run_kips(benchmark):
+    """Simulator hot-loop throughput on one representative run (btree/WB)."""
+    scale = bench_scale()
+    config = configuration("WB")
+    built = workload_base.build("btree", config.fence_mode, scale)
+
+    timings = []
+
+    def run():
+        start = time.perf_counter()
+        stats = _simulate(built, config)
+        timings.append(time.perf_counter() - start)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    best = min(timings)
+    kips = stats.retired / best / 1e3
+    benchmark.extra_info["retired_instructions"] = stats.retired
+    benchmark.extra_info["sim_seconds_best"] = round(best, 4)
+    benchmark.extra_info["kips"] = round(kips, 1)
+
+    print_header("Self-perf: single-run simulator throughput (btree/WB)")
+    print("  trace length : %d instructions" % len(built.trace))
+    print("  retired      : %d" % stats.retired)
+    print("  best of %d    : %.3f s  ->  %.1f kIPS"
+          % (len(timings), best, kips))
+    assert stats.retired == len(built.trace)
+    assert kips > 0
+
+
+def test_selfperf_matrix_serial_vs_parallel(benchmark):
+    """Wall time of a small matrix: serial runner vs parallel engine."""
+    scale = bench_scale()
+    apps = list(MATRIX_APPS)
+    configs = [configuration(name) for name in MATRIX_CONFIGS]
+    workers = resolve_workers(None)
+
+    def run():
+        start = time.perf_counter()
+        serial = run_matrix(apps, configs, scale, parallel=False)
+        serial_s = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = run_matrix_parallel(apps, configs, scale,
+                                       max_workers=workers, cache=False)
+        parallel_s = time.perf_counter() - start
+        return serial, parallel, serial_s, parallel_s
+
+    serial, parallel, serial_s, parallel_s = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    for app in apps:
+        for config in configs:
+            assert (serial[app][config.name].cycles
+                    == parallel[app][config.name].cycles)
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["matrix_runs"] = len(apps) * len(configs)
+    benchmark.extra_info["serial_seconds"] = round(serial_s, 3)
+    benchmark.extra_info["parallel_seconds"] = round(parallel_s, 3)
+    benchmark.extra_info["parallel_speedup"] = round(speedup, 2)
+
+    print_header("Self-perf: %dx%d matrix wall time, serial vs parallel"
+                 % (len(apps), len(configs)))
+    print("  workers      : %d" % workers)
+    print("  serial       : %.3f s" % serial_s)
+    print("  parallel     : %.3f s  (%.2fx)" % (parallel_s, speedup))
+    if workers == 1:
+        print("  (single-CPU host: parallel path runs in-process; "
+              "speedup is expected on multi-core hosts)")
+
+
+def test_selfperf_result_cache(benchmark):
+    """Cold (simulate + store) vs warm (load) full-matrix timings."""
+    scale = bench_scale()
+    apps = list(MATRIX_APPS)
+    configs = [configuration(name) for name in MATRIX_CONFIGS]
+    tmp = tempfile.mkdtemp(prefix="repro-cache-bench-")
+    try:
+        def run():
+            start = time.perf_counter()
+            cold = run_matrix_parallel(apps, configs, scale,
+                                       max_workers=1, cache=True,
+                                       cache_dir=tmp)
+            cold_s = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = run_matrix_parallel(apps, configs, scale,
+                                       max_workers=1, cache=True,
+                                       cache_dir=tmp)
+            warm_s = time.perf_counter() - start
+            return cold, warm, cold_s, warm_s
+
+        cold, warm, cold_s, warm_s = benchmark.pedantic(
+            run, rounds=1, iterations=1)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    for app in apps:
+        for config in configs:
+            assert (cold[app][config.name].cycles
+                    == warm[app][config.name].cycles)
+
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    benchmark.extra_info["cold_seconds"] = round(cold_s, 3)
+    benchmark.extra_info["warm_seconds"] = round(warm_s, 3)
+    benchmark.extra_info["cache_speedup"] = round(speedup, 2)
+
+    print_header("Self-perf: persistent result cache, cold vs warm")
+    print("  cold (simulate + store) : %.3f s" % cold_s)
+    print("  warm (cache hits)       : %.3f s  (%.2fx)" % (warm_s, speedup))
+    assert speedup > 1.0

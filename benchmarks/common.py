@@ -2,11 +2,17 @@
 
 Every bench regenerates one table or figure of the paper.  The full
 application x configuration matrix is expensive, so it is computed once per
-scale and shared across bench modules.
+scale and shared across bench modules — and, via the parallel + cached
+experiment engine (:mod:`repro.harness.parallel`), across *processes*:
+independent simulations fan out over a process pool, and results persist in
+``.benchmarks/cache`` so repeated bench invocations skip simulation.
 
 Scale selection: set ``REPRO_BENCH_OPS`` / ``REPRO_BENCH_TXNS`` to override
 the default (25 ops/txn x 20 txns — large enough to reach NVM-buffer steady
-state while staying laptop-friendly; the paper uses 100 x 1000).
+state while staying laptop-friendly; the paper uses 100 x 1000).  Values
+must be positive integers.  ``REPRO_PARALLEL`` sets the worker count and
+``REPRO_RESULT_CACHE=0`` disables the persistent cache (see
+:mod:`repro.harness.result_cache`).
 """
 
 from __future__ import annotations
@@ -15,22 +21,39 @@ import functools
 import os
 from typing import Dict
 
-from repro.harness import CONFIGURATIONS, run_matrix
+from repro.harness import CONFIGURATIONS
 from repro.harness.experiments import APPLICATIONS
+from repro.harness.parallel import run_matrix_parallel
 from repro.harness.runner import RunResult
 from repro.workloads import Scale
 
 
+def _env_positive_int(name: str, default: int) -> int:
+    """Read a positive-integer env var, rejecting malformed values loudly."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            "%s must be a positive integer, got %r" % (name, raw)) from None
+    if value <= 0:
+        raise ValueError(
+            "%s must be a positive integer, got %d" % (name, value))
+    return value
+
+
 def bench_scale() -> Scale:
-    ops = int(os.environ.get("REPRO_BENCH_OPS", "25"))
-    txns = int(os.environ.get("REPRO_BENCH_TXNS", "20"))
+    ops = _env_positive_int("REPRO_BENCH_OPS", 25)
+    txns = _env_positive_int("REPRO_BENCH_TXNS", 20)
     return Scale(ops_per_txn=ops, txns=txns)
 
 
 @functools.lru_cache(maxsize=4)
 def _matrix_cached(ops: int, txns: int) -> Dict[str, Dict[str, RunResult]]:
     scale = Scale(ops_per_txn=ops, txns=txns)
-    return run_matrix(list(APPLICATIONS), list(CONFIGURATIONS), scale)
+    return run_matrix_parallel(list(APPLICATIONS), list(CONFIGURATIONS), scale)
 
 
 def full_matrix() -> Dict[str, Dict[str, RunResult]]:

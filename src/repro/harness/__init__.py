@@ -7,6 +7,12 @@ from repro.harness.configs import (
     DEFAULT_PARAMS,
     configuration,
 )
+from repro.harness.parallel import (
+    RunSummary,
+    resolve_workers,
+    run_matrix_parallel,
+)
+from repro.harness.result_cache import ResultCache, source_fingerprint
 from repro.harness.runner import RunResult, run_matrix, run_one
 
 __all__ = [
@@ -14,8 +20,13 @@ __all__ = [
     "CONFIGURATIONS",
     "Configuration",
     "DEFAULT_PARAMS",
+    "ResultCache",
     "RunResult",
+    "RunSummary",
     "configuration",
+    "resolve_workers",
     "run_matrix",
+    "run_matrix_parallel",
     "run_one",
+    "source_fingerprint",
 ]

@@ -13,11 +13,25 @@ import math
 from typing import Dict, List, Optional, Sequence
 
 from repro.harness.configs import CONFIGURATIONS, Configuration, DEFAULT_PARAMS
-from repro.harness.runner import RunResult, run_matrix
+from repro.harness.runner import RunResult
 from repro.workloads import BENCH_SCALE, Scale
 
 #: Applications of Table II, in the paper's order.
 APPLICATIONS = ("update", "swap", "btree", "ctree", "rbtree", "rtree")
+
+
+def _default_matrix(apps: Sequence[str], scale: Scale
+                    ) -> Dict[str, Dict[str, RunResult]]:
+    """Matrix used when a driver is called without precomputed results.
+
+    Goes through the parallel + cached engine: independent simulations fan
+    out over a process pool (``REPRO_PARALLEL``), and previously computed
+    results come from the persistent cache (``REPRO_RESULT_CACHE``).
+    """
+    from repro.harness.parallel import run_matrix_parallel
+
+    return run_matrix_parallel(list(apps), list(CONFIGURATIONS), scale)
+
 
 #: Geometric-mean normalized execution times reported in Section VII-A
 #: (1 minus the quoted reductions of 5%, 15%, 20% and 38%).
@@ -68,7 +82,7 @@ def fig9_execution_time(scale: Scale = BENCH_SCALE,
                         ) -> Fig9Result:
     """Reproduce Figure 9 (and the headline 18% / 26% speedups)."""
     if results is None:
-        results = run_matrix(list(apps), list(CONFIGURATIONS), scale)
+        results = _default_matrix(apps, scale)
     cycles = {
         app: {name: results[app][name].cycles for name in results[app]}
         for app in results
@@ -116,7 +130,7 @@ def fig10_pending_writes(scale: Scale = BENCH_SCALE,
                          ) -> Fig10Result:
     """Reproduce Figure 10's occupancy distributions."""
     if results is None:
-        results = run_matrix(list(apps), list(CONFIGURATIONS), scale)
+        results = _default_matrix(apps, scale)
     slots = DEFAULT_PARAMS.nvm.buffer_slots
     buckets = slots // bucket_size + 1
     histograms: Dict[str, Dict[str, List[float]]] = {}
@@ -162,7 +176,7 @@ def fig11_issue_distribution(scale: Scale = BENCH_SCALE,
                              results: Optional[Dict[str, Dict[str, RunResult]]] = None,
                              ) -> Fig11Result:
     if results is None:
-        results = run_matrix(list(apps), list(CONFIGURATIONS), scale)
+        results = _default_matrix(apps, scale)
     distributions: Dict[str, Dict[str, List[float]]] = {}
     ipc_by_config: Dict[str, List[float]] = {}
     for app, per_config in results.items():
@@ -206,7 +220,7 @@ def safety_matrix(scale: Scale = BENCH_SCALE,
                   results: Optional[Dict[str, Dict[str, RunResult]]] = None,
                   ) -> SafetyResult:
     if results is None:
-        results = run_matrix(list(apps), list(CONFIGURATIONS), scale)
+        results = _default_matrix(apps, scale)
     verdicts = {
         app: {name: run.consistency.verdict
               for name, run in per_config.items()}
@@ -233,11 +247,14 @@ class HazardResult:
 def hazard_pointer_experiment(scale: Scale = BENCH_SCALE) -> HazardResult:
     """Fence vs EDE vs unordered hazard-pointer announcement (Fig. 12)."""
     from repro.harness.configs import configuration
-    from repro.harness.runner import run_one
+    from repro.harness.parallel import run_matrix_parallel
 
-    cycles = {}
-    for name in ("B", "IQ", "WB", "U"):
-        run = run_one("hazard", configuration(name), scale)
-        cycles[name] = run.cycles
+    # One run_matrix-style sweep instead of per-config run_one calls: the
+    # trace is built once per fence mode (IQ and WB share the EDE binary)
+    # and the runs go through the parallel + cached engine.
+    names = ("B", "IQ", "WB", "U")
+    results = run_matrix_parallel(
+        ["hazard"], [configuration(name) for name in names], scale)
+    cycles = {name: results["hazard"][name].cycles for name in names}
     normalized = {name: cycles[name] / cycles["B"] for name in cycles}
     return HazardResult(cycles=cycles, normalized=normalized)

@@ -1,0 +1,181 @@
+"""Parallel, cached execution of the experiment matrix.
+
+The (workload, configuration) matrix is a set of independent gem5-style
+simulations; :func:`run_matrix_parallel` fans them out over a process pool
+and reuses previously computed results from the persistent
+:class:`~repro.harness.result_cache.ResultCache`.
+
+Work is partitioned by **(workload, fence mode)** rather than by single
+run: configurations sharing a fence mode (IQ and WB both run the EDE
+binary) run in the same worker so the dynamic trace is built once per
+group, exactly as the serial :func:`~repro.harness.runner.run_matrix`
+shares traces.  Each worker returns its group as one pickled object graph,
+which preserves the ``result.built`` identity-sharing between the group's
+results.  Results are reassembled in the caller's (workload, config)
+order, so output is deterministic and equal to a serial run.
+
+Environment variables:
+
+* ``REPRO_PARALLEL`` — default worker count (``0``/``1`` force the
+  in-process serial path; unset means one worker per CPU).
+* ``REPRO_RESULT_CACHE=0`` / ``REPRO_CACHE_DIR`` — see
+  :mod:`repro.harness.result_cache`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.configs import A72Params, Configuration, DEFAULT_PARAMS
+from repro.harness.result_cache import ResultCache, cache_enabled_by_env
+from repro.workloads import base as workload_base
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSummary:
+    """Slim, always-picklable digest of one simulation.
+
+    :class:`~repro.harness.runner.RunResult` carries the full trace,
+    functional memory and persist log; this is the light-weight form for
+    reporting and cross-process status (e.g. progress displays).
+    """
+
+    workload: str
+    config: str
+    cycles: int
+    instructions: int
+    ipc: float
+    verdict: str
+    violations: int
+
+    @classmethod
+    def from_result(cls, result) -> "RunSummary":
+        return cls(
+            workload=result.workload,
+            config=result.config.name,
+            cycles=result.cycles,
+            instructions=result.instructions,
+            ipc=result.ipc,
+            verdict=result.consistency.verdict,
+            violations=len(result.consistency.violations),
+        )
+
+
+def resolve_workers(max_workers: Optional[int] = None) -> int:
+    """Worker count: explicit argument > ``REPRO_PARALLEL`` > CPU count."""
+    if max_workers is None:
+        env = os.environ.get("REPRO_PARALLEL")
+        if env:
+            try:
+                max_workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    "REPRO_PARALLEL must be an integer, got %r" % env
+                ) from None
+        else:
+            max_workers = os.cpu_count() or 1
+    return max(1, max_workers)
+
+
+def _simulate_group(task: Tuple[str, Tuple[Configuration, ...],
+                                workload_base.Scale, A72Params]) -> Dict[str, object]:
+    """Worker: run every configuration of one (workload, fence mode) group.
+
+    Builds the trace once and shares it across the group's configurations,
+    mirroring the serial runner.  Module-level so it pickles for
+    :class:`~concurrent.futures.ProcessPoolExecutor`.
+    """
+    from repro.harness.runner import run_one
+
+    workload, configs, scale, params = task
+    built = workload_base.build(workload, configs[0].fence_mode, scale)
+    return {
+        config.name: run_one(workload, config, scale, params, built=built)
+        for config in configs
+    }
+
+
+def run_matrix_parallel(workloads: Sequence[str],
+                        configs: Sequence[Configuration],
+                        scale: workload_base.Scale = workload_base.BENCH_SCALE,
+                        params: A72Params = DEFAULT_PARAMS,
+                        max_workers: Optional[int] = None,
+                        cache: Optional[bool] = None,
+                        cache_dir: Optional[os.PathLike] = None,
+                        ) -> Dict[str, Dict[str, object]]:
+    """Run every workload under every configuration, in parallel and cached.
+
+    Drop-in replacement for :func:`repro.harness.runner.run_matrix`: same
+    result-dict shape, deterministic (workload, config) ordering, equal
+    results.  ``cache=None`` follows ``REPRO_RESULT_CACHE`` (on by
+    default); ``max_workers=None`` follows ``REPRO_PARALLEL`` (one worker
+    per CPU by default, ``<=1`` selects the in-process serial path).
+    """
+    workloads = list(workloads)
+    configs = list(configs)
+    if cache is None:
+        cache = cache_enabled_by_env()
+    store: Optional[ResultCache] = ResultCache(cache_dir) if cache else None
+
+    results: Dict[str, Dict[str, object]] = {
+        workload: {} for workload in workloads
+    }
+
+    # Resolve cache hits first so only genuinely missing runs are grouped.
+    keys: Dict[Tuple[str, str], str] = {}
+    missing: List[Tuple[str, Configuration]] = []
+    for workload in workloads:
+        for config in configs:
+            if store is not None:
+                key = store.key(workload, config, scale, params)
+                keys[(workload, config.name)] = key
+                cached = store.load(key)
+                if cached is not None:
+                    results[workload][config.name] = cached
+                    continue
+            missing.append((workload, config))
+
+    # Group misses by (workload, fence mode): one trace build per group.
+    groups: Dict[Tuple[str, str], List[Configuration]] = {}
+    for workload, config in missing:
+        groups.setdefault((workload, config.fence_mode), []).append(config)
+    tasks = [
+        (workload, tuple(group_configs), scale, params)
+        for (workload, _mode), group_configs in groups.items()
+    ]
+
+    workers = resolve_workers(max_workers)
+    if workers <= 1 or len(tasks) <= 1:
+        group_results = [_simulate_group(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+            group_results = list(pool.map(_simulate_group, tasks))
+
+    for task, per_config in zip(tasks, group_results):
+        workload = task[0]
+        for name, result in per_config.items():
+            results[workload][name] = result
+            if store is not None:
+                store.store(keys[(workload, name)], result)
+
+    # Reassemble in the caller's (workload, config) order so iteration
+    # order is identical to the serial runner's.
+    return {
+        workload: {
+            config.name: results[workload][config.name] for config in configs
+        }
+        for workload in workloads
+    }
+
+
+def summarize_matrix(results: Dict[str, Dict[str, object]]
+                     ) -> List[RunSummary]:
+    """Flatten a result matrix into :class:`RunSummary` rows."""
+    return [
+        RunSummary.from_result(run)
+        for per_config in results.values()
+        for run in per_config.values()
+    ]

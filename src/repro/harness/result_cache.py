@@ -1,0 +1,170 @@
+"""Persistent, content-addressed cache of simulation results.
+
+A full experiment matrix is ~30 independent simulations, and every bench
+process used to recompute all of them from scratch.  Simulations here are
+deterministic functions of (workload, configuration, scale, architectural
+parameters, simulator source), so their results can be cached on disk and
+reused across processes: repeated bench and experiment invocations skip
+simulation entirely.
+
+Keys are SHA-256 digests over a canonical JSON rendering of every input,
+plus a fingerprint of the simulator's own source tree — editing any file
+under ``src/repro`` invalidates all entries, so a stale cache can never
+mask a code change.  Entries are pickled :class:`~repro.harness.runner.
+RunResult` objects written atomically (temp file + ``os.replace``); a
+corrupt or unreadable entry is treated as a miss and discarded.
+
+Environment variables:
+
+* ``REPRO_RESULT_CACHE=0`` — disable the cache entirely (opt-out).
+* ``REPRO_CACHE_DIR`` — override the default ``.benchmarks/cache``
+  location (resolved against the current working directory).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+DEFAULT_CACHE_DIR = os.path.join(".benchmarks", "cache")
+
+#: Memoized source fingerprint (the tree does not change mid-process).
+_SOURCE_FINGERPRINT: Optional[str] = None
+
+
+def cache_enabled_by_env() -> bool:
+    """Whether the cache is enabled (default yes; ``REPRO_RESULT_CACHE=0``
+    opts out)."""
+    return os.environ.get("REPRO_RESULT_CACHE", "1") != "0"
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+def source_fingerprint() -> str:
+    """Digest of every ``.py`` file under the installed ``repro`` package.
+
+    Any source edit — simulator, workloads, harness — changes the
+    fingerprint and therefore every cache key derived from it.
+    """
+    global _SOURCE_FINGERPRINT
+    if _SOURCE_FINGERPRINT is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _SOURCE_FINGERPRINT = digest.hexdigest()
+    return _SOURCE_FINGERPRINT
+
+
+def _canonical(obj) -> str:
+    """Stable JSON rendering of nested dataclasses / containers."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        obj = dataclasses.asdict(obj)
+    return json.dumps(obj, sort_keys=True, default=repr)
+
+
+class ResultCache:
+    """On-disk result store for :class:`~repro.harness.runner.RunResult`.
+
+    Args:
+        root: Cache directory; defaults to ``$REPRO_CACHE_DIR`` or
+            ``.benchmarks/cache``.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # --- keys ---------------------------------------------------------------
+
+    def key(self, workload: str, config, scale, params,
+            fingerprint: Optional[str] = None) -> str:
+        """Content-addressed key for one (workload, config, scale, params)
+        simulation under the current source tree."""
+        if fingerprint is None:
+            fingerprint = source_fingerprint()
+        payload = "\0".join((
+            fingerprint,
+            workload,
+            _canonical(config),
+            _canonical(scale),
+            _canonical(params),
+        ))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / (key + ".pkl")
+
+    # --- access -------------------------------------------------------------
+
+    def load(self, key: str):
+        """Return the cached result for ``key``, or None on a miss.
+
+        Corrupt entries (truncated writes, pickle incompatibilities) are
+        deleted and reported as misses.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Unreadable entry: drop it so it cannot keep failing.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result) -> None:
+        """Atomically persist ``result`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; return how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))

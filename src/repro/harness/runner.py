@@ -10,6 +10,7 @@ samples, the persist log and the crash-consistency verdict.
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Dict, List, Optional
 
 from repro.consistency.checker import CheckResult, check_run
@@ -109,13 +110,31 @@ def run_one(workload: str, config: Configuration,
 
 def run_matrix(workloads: List[str], configs: List[Configuration],
                scale: workload_base.Scale = workload_base.BENCH_SCALE,
-               params: A72Params = DEFAULT_PARAMS
+               params: A72Params = DEFAULT_PARAMS,
+               parallel: Optional[bool] = None,
+               max_workers: Optional[int] = None,
+               cache: Optional[bool] = None,
                ) -> Dict[str, Dict[str, RunResult]]:
     """Run every workload under every configuration.
 
     Traces are rebuilt per fence mode (shared between IQ and WB, which run
     the same program on different hardware).
+
+    ``parallel=True`` (or setting ``REPRO_PARALLEL``) and ``cache=True``
+    delegate to the :mod:`repro.harness.parallel` engine, which fans the
+    independent simulations out over a process pool and/or reuses results
+    from the persistent on-disk cache; output is deterministic and equal
+    to the serial path.  The default — no arguments, no env vars — is the
+    plain in-process serial run with no caching.
     """
+    if parallel is None:
+        parallel = bool(os.environ.get("REPRO_PARALLEL"))
+    if parallel or cache:
+        from repro.harness.parallel import run_matrix_parallel
+
+        return run_matrix_parallel(
+            list(workloads), list(configs), scale, params,
+            max_workers=max_workers, cache=cache)
     results: Dict[str, Dict[str, RunResult]] = {}
     for workload in workloads:
         built_by_mode: Dict[str, BuiltWorkload] = {}

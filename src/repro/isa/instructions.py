@@ -20,6 +20,7 @@ from typing import Optional, Tuple
 from repro.core.edk import ZERO_KEY, validate_edk
 from repro.isa import registers
 from repro.isa.opcodes import (
+    CONDITIONAL_BRANCH_OPCODES,
     Opcode,
     is_barrier,
     is_branch,
@@ -30,6 +31,31 @@ from repro.isa.opcodes import (
     is_store_class,
     is_writeback,
 )
+
+#: Pseudo-register encoding for the condition flags (NZCV).  Conditional
+#: branches read it, CMP writes it; the timing model tracks it in the same
+#: scoreboard as the architectural registers.
+FLAGS_REG = -1
+
+#: Per-opcode classification, precomputed once and indexed by opcode value:
+#: ``(is_load, is_store, is_writeback, is_store_class, is_memory,
+#: is_barrier, is_branch, is_ede, enters_iq)``.  The timing model unpacks
+#: one entry per dynamic instruction instead of querying the opcode
+#: predicate functions; ``enters_iq`` is False for the opcodes that bypass
+#: the issue queue (barriers, WAITs, NOP and HALT).
+CLASSIFICATION_BY_OPCODE = [None] * (max(Opcode) + 1)
+for _op in Opcode:
+    CLASSIFICATION_BY_OPCODE[_op] = (
+        is_load(_op), is_store(_op), is_writeback(_op), is_store_class(_op),
+        is_memory(_op), is_barrier(_op), is_branch(_op), is_ede(_op),
+        not (is_barrier(_op) or _op in (
+            Opcode.NOP, Opcode.HALT, Opcode.WAIT_KEY, Opcode.WAIT_ALL_KEYS)),
+    )
+del _op
+
+#: Implicit extra scoreboard reads/writes beyond the encoded operands.
+_EXTRA_SRC = {op: (FLAGS_REG,) for op in CONDITIONAL_BRANCH_OPCODES}
+_EXTRA_DST = {Opcode.CMP: (FLAGS_REG,), Opcode.BL: (30,)}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,52 +90,91 @@ class Instruction:
     comment: Optional[str] = None
 
     def __post_init__(self) -> None:
-        validate_edk(self.edk_def)
-        validate_edk(self.edk_use)
-        validate_edk(self.edk_use2)
-        if not is_ede(self.opcode):
-            if self.edk_def or self.edk_use or self.edk_use2:
+        # Precompute the timing model's register views and consumer keys
+        # once per static instruction.  Per-opcode classification lives in
+        # CLASSIFICATION_BY_OPCODE instead of per-instance attributes: the
+        # pipeline unpacks it once per dynamic instruction, so copying nine
+        # flags into every one of the hundreds of thousands of trace
+        # instructions would only slow the build.  Frozen dataclasses store
+        # fields in the instance __dict__, so the precomputed attributes can
+        # be installed the same way without tripping the frozen __setattr__.
+        opcode = self.opcode
+        d = self.__dict__
+
+        edk_def = d["edk_def"]
+        edk_use = d["edk_use"]
+        edk_use2 = d["edk_use2"]
+        if edk_def or edk_use or edk_use2:
+            validate_edk(edk_def)
+            validate_edk(edk_use)
+            validate_edk(edk_use2)
+            if not CLASSIFICATION_BY_OPCODE[opcode][7]:
                 raise ValueError(
-                    "non-EDE opcode %s cannot carry EDK operands" % self.opcode.name
+                    "non-EDE opcode %s cannot carry EDK operands" % opcode.name
                 )
-        if self.edk_use2 and self.opcode is not Opcode.JOIN:
-            raise ValueError("edk_use2 is only valid on JOIN")
-        if self.size not in (1, 2, 4, 8, 16):
+            if edk_use2 and opcode is not Opcode.JOIN:
+                raise ValueError("edk_use2 is only valid on JOIN")
+            keys = []
+            if edk_use != ZERO_KEY:
+                keys.append(edk_use)
+            if edk_use2 != ZERO_KEY:
+                keys.append(edk_use2)
+            d["_consumer_keys"] = tuple(keys)
+        else:
+            # All-zero keys (the common case) are always valid.
+            d["_consumer_keys"] = ()
+        if d["size"] not in (1, 2, 4, 8, 16):
             raise ValueError("invalid access size: %r" % (self.size,))
 
+        src = d["src"]
+        used = tuple(r for r in src if r != 31) if 31 in src else src
+        extra = _EXTRA_SRC.get(opcode)
+        d["timing_src_regs"] = used + extra if extra else used
+        dst = d["dst"]
+        defined = tuple(r for r in dst if r != 31) if 31 in dst else dst
+        extra = _EXTRA_DST.get(opcode)
+        d["timing_dst_regs"] = defined + extra if extra else defined
+
     # --- classification helpers -------------------------------------------
+    # Backed by CLASSIFICATION_BY_OPCODE; hot pipeline code indexes the
+    # table directly rather than going through these properties.
 
     @property
     def is_load(self) -> bool:
-        return is_load(self.opcode)
+        return CLASSIFICATION_BY_OPCODE[self.opcode][0]
 
     @property
     def is_store(self) -> bool:
-        return is_store(self.opcode)
+        return CLASSIFICATION_BY_OPCODE[self.opcode][1]
 
     @property
     def is_writeback(self) -> bool:
-        return is_writeback(self.opcode)
-
-    @property
-    def is_memory(self) -> bool:
-        return is_memory(self.opcode)
-
-    @property
-    def is_barrier(self) -> bool:
-        return is_barrier(self.opcode)
-
-    @property
-    def is_branch(self) -> bool:
-        return is_branch(self.opcode)
+        return CLASSIFICATION_BY_OPCODE[self.opcode][2]
 
     @property
     def is_store_class(self) -> bool:
-        return is_store_class(self.opcode)
+        return CLASSIFICATION_BY_OPCODE[self.opcode][3]
+
+    @property
+    def is_memory(self) -> bool:
+        return CLASSIFICATION_BY_OPCODE[self.opcode][4]
+
+    @property
+    def is_barrier(self) -> bool:
+        return CLASSIFICATION_BY_OPCODE[self.opcode][5]
+
+    @property
+    def is_branch(self) -> bool:
+        return CLASSIFICATION_BY_OPCODE[self.opcode][6]
 
     @property
     def is_ede(self) -> bool:
-        return is_ede(self.opcode)
+        return CLASSIFICATION_BY_OPCODE[self.opcode][7]
+
+    @property
+    def enters_iq(self) -> bool:
+        """Whether the instruction occupies an issue-queue slot."""
+        return CLASSIFICATION_BY_OPCODE[self.opcode][8]
 
     @property
     def is_producer(self) -> bool:
@@ -123,12 +188,7 @@ class Instruction:
 
     def consumer_keys(self) -> Tuple[int, ...]:
         """Non-zero consumer keys, in operand order."""
-        keys = []
-        if self.edk_use != ZERO_KEY:
-            keys.append(self.edk_use)
-        if self.edk_use2 != ZERO_KEY:
-            keys.append(self.edk_use2)
-        return tuple(keys)
+        return self._consumer_keys
 
     # --- pretty printing ----------------------------------------------------
 

@@ -65,6 +65,16 @@ class Cache:
         self.latency = latency
         self.num_sets = size_bytes // (assoc * line_size)
         self.stats = CacheStats()
+        # Precomputed shift/mask indexing: line sizes are powers of two by
+        # construction, and set counts usually are too — the hot lookup path
+        # then avoids div/mod entirely.
+        self._line_shift = line_size.bit_length() - 1
+        if self.num_sets & (self.num_sets - 1) == 0:
+            self._set_mask = self.num_sets - 1
+            self._set_shift = self.num_sets.bit_length() - 1
+        else:
+            self._set_mask = -1
+            self._set_shift = 0
         # Each set maps tag -> dirty flag, in LRU -> MRU order.
         self._sets: List["OrderedDict[int, bool]"] = [
             OrderedDict() for _ in range(self.num_sets)
@@ -76,14 +86,22 @@ class Cache:
         return addr & ~(self.line_size - 1)
 
     def _locate(self, addr: int) -> tuple:
-        line = addr // self.line_size
+        line = addr >> self._line_shift
+        if self._set_mask >= 0:
+            return line & self._set_mask, line >> self._set_shift
         return line % self.num_sets, line // self.num_sets
 
     # --- operations ------------------------------------------------------------
 
     def lookup(self, addr: int, update_lru: bool = True) -> bool:
         """Probe for the line holding ``addr``; count a hit or miss."""
-        set_index, tag = self._locate(addr)
+        line = addr >> self._line_shift
+        if self._set_mask >= 0:
+            set_index = line & self._set_mask
+            tag = line >> self._set_shift
+        else:
+            set_index = line % self.num_sets
+            tag = line // self.num_sets
         ways = self._sets[set_index]
         if tag in ways:
             self.stats.hits += 1

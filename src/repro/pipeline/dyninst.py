@@ -4,8 +4,23 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
-from repro.isa.instructions import Instruction
+from repro.isa.instructions import CLASSIFICATION_BY_OPCODE, Instruction
 from repro.isa.opcodes import Opcode
+
+#: Retirement classes — precomputed so the retire stage switches on an int
+#: instead of chaining opcode identity checks for every head-of-ROB probe.
+RETIRE_NORMAL = 0
+RETIRE_DSB = 1
+RETIRE_WAIT_KEY = 2
+RETIRE_WAIT_ALL = 3
+RETIRE_HALT = 4
+
+_RETIRE_CLASS = {
+    Opcode.DSB_SY: RETIRE_DSB,
+    Opcode.WAIT_KEY: RETIRE_WAIT_KEY,
+    Opcode.WAIT_ALL_KEYS: RETIRE_WAIT_ALL,
+    Opcode.HALT: RETIRE_HALT,
+}
 
 
 class DynInst:
@@ -22,7 +37,8 @@ class DynInst:
         "seq", "inst", "opcode",
         "is_load", "is_store", "is_writeback", "is_store_class",
         "is_memory", "is_barrier", "is_branch", "is_ede",
-        "addr", "size",
+        "addr", "size", "words",
+        "needs_write_buffer", "is_wait", "retire_class",
         "regs_outstanding", "e_deps_outstanding", "src_ids",
         "dispatch_cycle", "issue_cycle", "execute_done_cycle",
         "retire_cycle", "complete_cycle",
@@ -34,21 +50,36 @@ class DynInst:
     def __init__(self, seq: int, inst: Instruction):
         self.seq = seq
         self.inst = inst
-        self.opcode = inst.opcode
-        self.is_load = inst.is_load
-        self.is_store = inst.is_store
-        self.is_writeback = inst.is_writeback
-        self.is_store_class = inst.is_store_class
-        self.is_memory = inst.is_memory
-        self.is_barrier = inst.is_barrier
-        self.is_branch = inst.is_branch
-        self.is_ede = inst.is_ede
-        self.addr = inst.addr
+        opcode = inst.opcode
+        self.opcode = opcode
+        (self.is_load, self.is_store, self.is_writeback, self.is_store_class,
+         self.is_memory, self.is_barrier, self.is_branch, self.is_ede,
+         _enters_iq) = CLASSIFICATION_BY_OPCODE[opcode]
+        addr = inst.addr
+        self.addr = addr
         self.size = inst.size
+
+        #: 8-byte-aligned words this memory op touches (for forwarding).
+        if addr is None:
+            self.words: Tuple[int, ...] = ()
+        else:
+            base = addr & ~7
+            end = addr + inst.size - 1
+            if base + 8 > end:
+                self.words = (base,)
+            else:
+                self.words = tuple(range(base, end + 1, 8))
+
+        #: Store-class instructions and JOIN occupy a write-buffer entry.
+        self.needs_write_buffer = (
+            self.is_store_class or opcode is Opcode.JOIN)
+        self.is_wait = opcode in (Opcode.WAIT_KEY, Opcode.WAIT_ALL_KEYS)
+        self.retire_class = _RETIRE_CLASS.get(opcode, RETIRE_NORMAL)
 
         self.regs_outstanding = 0
         #: Producer seqs this instruction still waits on (IQ enforcement).
-        self.e_deps_outstanding: Set[int] = set()
+        #: Allocated lazily — most instructions never carry e-deps.
+        self.e_deps_outstanding: Optional[Set[int]] = None
         #: Producer seqs carried to the write buffer (WB enforcement).
         self.src_ids: Tuple[int, ...] = ()
 
@@ -71,29 +102,9 @@ class DynInst:
         #: Registers whose value this instruction produces.
         self.result_regs: Tuple[int, ...] = inst.dst
 
-    # --- classification used by the scheduler --------------------------------
-
-    @property
-    def needs_write_buffer(self) -> bool:
-        """Store-class instructions and JOIN occupy a write-buffer entry."""
-        return self.is_store_class or self.opcode is Opcode.JOIN
-
-    @property
-    def is_wait(self) -> bool:
-        return self.opcode in (Opcode.WAIT_KEY, Opcode.WAIT_ALL_KEYS)
-
     def touched_words(self) -> List[int]:
         """8-byte-aligned words this memory op touches (for forwarding)."""
-        if self.addr is None:
-            return []
-        base = self.addr & ~7
-        words = [base]
-        end = self.addr + self.size - 1
-        word = base + 8
-        while word <= end:
-            words.append(word)
-            word += 8
-        return words
+        return list(self.words)
 
     def __repr__(self) -> str:
         return "DynInst(#%d %s)" % (self.seq, self.inst)

@@ -35,9 +35,10 @@ class PipelineStats:
     dispatch_stall_lsq: int = 0
 
     def record_issue_cycles(self, issued: int, cycles: int = 1) -> None:
-        self.issue_histogram[issued] = self.issue_histogram.get(issued, 0) + cycles
+        hist = self.issue_histogram
+        hist[issued] = hist.get(issued, 0) + cycles
         self.cycles += cycles
-        self.issued += issued * (1 if issued else 0)
+        self.issued += issued
 
     @property
     def ipc(self) -> float:

@@ -56,6 +56,9 @@ class WriteBuffer:
         self.key_counters: Dict[int, int] = {k: 0 for k in range(1, NUM_KEYS)}
         #: Total EDE instructions in the buffer.
         self.total_ede = 0
+        #: Entries currently in the PUSHING state (tracked so the per-cycle
+        #: push stage does not rescan the buffer to count them).
+        self.pushing = 0
 
     # --- occupancy --------------------------------------------------------
 
@@ -102,35 +105,47 @@ class WriteBuffer:
                 self.key_counters[key] += 1
         return entry
 
+    def mark_pushing(self, entry: WbEntry) -> None:
+        """Transition an entry to the PUSHING state."""
+        entry.state = PUSHING
+        self.pushing += 1
+
     def remove(self, entry: WbEntry) -> None:
         """Free an entry whose push completed; clear matching srcIDs."""
         self.entries.remove(entry)
         self._resident.discard(entry.seq)
+        if entry.state == PUSHING:
+            self.pushing -= 1
         dyn = entry.dyn
         if dyn.is_ede:
             self.total_ede -= 1
             for key in self._keys_of(dyn):
                 self.key_counters[key] -= 1
+        seq = entry.seq
         for other in self.entries:
-            other.src_ids.discard(entry.seq)
+            if other.src_ids:
+                other.src_ids.discard(seq)
 
     # --- scheduling ----------------------------------------------------------
 
-    def eligible_entries(self, epoch_ok: Callable[[int], bool]) -> List[WbEntry]:
-        """Entries that may start pushing now, oldest first.
+    def iter_eligible(self, epoch_ok: Callable[[int], bool]):
+        """Lazily yield entries that may start pushing now, oldest first.
 
-        ``epoch_ok(epoch)`` answers whether all
-
-        store-class instructions of strictly older DMB ST epochs have
-        completed.  Same-line order: an entry is blocked while an older
-        entry for the same line is resident.
+        ``epoch_ok(epoch)`` answers whether all store-class instructions of
+        strictly older DMB ST epochs have completed.  Same-line order: an
+        entry is blocked while an older entry for the same line is resident.
+        Lazy so the per-cycle push stage (which takes at most
+        ``wb_push_width`` entries) does not scan the whole buffer.
         """
-        ready = []
         lines_seen: Set[int] = set()
+        seen_add = lines_seen.add
         for entry in self.entries:  # entries are in deposit (program) order
-            blocked_by_line = entry.line >= 0 and entry.line in lines_seen
-            if entry.line >= 0:
-                lines_seen.add(entry.line)
+            line = entry.line
+            if line >= 0:
+                blocked_by_line = line in lines_seen
+                seen_add(line)
+            else:
+                blocked_by_line = False
             if entry.state != PENDING:
                 continue
             if blocked_by_line:
@@ -139,8 +154,14 @@ class WriteBuffer:
                 continue
             if not epoch_ok(entry.dyn.store_epoch):
                 continue
-            ready.append(entry)
-        return ready
+            yield entry
+
+    def eligible_entries(self, epoch_ok: Callable[[int], bool]) -> List[WbEntry]:
+        """Entries that may start pushing now, oldest first (see
+        :meth:`iter_eligible`)."""
+        if self.pushing == len(self.entries):
+            return []
+        return list(self.iter_eligible(epoch_ok))
 
     # --- WAIT support (Section V-D counters) --------------------------------------
 

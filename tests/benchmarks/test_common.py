@@ -1,0 +1,41 @@
+"""Benchmark-harness plumbing: scale env vars must be validated loudly."""
+
+import pytest
+
+from benchmarks.common import bench_scale, config_names
+from repro.workloads import Scale
+
+
+class TestBenchScaleEnv:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_OPS", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_TXNS", raising=False)
+        assert bench_scale() == Scale(ops_per_txn=25, txns=20)
+
+    def test_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_OPS", "7")
+        monkeypatch.setenv("REPRO_BENCH_TXNS", "4")
+        assert bench_scale() == Scale(ops_per_txn=7, txns=4)
+
+    def test_empty_string_means_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_OPS", "")
+        assert bench_scale().ops_per_txn == 25
+
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_non_positive_rejected(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_BENCH_OPS", value)
+        with pytest.raises(ValueError, match="REPRO_BENCH_OPS"):
+            bench_scale()
+        monkeypatch.delenv("REPRO_BENCH_OPS")
+        monkeypatch.setenv("REPRO_BENCH_TXNS", value)
+        with pytest.raises(ValueError, match="REPRO_BENCH_TXNS"):
+            bench_scale()
+
+    def test_malformed_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_TXNS", "many")
+        with pytest.raises(ValueError, match="REPRO_BENCH_TXNS"):
+            bench_scale()
+
+
+def test_config_names_order():
+    assert config_names() == ["B", "SU", "IQ", "WB", "U"]
