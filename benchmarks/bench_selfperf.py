@@ -2,10 +2,12 @@
 
 Unlike the other benches, this one measures the reproduction itself rather
 than the paper's claims: simulator throughput in retired kilo-instructions
-per second (kIPS), serial-vs-parallel full-matrix wall time, and the
-persistent result cache's cold/warm behaviour.  The numbers land in the
-BENCH JSON (``benchmark.extra_info``) so the performance trajectory is
-tracked across commits.
+per second (kIPS), trace-build throughput in built kilo-instructions per
+second (the threaded-code interpreter vs the reference interpreter, and
+the workload build path), serial-vs-parallel full-matrix wall time, and
+the persistent result and trace caches' cold/warm behaviour.  The numbers
+land in the BENCH JSON (``benchmark.extra_info``) so the performance
+trajectory is tracked across commits.
 
 Scale control: ``REPRO_BENCH_OPS`` / ``REPRO_BENCH_TXNS`` as in
 :mod:`benchmarks.common`; CI runs this at a tiny scale as a smoke test.
@@ -21,6 +23,9 @@ from benchmarks.common import bench_scale, print_header
 from repro.harness.configs import DEFAULT_PARAMS, configuration
 from repro.harness.parallel import resolve_workers, run_matrix_parallel
 from repro.harness.runner import run_matrix, run_one, warm_hierarchy
+from repro.harness.trace_cache import TraceCache
+from repro.isa.assembler import assemble
+from repro.isa.machine import Machine
 from repro.memory.controller import MemoryController
 from repro.memory.hierarchy import CacheHierarchy
 from repro.pipeline.core import OutOfOrderCore
@@ -73,6 +78,138 @@ def test_selfperf_single_run_kips(benchmark):
           % (len(timings), best, kips))
     assert stats.retired == len(built.trace)
     assert kips > 0
+
+
+#: Representative hand-written kernel for interpreter throughput: the mix
+#: (ALU, load, store, stp, persist, compare, branch) of the paper's
+#: undo-logging loops.
+_BUILD_KERNEL = """
+    mov x0, #4096
+    mov x1, #0
+    mov x5, #0
+loop:
+    str x1, [x0]
+    ldr x2, [x0]
+    add x5, x5, x2
+    stp x1, x2, [x0, #8]
+    dc cvap, x0
+    add x1, x1, #1
+    cmp x1, #%d
+    b.ne loop
+    halt
+"""
+
+
+def test_selfperf_trace_build_kips(benchmark):
+    """Trace-build throughput: threaded-code vs reference interpreter,
+    plus the workload (framework) build path, in built kIPS."""
+    scale = bench_scale()
+    iterations = max(500, scale.total_ops * 4)
+    program = assemble(_BUILD_KERNEL % iterations)
+    max_steps = 16 * iterations + 16
+
+    def best_of(fn, rounds=3):
+        timings = []
+        result = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = fn()
+            timings.append(time.perf_counter() - start)
+        return min(timings), result
+
+    def run():
+        ref_s, ref_trace = best_of(
+            lambda: Machine().run_reference(program, max_steps=max_steps))
+        thr_s, thr_trace = best_of(
+            lambda: Machine().run(program, max_steps=max_steps))
+        assert thr_trace == ref_trace  # bit-identical traces
+        build_s, built = best_of(
+            lambda: workload_base.build("btree", "ede", scale))
+        return ref_s, thr_s, len(ref_trace), build_s, len(built.trace)
+
+    ref_s, thr_s, trace_len, build_s, wl_trace_len = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    speedup = ref_s / thr_s if thr_s else float("inf")
+    ref_kips = trace_len / ref_s / 1e3
+    thr_kips = trace_len / thr_s / 1e3
+    build_kips = wl_trace_len / build_s / 1e3
+    benchmark.extra_info["interp_trace_len"] = trace_len
+    benchmark.extra_info["interp_reference_kips"] = round(ref_kips, 1)
+    benchmark.extra_info["interp_threaded_kips"] = round(thr_kips, 1)
+    benchmark.extra_info["interp_speedup"] = round(speedup, 2)
+    benchmark.extra_info["workload_build_kips"] = round(build_kips, 1)
+    benchmark.extra_info["workload_trace_len"] = wl_trace_len
+
+    print_header("Self-perf: trace-build throughput (threaded-code interpreter)")
+    print("  kernel trace      : %d instructions" % trace_len)
+    print("  reference interp  : %.3f s  ->  %.1f kIPS" % (ref_s, ref_kips))
+    print("  threaded interp   : %.3f s  ->  %.1f kIPS  (%.2fx)"
+          % (thr_s, thr_kips, speedup))
+    print("  workload build    : %.3f s  ->  %.1f kIPS (btree/ede, framework)"
+          % (build_s, build_kips))
+    assert speedup >= 2.0, (
+        "threaded-code interpreter below the 2x trace-build target: %.2fx"
+        % speedup)
+
+
+def test_selfperf_trace_cache_cold_vs_warm(benchmark):
+    """Cold (build + store) vs warm (load) trace-cache timings, and the
+    zero-rebuild guarantee of a warm-trace-cache matrix run."""
+    scale = bench_scale()
+    apps = list(MATRIX_APPS)
+    configs = [configuration(name) for name in MATRIX_CONFIGS]
+    modes = []
+    for config in configs:
+        if config.fence_mode not in modes:
+            modes.append(config.fence_mode)
+    tmp = tempfile.mkdtemp(prefix="repro-trace-bench-")
+    try:
+        store = TraceCache(tmp + "/traces")
+
+        def run():
+            start = time.perf_counter()
+            for app in apps:
+                for mode in modes:
+                    workload_base.build(app, mode, scale, cache=store)
+            cold_s = time.perf_counter() - start
+            start = time.perf_counter()
+            for app in apps:
+                for mode in modes:
+                    workload_base.build(app, mode, scale, cache=store)
+            warm_s = time.perf_counter() - start
+
+            # Warm-trace-cache matrix run: zero trace interpretation.
+            builds_before = workload_base.BUILD_COUNT
+            start = time.perf_counter()
+            run_matrix_parallel(apps, configs, scale, max_workers=1,
+                                cache=False, trace_cache=True,
+                                cache_dir=tmp)
+            matrix_s = time.perf_counter() - start
+            builds = workload_base.BUILD_COUNT - builds_before
+            return cold_s, warm_s, matrix_s, builds
+
+        cold_s, warm_s, matrix_s, builds = benchmark.pedantic(
+            run, rounds=1, iterations=1)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    benchmark.extra_info["trace_cold_seconds"] = round(cold_s, 3)
+    benchmark.extra_info["trace_warm_seconds"] = round(warm_s, 3)
+    benchmark.extra_info["trace_cache_speedup"] = round(speedup, 2)
+    benchmark.extra_info["warm_matrix_seconds"] = round(matrix_s, 3)
+    benchmark.extra_info["warm_matrix_builds"] = builds
+
+    print_header("Self-perf: trace cache, cold vs warm")
+    print("  builds cached           : %d (%d apps x %d fence modes)"
+          % (len(apps) * len(modes), len(apps), len(modes)))
+    print("  cold (build + store)    : %.3f s" % cold_s)
+    print("  warm (load)             : %.3f s  (%.2fx)" % (warm_s, speedup))
+    print("  warm matrix, sim only   : %.3f s, %d trace builds" %
+          (matrix_s, builds))
+    assert builds == 0, "warm-trace-cache matrix run rebuilt %d traces" % builds
+    assert speedup > 1.0
 
 
 def test_selfperf_matrix_serial_vs_parallel(benchmark):

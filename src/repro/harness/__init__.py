@@ -14,6 +14,7 @@ from repro.harness.parallel import (
 )
 from repro.harness.result_cache import ResultCache, source_fingerprint
 from repro.harness.runner import RunResult, run_matrix, run_one
+from repro.harness.trace_cache import TraceCache
 
 __all__ = [
     "A72Params",
@@ -23,6 +24,7 @@ __all__ = [
     "ResultCache",
     "RunResult",
     "RunSummary",
+    "TraceCache",
     "configuration",
     "resolve_workers",
     "run_matrix",

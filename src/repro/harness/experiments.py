@@ -25,8 +25,11 @@ def _default_matrix(apps: Sequence[str], scale: Scale
     """Matrix used when a driver is called without precomputed results.
 
     Goes through the parallel + cached engine: independent simulations fan
-    out over a process pool (``REPRO_PARALLEL``), and previously computed
-    results come from the persistent cache (``REPRO_RESULT_CACHE``).
+    out over a process pool (``REPRO_PARALLEL``), previously computed
+    results come from the persistent result cache (``REPRO_RESULT_CACHE``),
+    and previously built traces come from the persistent trace cache
+    (``REPRO_TRACE_CACHE``) — a warm engine re-runs a figure with zero
+    simulation and zero trace interpretation.
     """
     from repro.harness.parallel import run_matrix_parallel
 
@@ -250,8 +253,9 @@ def hazard_pointer_experiment(scale: Scale = BENCH_SCALE) -> HazardResult:
     from repro.harness.parallel import run_matrix_parallel
 
     # One run_matrix-style sweep instead of per-config run_one calls: the
-    # trace is built once per fence mode (IQ and WB share the EDE binary)
-    # and the runs go through the parallel + cached engine.
+    # trace comes from the trace cache once per fence mode (IQ and WB
+    # share the EDE binary) and the runs go through the parallel + cached
+    # engine.
     names = ("B", "IQ", "WB", "U")
     results = run_matrix_parallel(
         ["hazard"], [configuration(name) for name in names], scale)

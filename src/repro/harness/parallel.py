@@ -14,12 +14,20 @@ which preserves the ``result.built`` identity-sharing between the group's
 results.  Results are reassembled in the caller's (workload, config)
 order, so output is deterministic and equal to a serial run.
 
+Workers are additionally *zero-rebuild*: each group serves its trace from
+the persistent trace cache (:mod:`repro.harness.trace_cache`), so a warm
+matrix run loads compact serialized traces and performs no trace
+interpretation at all; a cold run builds each (workload, fence mode)
+trace exactly once across all invocations.
+
 Environment variables:
 
 * ``REPRO_PARALLEL`` — default worker count (``0``/``1`` force the
   in-process serial path; unset means one worker per CPU).
 * ``REPRO_RESULT_CACHE=0`` / ``REPRO_CACHE_DIR`` — see
   :mod:`repro.harness.result_cache`.
+* ``REPRO_TRACE_CACHE=0`` — disable the trace cache (see
+  :mod:`repro.harness.trace_cache`).
 """
 
 from __future__ import annotations
@@ -27,10 +35,16 @@ from __future__ import annotations
 import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.configs import A72Params, Configuration, DEFAULT_PARAMS
 from repro.harness.result_cache import ResultCache, cache_enabled_by_env
+from repro.harness.trace_cache import (
+    TRACE_SUBDIR,
+    TraceCache,
+    trace_cache_enabled_by_env,
+)
 from repro.workloads import base as workload_base
 
 
@@ -81,17 +95,21 @@ def resolve_workers(max_workers: Optional[int] = None) -> int:
 
 
 def _simulate_group(task: Tuple[str, Tuple[Configuration, ...],
-                                workload_base.Scale, A72Params]) -> Dict[str, object]:
+                                workload_base.Scale, A72Params,
+                                Optional[str]]) -> Dict[str, object]:
     """Worker: run every configuration of one (workload, fence mode) group.
 
-    Builds the trace once and shares it across the group's configurations,
+    Loads the group's trace from the trace cache (building and storing it
+    only on a miss) and shares it across the group's configurations,
     mirroring the serial runner.  Module-level so it pickles for
     :class:`~concurrent.futures.ProcessPoolExecutor`.
     """
     from repro.harness.runner import run_one
 
-    workload, configs, scale, params = task
-    built = workload_base.build(workload, configs[0].fence_mode, scale)
+    workload, configs, scale, params, trace_dir = task
+    store = TraceCache(trace_dir) if trace_dir is not None else None
+    built = workload_base.build(workload, configs[0].fence_mode, scale,
+                                cache=store, params=params)
     return {
         config.name: run_one(workload, config, scale, params, built=built)
         for config in configs
@@ -105,6 +123,7 @@ def run_matrix_parallel(workloads: Sequence[str],
                         max_workers: Optional[int] = None,
                         cache: Optional[bool] = None,
                         cache_dir: Optional[os.PathLike] = None,
+                        trace_cache: Optional[bool] = None,
                         ) -> Dict[str, Dict[str, object]]:
     """Run every workload under every configuration, in parallel and cached.
 
@@ -113,12 +132,28 @@ def run_matrix_parallel(workloads: Sequence[str],
     results.  ``cache=None`` follows ``REPRO_RESULT_CACHE`` (on by
     default); ``max_workers=None`` follows ``REPRO_PARALLEL`` (one worker
     per CPU by default, ``<=1`` selects the in-process serial path).
+
+    ``trace_cache=None`` follows ``REPRO_TRACE_CACHE`` (on by default),
+    except that an explicit ``cache=False`` — "no disk caching, please" —
+    also disables the trace cache unless ``trace_cache`` is set
+    explicitly.  Trace entries live under ``cache_dir``/traces when
+    ``cache_dir`` is given, the default trace directory otherwise.
     """
     workloads = list(workloads)
     configs = list(configs)
+    explicit_no_cache = cache is False
     if cache is None:
         cache = cache_enabled_by_env()
     store: Optional[ResultCache] = ResultCache(cache_dir) if cache else None
+
+    if trace_cache is None:
+        trace_cache = False if explicit_no_cache else trace_cache_enabled_by_env()
+    trace_dir: Optional[str] = None
+    if trace_cache:
+        if cache_dir is not None:
+            trace_dir = str(Path(cache_dir) / TRACE_SUBDIR)
+        else:
+            trace_dir = str(TraceCache().root)
 
     results: Dict[str, Dict[str, object]] = {
         workload: {} for workload in workloads
@@ -143,7 +178,7 @@ def run_matrix_parallel(workloads: Sequence[str],
     for workload, config in missing:
         groups.setdefault((workload, config.fence_mode), []).append(config)
     tasks = [
-        (workload, tuple(group_configs), scale, params)
+        (workload, tuple(group_configs), scale, params, trace_dir)
         for (workload, _mode), group_configs in groups.items()
     ]
 

@@ -1,0 +1,82 @@
+"""Opt-in per-phase profiling of harness runs.
+
+Setting ``REPRO_PROFILE=1`` wraps each phase of a run — trace *build*
+versus timing *simulate* — in :mod:`cProfile` and dumps the stats under
+``.benchmarks/profile/``: one binary ``<label>.<phase>.prof`` (loadable
+with ``pstats`` or ``snakeviz``) plus a ``<label>.<phase>.txt`` rendering
+of the top functions by cumulative time.  Profiles are per (workload,
+configuration) and the latest run wins, so after a matrix run the
+directory answers "where does the time go, build or simulate, and in
+which function?" without any harness code changes.
+
+Environment variables:
+
+* ``REPRO_PROFILE`` — ``1`` enables profiling, ``0`` (default) disables
+  it; anything else is rejected loudly, consistent with the other
+  ``REPRO_*`` knobs.
+* ``REPRO_PROFILE_DIR`` — override the default ``.benchmarks/profile``
+  output directory.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import contextlib
+import io
+import os
+import pstats
+from pathlib import Path
+
+DEFAULT_PROFILE_DIR = os.path.join(".benchmarks", "profile")
+
+#: How many functions the text rendering keeps.
+_TOP_FUNCTIONS = 30
+
+
+def profile_enabled_by_env() -> bool:
+    """Whether ``REPRO_PROFILE`` asks for profiling (default no).
+
+    ``1`` opts in, ``0`` (or unset/empty) opts out; any other value
+    raises ``ValueError``.
+    """
+    raw = os.environ.get("REPRO_PROFILE")
+    if raw is None or raw in ("", "0"):
+        return False
+    if raw == "1":
+        return True
+    raise ValueError("REPRO_PROFILE must be 0 or 1, got %r" % raw)
+
+
+def profile_dir() -> Path:
+    """``$REPRO_PROFILE_DIR`` or ``.benchmarks/profile``."""
+    return Path(os.environ.get("REPRO_PROFILE_DIR", DEFAULT_PROFILE_DIR))
+
+
+def _dump(profile: cProfile.Profile, label: str, phase: str) -> None:
+    root = profile_dir()
+    root.mkdir(parents=True, exist_ok=True)
+    profile.dump_stats(str(root / ("%s.%s.prof" % (label, phase))))
+    text = io.StringIO()
+    stats = pstats.Stats(profile, stream=text)
+    stats.sort_stats("cumulative").print_stats(_TOP_FUNCTIONS)
+    (root / ("%s.%s.txt" % (label, phase))).write_text(text.getvalue())
+
+
+@contextlib.contextmanager
+def maybe_profile(label: str, phase: str):
+    """Profile the enclosed block when ``REPRO_PROFILE=1``.
+
+    ``label`` identifies the run (e.g. ``btree-WB``), ``phase`` the part
+    of it (``build`` / ``simulate``).  No-op — not even a profiler
+    object — when the knob is off.
+    """
+    if not profile_enabled_by_env():
+        yield
+        return
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield
+    finally:
+        profile.disable()
+        _dump(profile, label, phase)

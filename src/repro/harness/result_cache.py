@@ -14,6 +14,10 @@ mask a code change.  Entries are pickled :class:`~repro.harness.runner.
 RunResult` objects written atomically (temp file + ``os.replace``); a
 corrupt or unreadable entry is treated as a miss and discarded.
 
+The on-disk mechanics (atomic writes, corrupt-entry discard, hit/miss
+accounting) live in :class:`PickleStore`, which the trace cache
+(:mod:`repro.harness.trace_cache`) shares.
+
 Environment variables:
 
 * ``REPRO_RESULT_CACHE=0`` — disable the cache entirely (opt-out).
@@ -76,44 +80,54 @@ def _canonical(obj) -> str:
     return json.dumps(obj, sort_keys=True, default=repr)
 
 
-class ResultCache:
-    """On-disk result store for :class:`~repro.harness.runner.RunResult`.
+def canonical_key(*parts) -> str:
+    """SHA-256 over a NUL-joined canonical rendering of ``parts``.
 
-    Args:
-        root: Cache directory; defaults to ``$REPRO_CACHE_DIR`` or
-            ``.benchmarks/cache``.
+    Strings pass through untouched; everything else goes through the
+    canonical JSON rendering, so dataclasses (configs, scales, params)
+    key stably across processes.
+    """
+    rendered = [
+        part if isinstance(part, str) else _canonical(part) for part in parts
+    ]
+    return hashlib.sha256("\0".join(rendered).encode()).hexdigest()
+
+
+class PickleStore:
+    """Content-addressed on-disk store of pickled objects.
+
+    One file per key, written atomically (temp file + ``os.replace``) so a
+    crashed writer can never leave a half-written entry under a live key;
+    an unreadable entry — truncated write, pickle incompatibility, format
+    change — is deleted and reported as a miss, so corruption is
+    self-healing.  Subclasses choose the directory, the key schema, and
+    (via ``_serialize`` / ``_deserialize``) the byte format.
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None):
-        self.root = Path(root) if root is not None else default_cache_dir()
+    #: File extension for entries; also the glob used by clear()/len().
+    suffix = ".pkl"
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
         self.hits = 0
         self.misses = 0
         self.stores = 0
 
-    # --- keys ---------------------------------------------------------------
-
-    def key(self, workload: str, config, scale, params,
-            fingerprint: Optional[str] = None) -> str:
-        """Content-addressed key for one (workload, config, scale, params)
-        simulation under the current source tree."""
-        if fingerprint is None:
-            fingerprint = source_fingerprint()
-        payload = "\0".join((
-            fingerprint,
-            workload,
-            _canonical(config),
-            _canonical(scale),
-            _canonical(params),
-        ))
-        return hashlib.sha256(payload.encode()).hexdigest()
-
     def _path(self, key: str) -> Path:
-        return self.root / (key + ".pkl")
+        return self.root / (key + self.suffix)
+
+    # --- byte format (overridable) -----------------------------------------
+
+    def _serialize(self, value) -> bytes:
+        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _deserialize(self, payload: bytes):
+        return pickle.loads(payload)
 
     # --- access -------------------------------------------------------------
 
     def load(self, key: str):
-        """Return the cached result for ``key``, or None on a miss.
+        """Return the cached value for ``key``, or None on a miss.
 
         Corrupt entries (truncated writes, pickle incompatibilities) are
         deleted and reported as misses.
@@ -121,7 +135,7 @@ class ResultCache:
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                result = pickle.load(handle)
+                value = self._deserialize(handle.read())
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -134,15 +148,16 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
-        return result
+        return value
 
-    def store(self, key: str, result) -> None:
-        """Atomically persist ``result`` under ``key``."""
+    def store(self, key: str, value) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        payload = self._serialize(value)
         self.root.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(payload)
             os.replace(tmp_name, self._path(key))
         except BaseException:
             try:
@@ -156,7 +171,7 @@ class ResultCache:
         """Delete every entry; return how many were removed."""
         removed = 0
         if self.root.is_dir():
-            for path in self.root.glob("*.pkl"):
+            for path in self.root.glob("*" + self.suffix):
                 try:
                     path.unlink()
                     removed += 1
@@ -167,4 +182,24 @@ class ResultCache:
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("*.pkl"))
+        return sum(1 for _ in self.root.glob("*" + self.suffix))
+
+
+class ResultCache(PickleStore):
+    """On-disk result store for :class:`~repro.harness.runner.RunResult`.
+
+    Args:
+        root: Cache directory; defaults to ``$REPRO_CACHE_DIR`` or
+            ``.benchmarks/cache``.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        super().__init__(root if root is not None else default_cache_dir())
+
+    def key(self, workload: str, config, scale, params,
+            fingerprint: Optional[str] = None) -> str:
+        """Content-addressed key for one (workload, config, scale, params)
+        simulation under the current source tree."""
+        if fingerprint is None:
+            fingerprint = source_fingerprint()
+        return canonical_key(fingerprint, workload, config, scale, params)

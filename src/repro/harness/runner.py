@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 from repro.consistency.checker import CheckResult, check_run
 from repro.harness.configs import A72Params, Configuration, DEFAULT_PARAMS
+from repro.harness.profiling import maybe_profile
 from repro.memory.controller import MemoryController
 from repro.memory.hierarchy import CacheHierarchy
 from repro.memory.persist_domain import PersistLog
@@ -64,28 +65,39 @@ def run_one(workload: str, config: Configuration,
             scale: workload_base.Scale = workload_base.BENCH_SCALE,
             params: A72Params = DEFAULT_PARAMS,
             built: Optional[BuiltWorkload] = None,
-            warm: bool = True) -> RunResult:
+            warm: bool = True,
+            trace_cache=None) -> RunResult:
     """Simulate one workload under one configuration.
 
     ``built`` lets callers reuse a pre-built trace (the build step is
-    deterministic per (workload, fence_mode, scale)).
+    deterministic per (workload, fence_mode, scale)); ``trace_cache`` (a
+    :class:`~repro.harness.trace_cache.TraceCache`) serves the build from
+    the on-disk trace cache instead, skipping trace interpretation on a
+    hit.  ``REPRO_PROFILE=1`` dumps per-phase (build / simulate) cProfile
+    stats to ``.benchmarks/profile/`` (see
+    :mod:`repro.harness.profiling`).
     """
+    label = "%s-%s" % (workload, config.name)
     if built is None:
-        built = workload_base.build(workload, config.fence_mode, scale)
+        with maybe_profile(label, "build"):
+            built = workload_base.build(workload, config.fence_mode, scale,
+                                        cache=trace_cache, params=params)
 
-    controller = MemoryController(
-        address_map=params.address_map,
-        dram_params=params.dram,
-        nvm_params=params.nvm,
-    )
-    hierarchy = CacheHierarchy(controller, params.hierarchy)
-    if warm:
-        warm_hierarchy(hierarchy, built)
-    core = OutOfOrderCore(built.trace, hierarchy, config.policy, params.core)
-    stats = core.run()
-    # Drain outstanding NVM writes so buffer-occupancy samples (Fig. 10)
-    # cover the whole run even at small scales.
-    controller.nvm.drain_all(stats.cycles)
+    with maybe_profile(label, "simulate"):
+        controller = MemoryController(
+            address_map=params.address_map,
+            dram_params=params.dram,
+            nvm_params=params.nvm,
+        )
+        hierarchy = CacheHierarchy(controller, params.hierarchy)
+        if warm:
+            warm_hierarchy(hierarchy, built)
+        core = OutOfOrderCore(built.trace, hierarchy, config.policy,
+                              params.core)
+        stats = core.run()
+        # Drain outstanding NVM writes so buffer-occupancy samples (Fig. 10)
+        # cover the whole run even at small scales.
+        controller.nvm.drain_all(stats.cycles)
 
     consistency = check_run(
         obligations=built.obligations,

@@ -10,11 +10,30 @@ The machine models 64-bit registers, NZCV-style flags (only N and Z are
 needed by the supported branches), and a sparse 64-bit word-addressed
 memory.  Persist and barrier instructions have no functional effect; they
 are recorded in the emitted trace for the timing model.
+
+Interpretation strategy
+-----------------------
+
+:meth:`Machine.run` is a *threaded-code* interpreter: each :class:`Program`
+is pre-decoded once (and memoized on the program) into a flat list of
+per-instruction handler factories.  Decoding hoists everything static out
+of the step loop — opcode dispatch, operand register indices, ALU function
+selection, immediate masking, branch-target label resolution and the
+XZR-operand special cases — so the hot loop is nothing but ``pc =
+handlers[pc]()``.  Aligned 8-byte loads and stores additionally bypass
+:class:`SparseMemory` method dispatch and operate on its word dictionary
+directly.
+
+The original instruction-by-instruction interpreter is preserved verbatim
+as :meth:`Machine.run_reference`; the two produce bit-identical traces and
+architectural state (``tests/isa/test_threaded_machine.py`` holds the
+golden-equality suite, ``benchmarks/bench_selfperf.py`` tracks the
+speedup).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import dataclasses
 
@@ -24,6 +43,7 @@ from repro.isa.program import Program
 from repro.isa.registers import NUM_REG_ENCODINGS, XZR
 
 _MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
 
 
 class MachineError(RuntimeError):
@@ -74,6 +94,404 @@ class SparseMemory:
         return dict(self._words)
 
 
+# ---------------------------------------------------------------------------
+# Threaded-code compilation
+# ---------------------------------------------------------------------------
+
+#: Opcodes whose handlers only emit the instruction (no architectural effect).
+_EMIT_ONLY_OPCODES = frozenset((
+    Opcode.NOP, Opcode.DSB_SY, Opcode.DMB_ST, Opcode.DMB_SY,
+    Opcode.JOIN, Opcode.WAIT_KEY, Opcode.WAIT_ALL_KEYS,
+))
+
+_ALU_OPCODES = frozenset((
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.ORR,
+    Opcode.EOR, Opcode.MUL, Opcode.LSL, Opcode.LSR,
+))
+
+#: Unmasked ALU semantics; handlers apply the 64-bit mask on writeback.
+_ALU_FUNCS: Dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.ORR: lambda a, b: a | b,
+    Opcode.EOR: lambda a, b: a ^ b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.LSL: lambda a, b: a << (b & 63),
+    Opcode.LSR: lambda a, b: (a & _MASK64) >> (b & 63),
+}
+
+
+def _with_addr(inst: Instruction, addr: int) -> Instruction:
+    """A copy of ``inst`` with ``addr`` swapped in.
+
+    Equivalent to ``dataclasses.replace(inst, addr=addr)`` but without
+    re-running ``__post_init__``: the address does not feed any of the
+    precomputed operand views, so the instance ``__dict__`` can be copied
+    wholesale.  This is the dominant per-memory-op cost in the interpreter.
+    """
+    new = object.__new__(Instruction)
+    d = dict(inst.__dict__)
+    d["addr"] = addr
+    new.__dict__.update(d)
+    return new
+
+
+def _resolve_static_target(inst: Instruction,
+                           labels: Dict[str, int]) -> Optional[int]:
+    """Branch target as a trace index, or None for an undefined label
+    (which must fault at execution time, like the reference interpreter)."""
+    if inst.target is not None:
+        return labels.get(inst.target)
+    return inst.imm
+
+
+def _undefined_label_handler(inst: Instruction,
+                             append: Callable[[Instruction], int]):
+    def handler() -> int:
+        raise MachineError("undefined label %r" % (inst.target,))
+    return handler
+
+
+def _make_factory(inst: Instruction, pc: int, labels: Dict[str, int],
+                  program_len: int):
+    """One per-instruction handler factory.
+
+    The factory runs once per :meth:`Machine.run` call and binds the
+    machine's mutable state (register file, flags, memory, trace) into a
+    zero-argument handler returning the next pc.  Everything derivable
+    from the static instruction is bound here, at decode time.
+    """
+    opcode = inst.opcode
+    nxt = pc + 1
+    imm = inst.imm
+    static_addr = inst.addr
+    size = inst.size
+
+    if opcode is Opcode.HALT:
+        def factory(machine: "Machine"):
+            append = machine.trace.append
+
+            def handler() -> int:
+                append(inst)
+                return program_len
+            return handler
+        return factory
+
+    if opcode in _EMIT_ONLY_OPCODES:
+        def factory(machine: "Machine"):
+            append = machine.trace.append
+
+            def handler() -> int:
+                append(inst)
+                return nxt
+            return handler
+        return factory
+
+    if opcode is Opcode.MOV:
+        rd = inst.dst[0]
+        if inst.src:
+            rs = inst.src[0]
+
+            def factory(machine: "Machine"):
+                regs = machine.regs
+                append = machine.trace.append
+                if rd == XZR:
+                    def handler() -> int:
+                        append(inst)
+                        return nxt
+                else:
+                    def handler() -> int:
+                        regs[rd] = regs[rs]
+                        append(inst)
+                        return nxt
+                return handler
+            return factory
+        value = imm & _MASK64
+
+        def factory(machine: "Machine"):
+            regs = machine.regs
+            append = machine.trace.append
+            if rd == XZR:
+                def handler() -> int:
+                    append(inst)
+                    return nxt
+            else:
+                def handler() -> int:
+                    regs[rd] = value
+                    append(inst)
+                    return nxt
+            return handler
+        return factory
+
+    if opcode in _ALU_OPCODES:
+        rd = inst.dst[0]
+        ra = inst.src[0]
+        fn = _ALU_FUNCS[opcode]
+        two_regs = len(inst.src) == 2
+        rb = inst.src[1] if two_regs else None
+
+        def factory(machine: "Machine"):
+            regs = machine.regs
+            append = machine.trace.append
+            if rd == XZR:
+                if two_regs:
+                    def handler() -> int:
+                        fn(regs[ra], regs[rb])
+                        append(inst)
+                        return nxt
+                else:
+                    def handler() -> int:
+                        fn(regs[ra], imm)
+                        append(inst)
+                        return nxt
+            elif two_regs:
+                def handler() -> int:
+                    regs[rd] = fn(regs[ra], regs[rb]) & _MASK64
+                    append(inst)
+                    return nxt
+            else:
+                def handler() -> int:
+                    regs[rd] = fn(regs[ra], imm) & _MASK64
+                    append(inst)
+                    return nxt
+            return handler
+        return factory
+
+    if opcode is Opcode.CMP:
+        ra = inst.src[0]
+        two_regs = len(inst.src) == 2
+        rb = inst.src[1] if two_regs else None
+
+        def factory(machine: "Machine"):
+            regs = machine.regs
+            flags = machine.flags
+            append = machine.trace.append
+            if two_regs:
+                def handler() -> int:
+                    result = (regs[ra] - regs[rb]) & _MASK64
+                    flags.zero = result == 0
+                    flags.negative = result >= _SIGN64
+                    append(inst)
+                    return nxt
+            else:
+                def handler() -> int:
+                    result = (regs[ra] - imm) & _MASK64
+                    flags.zero = result == 0
+                    flags.negative = result >= _SIGN64
+                    append(inst)
+                    return nxt
+            return handler
+        return factory
+
+    if opcode in (Opcode.LDR, Opcode.LDR_EDE):
+        rd = inst.dst[0]
+        rn = inst.src[0]
+
+        def factory(machine: "Machine"):
+            regs = machine.regs
+            memory = machine.memory
+            append = machine.trace.append
+            words = getattr(memory, "_words", None)
+            if words is not None and size == 8:
+                get = words.get
+
+                def handler() -> int:
+                    addr = regs[rn] + imm
+                    if addr % 8:
+                        raise MachineError("unaligned 8-byte load at %#x"
+                                           % addr)
+                    if rd != XZR:
+                        regs[rd] = get(addr, 0)
+                    append(inst if static_addr == addr
+                           else _with_addr(inst, addr))
+                    return nxt
+            else:
+                load = memory.load
+
+                def handler() -> int:
+                    addr = regs[rn] + imm
+                    value = load(addr, size)
+                    if rd != XZR:
+                        regs[rd] = value & _MASK64
+                    append(inst if static_addr == addr
+                           else _with_addr(inst, addr))
+                    return nxt
+            return handler
+        return factory
+
+    if opcode in (Opcode.STR, Opcode.STR_EDE):
+        rs = inst.src[0]
+        rn = inst.src[1]
+
+        def factory(machine: "Machine"):
+            regs = machine.regs
+            memory = machine.memory
+            append = machine.trace.append
+            words = getattr(memory, "_words", None)
+            if words is not None and size == 8:
+                def handler() -> int:
+                    addr = regs[rn] + imm
+                    if addr % 8:
+                        raise MachineError("unaligned 8-byte store at %#x"
+                                           % addr)
+                    words[addr] = regs[rs] & _MASK64
+                    append(inst if static_addr == addr
+                           else _with_addr(inst, addr))
+                    return nxt
+            else:
+                store = memory.store
+
+                def handler() -> int:
+                    addr = regs[rn] + imm
+                    store(addr, regs[rs], size)
+                    append(inst if static_addr == addr
+                           else _with_addr(inst, addr))
+                    return nxt
+            return handler
+        return factory
+
+    if opcode in (Opcode.STP, Opcode.STP_EDE):
+        rs1 = inst.src[0]
+        rs2 = inst.src[1]
+        rn = inst.src[2]
+
+        def factory(machine: "Machine"):
+            regs = machine.regs
+            memory = machine.memory
+            append = machine.trace.append
+            words = getattr(memory, "_words", None)
+            if words is not None:
+                def handler() -> int:
+                    addr = regs[rn] + imm
+                    if addr % 8:
+                        raise MachineError("unaligned 8-byte store at %#x"
+                                           % addr)
+                    words[addr] = regs[rs1] & _MASK64
+                    words[addr + 8] = regs[rs2] & _MASK64
+                    append(inst if static_addr == addr
+                           else _with_addr(inst, addr))
+                    return nxt
+            else:
+                store = memory.store
+
+                def handler() -> int:
+                    addr = regs[rn] + imm
+                    store(addr, regs[rs1], 8)
+                    store(addr + 8, regs[rs2], 8)
+                    append(inst if static_addr == addr
+                           else _with_addr(inst, addr))
+                    return nxt
+            return handler
+        return factory
+
+    if opcode in (Opcode.DC_CVAP, Opcode.DC_CVAP_EDE):
+        rn = inst.src[0]
+
+        def factory(machine: "Machine"):
+            regs = machine.regs
+            append = machine.trace.append
+
+            def handler() -> int:
+                addr = regs[rn]
+                append(inst if static_addr == addr
+                       else _with_addr(inst, addr))
+                return nxt
+            return handler
+        return factory
+
+    if opcode in (Opcode.B, Opcode.BL):
+        target = _resolve_static_target(inst, labels)
+        link = opcode is Opcode.BL
+
+        def factory(machine: "Machine"):
+            append = machine.trace.append
+            if target is None:
+                return _undefined_label_handler(inst, append)
+            if link:
+                regs = machine.regs
+
+                def handler() -> int:
+                    regs[30] = nxt
+                    append(inst)
+                    return target
+            else:
+                def handler() -> int:
+                    append(inst)
+                    return target
+            return handler
+        return factory
+
+    if opcode is Opcode.RET:
+        def factory(machine: "Machine"):
+            regs = machine.regs
+            append = machine.trace.append
+
+            def handler() -> int:
+                append(inst)
+                return regs[30]
+            return handler
+        return factory
+
+    if opcode in (Opcode.B_EQ, Opcode.B_NE, Opcode.B_LT, Opcode.B_GE):
+        target = _resolve_static_target(inst, labels)
+        on_zero = opcode in (Opcode.B_EQ, Opcode.B_NE)
+        branch_if = opcode in (Opcode.B_EQ, Opcode.B_LT)
+
+        def factory(machine: "Machine"):
+            flags = machine.flags
+            append = machine.trace.append
+            if target is None:
+                return _undefined_label_handler(inst, append)
+            if on_zero:
+                if branch_if:
+                    def handler() -> int:      # b.eq
+                        append(inst)
+                        return target if flags.zero else nxt
+                else:
+                    def handler() -> int:      # b.ne
+                        append(inst)
+                        return nxt if flags.zero else target
+            elif branch_if:
+                def handler() -> int:          # b.lt
+                    append(inst)
+                    return target if flags.negative else nxt
+            else:
+                def handler() -> int:          # b.ge
+                    append(inst)
+                    return nxt if flags.negative else target
+            return handler
+        return factory
+
+    def factory(machine: "Machine"):
+        def handler() -> int:
+            raise MachineError("unhandled opcode %s" % opcode.name)
+        return handler
+    return factory
+
+
+def compile_program(program: Program) -> List:
+    """Pre-decode ``program`` into per-instruction handler factories.
+
+    The compiled form is memoized on the program object and invalidated
+    when the program grows or its labels change, so repeated
+    :meth:`Machine.run` calls (e.g. re-running a kernel under several
+    configurations) pay the decode cost once.
+    """
+    labels = program.labels
+    cached = getattr(program, "_threaded_cache", None)
+    if cached is not None and cached[0] == len(program) and cached[1] == labels:
+        return cached[2]
+    instructions = program.instructions
+    n = len(instructions)
+    factories = [
+        _make_factory(inst, pc, labels, n)
+        for pc, inst in enumerate(instructions)
+    ]
+    program._threaded_cache = (n, labels, factories)
+    return factories
+
+
 class Machine:
     """Executes a :class:`Program` and emits a dynamic trace."""
 
@@ -99,7 +517,37 @@ class Machine:
 
     def run(self, program: Program, start: int = 0,
             max_steps: int = 1_000_000) -> List[Instruction]:
-        """Execute until HALT (or falling off the end); return the trace."""
+        """Execute until HALT (or falling off the end); return the trace.
+
+        Threaded-code path: the program is pre-decoded once (see
+        :func:`compile_program`), the factories are bound to this
+        machine's state, and the step loop is a bare indirect call.
+        Produces traces and architectural state bit-identical to
+        :meth:`run_reference`.
+        """
+        factories = compile_program(program)
+        handlers = [factory(self) for factory in factories]
+        # Handlers read source registers by direct index; keep the XZR
+        # invariant (always zero — no handler ever writes it) explicit.
+        self.regs[XZR] = 0
+        pc = start
+        steps = 0
+        n = len(handlers)
+        while pc < n:
+            steps += 1
+            if steps > max_steps:
+                raise MachineError("exceeded %d steps; runaway loop?"
+                                   % max_steps)
+            pc = handlers[pc]()
+        return self.trace
+
+    def run_reference(self, program: Program, start: int = 0,
+                      max_steps: int = 1_000_000) -> List[Instruction]:
+        """The original interpreter: per-step opcode dispatch.
+
+        Kept as the golden reference for the threaded-code path (and as
+        the baseline the self-perf bench measures the speedup against).
+        """
         pc = start
         steps = 0
         instructions = program.instructions

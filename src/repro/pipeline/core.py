@@ -771,12 +771,34 @@ class OutOfOrderCore:
             "  IQ: %d entries" % len(self._iq),
             "  WB: %d entries" % len(self.wb),
         ]
+        if self._event_heap:
+            next_cycle = self._event_heap[0]
+            lines.append(
+                "  event heap: %d scheduled cycles, head=cycle %d (%+d) "
+                "with %d event(s)"
+                % (len(self._event_heap), next_cycle, next_cycle - self.now,
+                   len(self._events.get(next_cycle, ()))))
+        else:
+            lines.append("  event heap: empty (nothing will ever complete)")
+        if self._active_dsbs:
+            blocking = self._min_active_dsb()
+            lines.append(
+                "  active DSBs: seqs %s, oldest blocking=%s"
+                % (list(self._active_dsbs),
+                   "none" if blocking is None else "#%d" % blocking))
+        else:
+            lines.append("  active DSBs: none")
+        if self._incomplete:
+            oldest = min(self._incomplete)
+            lines.append(
+                "  incomplete: %d in flight, oldest #%d=%r"
+                % (len(self._incomplete), oldest, self._incomplete[oldest]))
         if head is not None:
             lines.append(
                 "  head state: issued=%s executed=%s regs_out=%d edeps=%s"
                 % (head.issued, head.executed, head.regs_outstanding,
                    sorted(head.e_deps_outstanding or ())))
-        for entry in self.wb.entries[:4]:
+        for entry in self.wb.entries:
             lines.append("  wb entry #%d state=%d src_ids=%s line=%#x"
                          % (entry.seq, entry.state, sorted(entry.src_ids),
                             entry.line))

@@ -44,6 +44,11 @@ WorkloadFn = Callable[[str, Scale], BuiltWorkload]
 
 _REGISTRY: Dict[str, WorkloadFn] = {}
 
+#: Monotonic count of full (interpreted) workload builds in this process.
+#: The trace-cache tests and the self-perf bench read it to prove that a
+#: warm-trace-cache run performs zero trace interpretation.
+BUILD_COUNT = 0
+
 
 def register(name: str) -> Callable[[WorkloadFn], WorkloadFn]:
     """Decorator adding a workload builder to the registry."""
@@ -57,14 +62,28 @@ def register(name: str) -> Callable[[WorkloadFn], WorkloadFn]:
     return wrap
 
 
-def build(name: str, mode: str, scale: Scale) -> BuiltWorkload:
-    """Build the named workload's trace for the given fence mode."""
+def build(name: str, mode: str, scale: Scale,
+          cache=None, params=None) -> BuiltWorkload:
+    """Build the named workload's trace for the given fence mode.
+
+    With ``cache`` (a :class:`~repro.harness.trace_cache.TraceCache`) the
+    build is served from the on-disk trace cache when possible — the
+    functional workload execution is skipped entirely on a hit — and
+    stored for later processes on a miss.  ``params`` (Table I
+    architectural parameters) only contributes to the cache key.
+    """
+    global BUILD_COUNT
+    if cache is not None:
+        from repro.harness.trace_cache import load_or_build
+
+        return load_or_build(name, mode, scale, params, store=cache)
     try:
         fn = _REGISTRY[name]
     except KeyError:
         raise KeyError(
             "unknown workload %r (have: %s)"
             % (name, ", ".join(sorted(_REGISTRY)))) from None
+    BUILD_COUNT += 1
     return fn(mode, scale)
 
 

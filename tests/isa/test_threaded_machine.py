@@ -1,0 +1,250 @@
+"""Threaded-code interpreter: golden equality against the reference.
+
+`Machine.run` (threaded code, operands bound at decode time) must be
+bit-identical to `Machine.run_reference` (the seed per-step dispatch
+interpreter) — same trace objects, same architectural state, same faults —
+for every supported construct.
+"""
+
+import random
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.machine import Machine, MachineError, compile_program
+from repro.isa.opcodes import Opcode
+
+
+def run_both(source, max_steps=100_000):
+    """Run a program through both interpreters; return both machines."""
+    program = assemble(source)
+    ref = Machine()
+    thr = Machine()
+    ref_trace = ref.run_reference(program, max_steps=max_steps)
+    thr_trace = thr.run(program, max_steps=max_steps)
+    assert thr_trace == ref_trace
+    assert thr.regs == ref.regs
+    assert thr.flags == ref.flags
+    assert thr.memory.snapshot() == ref.memory.snapshot()
+    return ref, thr
+
+
+GOLDEN_PROGRAMS = {
+    "figure4_undo_log": """
+        mov x0, #8519680
+        mov x2, #9568256
+        ldr x1, [x0]
+        stp x0, x1, [x2]
+        dc cvap, x2
+        dsb sy
+        mov x3, #6
+        str x3, [x0]
+        dc cvap, x0
+        halt
+    """,
+    "figure7_ede": """
+        mov x0, #8519680
+        mov x2, #9568256
+        ldr x1, [x0]
+        stp x0, x1, [x2]
+        dc cvap (1, 0), x2
+        mov x3, #6
+        str (0, 1), x3, [x0]
+        dc cvap, x0
+        halt
+    """,
+    "tight_loop": """
+        mov x0, #4096
+        mov x1, #0
+    loop:
+        str x1, [x0]
+        ldr x2, [x0]
+        stp x1, x2, [x0, #8]
+        add x0, x0, #32
+        add x1, x1, #3
+        cmp x1, #90
+        b.ne loop
+        halt
+    """,
+    "call_ret_chain": """
+        mov x0, #1
+        bl callee
+        add x2, x0, #100
+        bl callee
+        b finish
+    callee:
+        add x0, x0, #10
+        ret
+    finish:
+        halt
+    """,
+    "flags_negative_path": """
+        mov x0, #3
+        cmp x0, #5
+        b.lt less
+        mov x1, #111
+        b done
+    less:
+        mov x1, #222
+    done:
+        cmp x0, #3
+        b.eq equal
+        mov x3, #1
+    equal:
+        cmp xzr, #0
+        b.ge end
+        mov x4, #9
+    end:
+        halt
+    """,
+    "xzr_sinks_and_sources": """
+        mov x0, #7
+        add xzr, x0, #1
+        add x1, xzr, #0
+        mov xzr, #42
+        mov x2, xzr
+        mul x3, x0, x0
+        eor x3, x3, x0
+        lsl x4, x0, #5
+        lsr x5, x4, #2
+        orr x6, x4, x5
+        and x7, x6, x0
+        halt
+    """,
+    "wraparound_and_barriers": """
+        mov x0, #0
+        sub x1, x0, #1
+        dmb st
+        dmb sy
+        join (2, 1, 0)
+        wait_key (2)
+        wait_all_keys
+        halt
+    """,
+    "ede_memory_variants": """
+        mov x0, #4096
+        mov x3, #77
+        dc cvap (1, 0), x0
+        str (0, 1), x3, [x0]
+        ldr (2, 0), x4, [x0]
+        stp (0, 2), x3, x4, [x0, #16]
+        halt
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PROGRAMS))
+def test_golden_equality(name):
+    run_both(GOLDEN_PROGRAMS[name])
+
+
+def test_random_alu_programs_match():
+    rng = random.Random(2021)
+    ops = ("add", "sub", "and", "orr", "eor", "mul", "lsl", "lsr")
+    for _ in range(10):
+        lines = ["mov x%d, #%d" % (r, rng.randrange(1 << 12))
+                 for r in range(8)]
+        for _ in range(40):
+            op = rng.choice(ops)
+            rd, rn, rm = (rng.randrange(8) for _ in range(3))
+            if op in ("lsl", "lsr") or rng.random() < 0.4:
+                lines.append("%s x%d, x%d, #%d"
+                             % (op, rd, rn, rng.randrange(64)))
+            else:
+                lines.append("%s x%d, x%d, x%d" % (op, rd, rn, rm))
+        lines.append("halt")
+        run_both("\n".join(lines))
+
+
+def test_branch_edge_cases_match():
+    # Every condition on both sides of the zero/negative boundary.
+    for lhs, rhs in ((0, 0), (1, 0), (0, 1), (5, 5), (4, 5), (6, 5)):
+        for cond in ("eq", "ne", "lt", "ge"):
+            run_both("""
+                mov x0, #%d
+                cmp x0, #%d
+                b.%s taken
+                mov x1, #1
+                b out
+            taken:
+                mov x1, #2
+            out:
+                halt
+            """ % (lhs, rhs, cond))
+
+
+def test_subword_accesses_match():
+    run_both("""
+        mov x0, #4096
+        mov x1, #255
+        str x1, [x0]
+        ldr x2, [x0]
+        halt
+    """)
+
+
+class TestFaultParity:
+    """Both interpreters fail identically, with the same message."""
+
+    def _both_raise(self, source, max_steps=100):
+        program = assemble(source)
+        with pytest.raises(MachineError) as ref_err:
+            Machine().run_reference(program, max_steps=max_steps)
+        with pytest.raises(MachineError) as thr_err:
+            Machine().run(program, max_steps=max_steps)
+        assert str(thr_err.value) == str(ref_err.value)
+
+    def test_runaway(self):
+        self._both_raise("loop:\nb loop\nhalt")
+
+    def test_unaligned_load(self):
+        self._both_raise("mov x0, #4097\nldr x1, [x0]\nhalt")
+
+    def test_unaligned_store(self):
+        self._both_raise("mov x0, #4097\nmov x1, #1\nstr x1, [x0]\nhalt")
+
+    def test_unaligned_stp(self):
+        self._both_raise(
+            "mov x0, #4100\nmov x1, #1\nstp x1, x1, [x0]\nhalt")
+
+
+class TestCompileCache:
+    def test_compiled_form_is_memoized(self):
+        program = assemble("mov x0, #1\nhalt")
+        assert compile_program(program) is compile_program(program)
+
+    def test_growing_the_program_recompiles(self):
+        program = assemble("mov x0, #1\nhalt")
+        first = compile_program(program)
+        machine = Machine()
+        machine.run(program)
+        assert machine.regs[0] == 1
+
+        from repro.isa.instructions import halt, mov_imm
+        program.add(mov_imm(2, 9))
+        program.add(halt())
+        assert compile_program(program) is not first
+        # The reference and threaded paths agree on the grown program too.
+        ref, thr = Machine(), Machine()
+        assert (thr.run(program) == ref.run_reference(program))
+
+    def test_repeated_runs_accumulate_trace(self):
+        program = assemble("mov x0, #1\nhalt")
+        ref, thr = Machine(), Machine()
+        for _ in range(3):
+            ref.run_reference(program)
+            thr.run(program)
+        assert thr.trace == ref.trace
+        assert len(thr.trace) == 6
+
+
+def test_trace_objects_expose_timing_metadata():
+    """Instructions rewritten with resolved addresses keep the precomputed
+    timing-model views (the fast copy must not skip them)."""
+    program = assemble("mov x0, #4096\nmov x1, #5\nstr x1, [x0]\nhalt")
+    trace = Machine().run(program)
+    store = next(i for i in trace if i.opcode is Opcode.STR)
+    assert store.addr == 4096
+    assert store.timing_src_regs == (1, 0)
+    assert store.consumer_keys() == ()
+    assert store.enters_iq
