@@ -21,35 +21,23 @@ interpretation.
 from __future__ import annotations
 
 import functools
-import os
 from typing import Dict
 
 from repro.harness import CONFIGURATIONS
+from repro.harness.envutil import env_positive_int
 from repro.harness.experiments import APPLICATIONS
 from repro.harness.parallel import run_matrix_parallel
 from repro.harness.runner import RunResult
 from repro.workloads import Scale
 
-
-def _env_positive_int(name: str, default: int) -> int:
-    """Read a positive-integer env var, rejecting malformed values loudly."""
-    raw = os.environ.get(name)
-    if raw is None or raw == "":
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(
-            "%s must be a positive integer, got %r" % (name, raw)) from None
-    if value <= 0:
-        raise ValueError(
-            "%s must be a positive integer, got %d" % (name, value))
-    return value
+#: Backwards-compatible alias; the strict parser now lives in
+#: :mod:`repro.harness.envutil` and is shared with the harness knobs.
+_env_positive_int = env_positive_int
 
 
 def bench_scale() -> Scale:
-    ops = _env_positive_int("REPRO_BENCH_OPS", 25)
-    txns = _env_positive_int("REPRO_BENCH_TXNS", 20)
+    ops = env_positive_int("REPRO_BENCH_OPS", 25)
+    txns = env_positive_int("REPRO_BENCH_TXNS", 20)
     return Scale(ops_per_txn=ops, txns=txns)
 
 

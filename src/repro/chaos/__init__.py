@@ -1,0 +1,39 @@
+"""Chaos injection: deterministic fault plans for the experiment engine.
+
+See :mod:`repro.chaos.plan` for the model.  ``tests/chaos/`` uses this
+package to prove that the supervised matrix engine
+(:mod:`repro.harness.supervisor`) converges to results bit-identical to
+a clean serial run under worker kills, injected exceptions, stalls and
+cache corruption.
+"""
+
+from repro.chaos.corrupt import bitflip_file, truncate_file
+from repro.chaos.plan import (
+    ACTIONS,
+    ENV_VAR,
+    KILL_EXIT_CODE,
+    ChaosError,
+    FaultPlan,
+    FaultSpec,
+    chaos_active,
+    chaos_point,
+    in_worker_process,
+    pick_victim,
+    summarize_state,
+)
+
+__all__ = [
+    "ACTIONS",
+    "ENV_VAR",
+    "KILL_EXIT_CODE",
+    "ChaosError",
+    "FaultPlan",
+    "FaultSpec",
+    "bitflip_file",
+    "chaos_active",
+    "chaos_point",
+    "in_worker_process",
+    "pick_victim",
+    "summarize_state",
+    "truncate_file",
+]

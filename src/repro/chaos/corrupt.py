@@ -1,0 +1,49 @@
+"""Deterministic on-disk corruption primitives.
+
+The chaos layer needs to damage cache entries the way real systems get
+damaged — a writer dying mid-``write`` leaves a truncated file, a bad
+disk or a buggy serializer flips bits — while staying reproducible from a
+seed so a failing chaos run can be replayed exactly.  These helpers
+mutate a file in place; the cache layer's integrity framing
+(:mod:`repro.harness.result_cache`) is what must detect the damage and
+turn it into a miss.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from pathlib import Path
+
+
+def truncate_file(path: os.PathLike, fraction: float = 0.5) -> int:
+    """Cut a file down to ``fraction`` of its size; return the new size.
+
+    Models a writer killed mid-write (without the atomic-rename
+    protection) or a torn page: the prefix is intact, the tail is gone.
+    Empty files are left alone.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if not data:
+        return 0
+    keep = max(1, int(len(data) * fraction))
+    path.write_bytes(data[:keep])
+    return keep
+
+
+def bitflip_file(path: os.PathLike, rng: random.Random) -> int:
+    """Flip one bit at an ``rng``-chosen position; return the byte offset.
+
+    Models silent media corruption.  The caller provides the (seeded)
+    RNG so the flipped position is a pure function of the fault plan.
+    Empty files are left alone and ``-1`` is returned.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return -1
+    offset = rng.randrange(len(data))
+    data[offset] ^= 1 << rng.randrange(8)
+    path.write_bytes(bytes(data))
+    return offset

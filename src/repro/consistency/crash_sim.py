@@ -58,6 +58,18 @@ class CrashInjector:
         self.built = built
         self.persist_log = persist_log
 
+    @property
+    def supports_recovery_validation(self) -> bool:
+        """Whether the workload recorded per-transaction committed states.
+
+        The list/array kernels (``update``, ``swap``) snapshot their
+        tracked state at every commit, enabling full recovery comparison;
+        the tree workloads (and the Section VIII kernels) do not, so for
+        them only the ordering checker applies.  ``validate`` on an
+        unsupported workload raises rather than vacuously passing.
+        """
+        return bool(self.built.committed_states)
+
     # --- image reconstruction -----------------------------------------------
 
     def image_at(self, crash_point: int) -> Dict[int, int]:
@@ -108,13 +120,15 @@ class CrashInjector:
 
     def expected_state(self, committed_txns: int) -> Dict[int, int]:
         """Tracked state after ``committed_txns`` transactions."""
+        tracked = self.built.committed_states
+        if not tracked:
+            raise ValueError(
+                "workload did not record committed states; check "
+                "supports_recovery_validation before validating")
         if committed_txns <= 0:
-            tracked = self.built.committed_states
-            if not tracked:
-                return {}
             baseline = self.built.baseline_memory
             return {addr: baseline.get(addr, 0) for addr in tracked[0]}
-        return self.built.committed_states[committed_txns - 1]
+        return tracked[committed_txns - 1]
 
     def validate(self, crash_point: int) -> CrashReport:
         """Recover at one crash point; compare against the boundary state."""

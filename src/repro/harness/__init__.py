@@ -9,11 +9,19 @@ from repro.harness.configs import (
 )
 from repro.harness.parallel import (
     RunSummary,
+    last_matrix_report,
     resolve_workers,
     run_matrix_parallel,
+    summarize_matrix,
 )
 from repro.harness.result_cache import ResultCache, source_fingerprint
 from repro.harness.runner import RunResult, run_matrix, run_one
+from repro.harness.supervisor import (
+    GroupReport,
+    MatrixReport,
+    SupervisorConfig,
+    SupervisorError,
+)
 from repro.harness.trace_cache import TraceCache
 
 __all__ = [
@@ -21,14 +29,20 @@ __all__ = [
     "CONFIGURATIONS",
     "Configuration",
     "DEFAULT_PARAMS",
+    "GroupReport",
+    "MatrixReport",
     "ResultCache",
     "RunResult",
     "RunSummary",
+    "SupervisorConfig",
+    "SupervisorError",
     "TraceCache",
     "configuration",
+    "last_matrix_report",
     "resolve_workers",
     "run_matrix",
     "run_matrix_parallel",
     "run_one",
     "source_fingerprint",
+    "summarize_matrix",
 ]

@@ -1,0 +1,80 @@
+"""Shared, strict parsing of ``REPRO_*`` environment knobs.
+
+Every boolean knob in the harness (``REPRO_RESULT_CACHE``,
+``REPRO_TRACE_CACHE``, ``REPRO_PROFILE``) historically grew its own
+parser, and the oldest of them silently accepted junk — ``REPRO_RESULT_
+CACHE=yes`` meant *enabled* because only the literal ``"0"`` disabled it.
+A mistyped knob then changes behaviour without any signal.  This module
+centralizes the parsing and makes every knob loud, mirroring
+``resolve_workers``'s handling of ``REPRO_PARALLEL``: unset and empty
+mean the default, a small set of spellings is accepted, and anything
+else raises ``ValueError`` naming the variable and the offending value.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Accepted spellings for boolean knobs (case-insensitive).
+_TRUE = ("1", "true")
+_FALSE = ("0", "false")
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Parse a boolean env knob: ``0``/``1``/``true``/``false`` only.
+
+    Unset or empty returns ``default``; any other value raises a
+    ``ValueError`` that names the variable, so a typo can never silently
+    flip a cache or profiler on or off.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    lowered = raw.strip().lower()
+    if lowered in _TRUE:
+        return True
+    if lowered in _FALSE:
+        return False
+    raise ValueError(
+        "%s must be one of 0/1/true/false, got %r" % (name, raw))
+
+
+def env_int(name: str, default: int, minimum: Optional[int] = None) -> int:
+    """Parse an integer env knob, enforcing an optional lower bound."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        value = default
+    else:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                "%s must be an integer, got %r" % (name, raw)) from None
+    if minimum is not None and value < minimum:
+        raise ValueError(
+            "%s must be >= %d, got %d" % (name, minimum, value))
+    return value
+
+
+def env_float(name: str, default: float,
+              minimum: Optional[float] = None) -> float:
+    """Parse a float env knob, enforcing an optional lower bound."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        value = default
+    else:
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                "%s must be a number, got %r" % (name, raw)) from None
+    if minimum is not None and value < minimum:
+        raise ValueError(
+            "%s must be >= %g, got %g" % (name, minimum, value))
+    return value
+
+
+def env_positive_int(name: str, default: int) -> int:
+    """A strictly positive integer knob (bench scales, worker counts)."""
+    return env_int(name, default, minimum=1)

@@ -24,12 +24,15 @@ def _default_matrix(apps: Sequence[str], scale: Scale
                     ) -> Dict[str, Dict[str, RunResult]]:
     """Matrix used when a driver is called without precomputed results.
 
-    Goes through the parallel + cached engine: independent simulations fan
-    out over a process pool (``REPRO_PARALLEL``), previously computed
-    results come from the persistent result cache (``REPRO_RESULT_CACHE``),
-    and previously built traces come from the persistent trace cache
+    Goes through the supervised parallel + cached engine: independent
+    simulations fan out over a process pool (``REPRO_PARALLEL``) under the
+    fault-tolerant supervisor (``REPRO_TIMEOUT`` / ``REPRO_RETRIES`` — see
+    :mod:`repro.harness.supervisor`), previously computed results come
+    from the persistent result cache (``REPRO_RESULT_CACHE``), and
+    previously built traces come from the persistent trace cache
     (``REPRO_TRACE_CACHE``) — a warm engine re-runs a figure with zero
-    simulation and zero trace interpretation.
+    simulation and zero trace interpretation, and an interrupted matrix
+    resumes from the groups already persisted.
     """
     from repro.harness.parallel import run_matrix_parallel
 

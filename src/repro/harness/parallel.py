@@ -1,4 +1,4 @@
-"""Parallel, cached execution of the experiment matrix.
+"""Parallel, cached, *supervised* execution of the experiment matrix.
 
 The (workload, configuration) matrix is a set of independent gem5-style
 simulations; :func:`run_matrix_parallel` fans them out over a process pool
@@ -14,6 +14,16 @@ which preserves the ``result.built`` identity-sharing between the group's
 results.  Results are reassembled in the caller's (workload, config)
 order, so output is deterministic and equal to a serial run.
 
+Execution is supervised (:mod:`repro.harness.supervisor`): every group
+gets a wall-clock timeout and a retry budget with exponential backoff,
+worker death respawns the pool and re-enqueues only the lost groups, and
+repeated pool failure degrades to in-process serial execution.  Each
+group's results are persisted to the result cache **as the group
+completes**, so an interrupted matrix (Ctrl-C, OOM kill, power loss)
+resumes from the finished groups instead of restarting.  The run's
+per-group attempts, latencies and failure causes are available afterwards
+from :func:`last_matrix_report`.
+
 Workers are additionally *zero-rebuild*: each group serves its trace from
 the persistent trace cache (:mod:`repro.harness.trace_cache`), so a warm
 matrix run loads compact serialized traces and performs no trace
@@ -24,6 +34,8 @@ Environment variables:
 
 * ``REPRO_PARALLEL`` — default worker count (``0``/``1`` force the
   in-process serial path; unset means one worker per CPU).
+* ``REPRO_TIMEOUT`` / ``REPRO_RETRIES`` / ``REPRO_BACKOFF`` — resilience
+  policy (see :mod:`repro.harness.supervisor`).
 * ``REPRO_RESULT_CACHE=0`` / ``REPRO_CACHE_DIR`` — see
   :mod:`repro.harness.result_cache`.
 * ``REPRO_TRACE_CACHE=0`` — disable the trace cache (see
@@ -34,12 +46,18 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.chaos import chaos_point
 from repro.harness.configs import A72Params, Configuration, DEFAULT_PARAMS
 from repro.harness.result_cache import ResultCache, cache_enabled_by_env
+from repro.harness.supervisor import (
+    MatrixReport,
+    SupervisorConfig,
+    SupervisorError,
+    run_supervised,
+)
 from repro.harness.trace_cache import (
     TRACE_SUBDIR,
     TraceCache,
@@ -94,6 +112,16 @@ def resolve_workers(max_workers: Optional[int] = None) -> int:
     return max(1, max_workers)
 
 
+#: Report of the most recent :func:`run_matrix_parallel` in this process.
+_LAST_REPORT: Optional[MatrixReport] = None
+
+
+def last_matrix_report() -> Optional[MatrixReport]:
+    """The :class:`MatrixReport` of this process's most recent
+    :func:`run_matrix_parallel` call (None before the first call)."""
+    return _LAST_REPORT
+
+
 def _simulate_group(task: Tuple[str, Tuple[Configuration, ...],
                                 workload_base.Scale, A72Params,
                                 Optional[str]]) -> Dict[str, object]:
@@ -107,6 +135,7 @@ def _simulate_group(task: Tuple[str, Tuple[Configuration, ...],
     from repro.harness.runner import run_one
 
     workload, configs, scale, params, trace_dir = task
+    chaos_point("worker", "%s/%s" % (workload, configs[0].fence_mode))
     store = TraceCache(trace_dir) if trace_dir is not None else None
     built = workload_base.build(workload, configs[0].fence_mode, scale,
                                 cache=store, params=params)
@@ -124,8 +153,11 @@ def run_matrix_parallel(workloads: Sequence[str],
                         cache: Optional[bool] = None,
                         cache_dir: Optional[os.PathLike] = None,
                         trace_cache: Optional[bool] = None,
+                        timeout: Optional[float] = None,
+                        retries: Optional[int] = None,
+                        backoff: Optional[float] = None,
                         ) -> Dict[str, Dict[str, object]]:
-    """Run every workload under every configuration, in parallel and cached.
+    """Run every workload under every configuration, supervised and cached.
 
     Drop-in replacement for :func:`repro.harness.runner.run_matrix`: same
     result-dict shape, deterministic (workload, config) ordering, equal
@@ -138,7 +170,18 @@ def run_matrix_parallel(workloads: Sequence[str],
     also disables the trace cache unless ``trace_cache`` is set
     explicitly.  Trace entries live under ``cache_dir``/traces when
     ``cache_dir`` is given, the default trace directory otherwise.
+
+    ``timeout``/``retries``/``backoff`` override ``REPRO_TIMEOUT`` /
+    ``REPRO_RETRIES`` / ``REPRO_BACKOFF`` for this call (see
+    :mod:`repro.harness.supervisor`).  Completed groups are written to
+    the result cache immediately, so an interrupted call leaves every
+    finished group persisted; the rerun re-simulates only the rest.
+
+    Raises :class:`~repro.harness.supervisor.SupervisorError` when any
+    group fails permanently — after persisting every group that did
+    succeed, so a rerun resumes rather than restarts.
     """
+    global _LAST_REPORT
     workloads = list(workloads)
     configs = list(configs)
     explicit_no_cache = cache is False
@@ -162,6 +205,7 @@ def run_matrix_parallel(workloads: Sequence[str],
     # Resolve cache hits first so only genuinely missing runs are grouped.
     keys: Dict[Tuple[str, str], str] = {}
     missing: List[Tuple[str, Configuration]] = []
+    resumed = 0
     for workload in workloads:
         for config in configs:
             if store is not None:
@@ -170,6 +214,7 @@ def run_matrix_parallel(workloads: Sequence[str],
                 cached = store.load(key)
                 if cached is not None:
                     results[workload][config.name] = cached
+                    resumed += 1
                     continue
             missing.append((workload, config))
 
@@ -178,23 +223,32 @@ def run_matrix_parallel(workloads: Sequence[str],
     for workload, config in missing:
         groups.setdefault((workload, config.fence_mode), []).append(config)
     tasks = [
-        (workload, tuple(group_configs), scale, params, trace_dir)
-        for (workload, _mode), group_configs in groups.items()
+        ("%s/%s" % (workload, mode),
+         (workload, tuple(group_configs), scale, params, trace_dir))
+        for (workload, mode), group_configs in groups.items()
     ]
 
-    workers = resolve_workers(max_workers)
-    if workers <= 1 or len(tasks) <= 1:
-        group_results = [_simulate_group(task) for task in tasks]
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-            group_results = list(pool.map(_simulate_group, tasks))
-
-    for task, per_config in zip(tasks, group_results):
-        workload = task[0]
+    def _persist(task_id: str, per_config: Dict[str, object]) -> None:
+        """Store one finished group's results the moment they exist, so
+        an interrupted matrix resumes instead of restarting."""
+        workload = task_id.split("/", 1)[0]
         for name, result in per_config.items():
             results[workload][name] = result
             if store is not None:
                 store.store(keys[(workload, name)], result)
+
+    config_ = SupervisorConfig.from_env(
+        max_workers=resolve_workers(max_workers),
+        timeout=timeout, retries=retries, backoff=backoff)
+    _, report = run_supervised(tasks, _simulate_group, config_,
+                               on_result=_persist)
+    report.resumed_from_cache = resumed
+    _LAST_REPORT = report
+    if not report.all_succeeded:
+        names = ", ".join(g.group for g in report.failed())
+        raise SupervisorError(
+            "%d group(s) failed permanently after retries: %s\n%s"
+            % (len(report.failed()), names, report.describe()), report)
 
     # Reassemble in the caller's (workload, config) order so iteration
     # order is identical to the serial runner's.
@@ -206,11 +260,21 @@ def run_matrix_parallel(workloads: Sequence[str],
     }
 
 
-def summarize_matrix(results: Dict[str, Dict[str, object]]
+def summarize_matrix(results: Dict[str, Dict[str, object]],
+                     report: Optional[MatrixReport] = None,
                      ) -> List[RunSummary]:
-    """Flatten a result matrix into :class:`RunSummary` rows."""
-    return [
+    """Flatten a result matrix into :class:`RunSummary` rows.
+
+    When ``report`` is given (a :class:`MatrixReport` from the run that
+    produced ``results``), the rows are also attached to
+    ``report.summaries`` so one object carries both the scientific
+    outcome and the execution story.
+    """
+    rows = [
         RunSummary.from_result(run)
         for per_config in results.values()
         for run in per_config.values()
     ]
+    if report is not None:
+        report.summaries = rows
+    return rows

@@ -27,6 +27,8 @@ import os
 import pstats
 from pathlib import Path
 
+from repro.harness.envutil import env_flag
+
 DEFAULT_PROFILE_DIR = os.path.join(".benchmarks", "profile")
 
 #: How many functions the text rendering keeps.
@@ -37,14 +39,10 @@ def profile_enabled_by_env() -> bool:
     """Whether ``REPRO_PROFILE`` asks for profiling (default no).
 
     ``1`` opts in, ``0`` (or unset/empty) opts out; any other value
-    raises ``ValueError``.
+    raises ``ValueError`` (shared
+    :func:`~repro.harness.envutil.env_flag` parsing).
     """
-    raw = os.environ.get("REPRO_PROFILE")
-    if raw is None or raw in ("", "0"):
-        return False
-    if raw == "1":
-        return True
-    raise ValueError("REPRO_PROFILE must be 0 or 1, got %r" % raw)
+    return env_flag("REPRO_PROFILE", default=False)
 
 
 def profile_dir() -> Path:

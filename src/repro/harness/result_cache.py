@@ -16,11 +16,22 @@ corrupt or unreadable entry is treated as a miss and discarded.
 
 The on-disk mechanics (atomic writes, corrupt-entry discard, hit/miss
 accounting) live in :class:`PickleStore`, which the trace cache
-(:mod:`repro.harness.trace_cache`) shares.
+(:mod:`repro.harness.trace_cache`) shares.  Every entry is wrapped in an
+integrity frame — a magic tag plus a CRC-32 of the serialized payload —
+so *any* byte-level damage (truncation, bit flips, partial writes from a
+crashed pre-atomic writer) is detected deterministically on load and
+self-heals into a miss, instead of relying on the unpickler happening to
+choke.  A pickle has no checksum of its own: a flipped bit inside an
+integer payload would otherwise deserialize "successfully" into silently
+wrong results.  Loads also type-check the unpickled object, so a valid
+pickle of the wrong type (a key collision or tampering) is likewise
+discarded rather than returned.
 
 Environment variables:
 
-* ``REPRO_RESULT_CACHE=0`` — disable the cache entirely (opt-out).
+* ``REPRO_RESULT_CACHE`` — ``0``/``false`` disables the cache,
+  ``1``/``true`` (default) enables it; anything else is rejected loudly
+  (see :func:`repro.harness.envutil.env_flag`).
 * ``REPRO_CACHE_DIR`` — override the default ``.benchmarks/cache``
   location (resolved against the current working directory).
 """
@@ -32,20 +43,55 @@ import hashlib
 import json
 import os
 import pickle
+import struct
 import tempfile
+import zlib
 from pathlib import Path
 from typing import Optional
+
+from repro.chaos import chaos_point
+from repro.harness.envutil import env_flag
 
 DEFAULT_CACHE_DIR = os.path.join(".benchmarks", "cache")
 
 #: Memoized source fingerprint (the tree does not change mid-process).
 _SOURCE_FINGERPRINT: Optional[str] = None
 
+#: Integrity-frame magic: bumping it invalidates every on-disk entry.
+_FRAME_MAGIC = b"RPK1"
+_FRAME_HEADER = struct.Struct("<4sI")  # magic, CRC-32 of the payload
+
+#: Total bytes of framing prepended to every entry.
+FRAME_HEADER_BYTES = _FRAME_HEADER.size
+
+
+class CorruptEntryError(ValueError):
+    """A cache entry failed its integrity frame or type check."""
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """Wrap serialized bytes in the magic + CRC-32 integrity frame."""
+    return _FRAME_HEADER.pack(_FRAME_MAGIC,
+                              zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def unframe_payload(blob: bytes) -> bytes:
+    """Verify and strip the integrity frame; raise on any damage."""
+    if len(blob) < FRAME_HEADER_BYTES:
+        raise CorruptEntryError("entry shorter than the integrity header")
+    magic, crc = _FRAME_HEADER.unpack_from(blob)
+    if magic != _FRAME_MAGIC:
+        raise CorruptEntryError("bad entry magic %r" % magic)
+    payload = blob[FRAME_HEADER_BYTES:]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise CorruptEntryError("entry checksum mismatch")
+    return payload
+
 
 def cache_enabled_by_env() -> bool:
     """Whether the cache is enabled (default yes; ``REPRO_RESULT_CACHE=0``
-    opts out)."""
-    return os.environ.get("REPRO_RESULT_CACHE", "1") != "0"
+    opts out; junk values are rejected loudly)."""
+    return env_flag("REPRO_RESULT_CACHE", default=True)
 
 
 def default_cache_dir() -> Path:
@@ -107,6 +153,9 @@ class PickleStore:
     #: File extension for entries; also the glob used by clear()/len().
     suffix = ".pkl"
 
+    #: Label used by chaos injection (``store`` point) and diagnostics.
+    kind = "pickle"
+
     def __init__(self, root: os.PathLike):
         self.root = Path(root)
         self.hits = 0
@@ -124,21 +173,38 @@ class PickleStore:
     def _deserialize(self, payload: bytes):
         return pickle.loads(payload)
 
+    def _expected_type(self) -> Optional[type]:
+        """Type a deserialized entry must be, or None to skip the check.
+
+        Resolved lazily (not a class attribute) so subclasses can name
+        types whose modules would create import cycles at class-creation
+        time.
+        """
+        return None
+
     # --- access -------------------------------------------------------------
 
     def load(self, key: str):
         """Return the cached value for ``key``, or None on a miss.
 
-        Corrupt entries (truncated writes, pickle incompatibilities) are
-        deleted and reported as misses.
+        Corrupt entries — truncated writes, bit flips (caught by the
+        CRC-32 frame), pickle incompatibilities, wrong-type payloads —
+        are deleted and reported as misses.
         """
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                value = self._deserialize(handle.read())
+                blob = handle.read()
         except FileNotFoundError:
             self.misses += 1
             return None
+        try:
+            value = self._deserialize(unframe_payload(blob))
+            expected = self._expected_type()
+            if expected is not None and not isinstance(value, expected):
+                raise CorruptEntryError(
+                    "entry holds %s, expected %s"
+                    % (type(value).__name__, expected.__name__))
         except Exception:
             # Unreadable entry: drop it so it cannot keep failing.
             try:
@@ -152,12 +218,12 @@ class PickleStore:
 
     def store(self, key: str, value) -> None:
         """Atomically persist ``value`` under ``key``."""
-        payload = self._serialize(value)
+        blob = frame_payload(self._serialize(value))
         self.root.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                handle.write(payload)
+                handle.write(blob)
             os.replace(tmp_name, self._path(key))
         except BaseException:
             try:
@@ -166,6 +232,8 @@ class PickleStore:
                 pass
             raise
         self.stores += 1
+        chaos_point("store", "%s:%s" % (self.kind, key),
+                    path=self._path(key))
 
     def clear(self) -> int:
         """Delete every entry; return how many were removed."""
@@ -193,8 +261,15 @@ class ResultCache(PickleStore):
             ``.benchmarks/cache``.
     """
 
+    kind = "result"
+
     def __init__(self, root: Optional[os.PathLike] = None):
         super().__init__(root if root is not None else default_cache_dir())
+
+    def _expected_type(self) -> Optional[type]:
+        from repro.harness.runner import RunResult
+
+        return RunResult
 
     def key(self, workload: str, config, scale, params,
             fingerprint: Optional[str] = None) -> str:

@@ -13,6 +13,7 @@ import dataclasses
 import os
 from typing import Dict, List, Optional
 
+from repro.chaos import chaos_point
 from repro.consistency.checker import CheckResult, check_run
 from repro.harness.configs import A72Params, Configuration, DEFAULT_PARAMS
 from repro.harness.profiling import maybe_profile
@@ -77,6 +78,7 @@ def run_one(workload: str, config: Configuration,
     stats to ``.benchmarks/profile/`` (see
     :mod:`repro.harness.profiling`).
     """
+    chaos_point("run_one", "%s/%s" % (workload, config.name))
     label = "%s-%s" % (workload, config.name)
     if built is None:
         with maybe_profile(label, "build"):

@@ -35,6 +35,7 @@ import zlib
 from pathlib import Path
 from typing import Optional
 
+from repro.harness.envutil import env_flag
 from repro.harness.result_cache import (
     PickleStore,
     canonical_key,
@@ -54,15 +55,10 @@ def trace_cache_enabled_by_env() -> bool:
     """Whether the trace cache is enabled (default yes).
 
     ``REPRO_TRACE_CACHE=0`` opts out, ``1`` (or unset/empty) opts in;
-    any other value raises ``ValueError``, consistent with the other
-    ``REPRO_*`` knobs' loud validation.
+    any other value raises ``ValueError`` (shared
+    :func:`~repro.harness.envutil.env_flag` parsing).
     """
-    raw = os.environ.get("REPRO_TRACE_CACHE")
-    if raw is None or raw in ("", "1"):
-        return True
-    if raw == "0":
-        return False
-    raise ValueError("REPRO_TRACE_CACHE must be 0 or 1, got %r" % raw)
+    return env_flag("REPRO_TRACE_CACHE", default=True)
 
 
 def default_trace_cache_dir() -> Path:
@@ -79,10 +75,16 @@ class TraceCache(PickleStore):
     """
 
     suffix = ".trace"
+    kind = "trace"
 
     def __init__(self, root: Optional[os.PathLike] = None):
         super().__init__(root if root is not None else
                          default_trace_cache_dir())
+
+    def _expected_type(self) -> Optional[type]:
+        from repro.nvmfw.framework import BuiltWorkload
+
+        return BuiltWorkload
 
     def key(self, workload: str, fence_mode: str, scale, params,
             fingerprint: Optional[str] = None) -> str:

@@ -718,8 +718,19 @@ class OutOfOrderCore:
     # Main loop
     # ------------------------------------------------------------------
 
-    def run(self, max_cycles: int = 500_000_000) -> PipelineStats:
-        """Simulate until HALT retires; return the statistics."""
+    def run(self, max_cycles: int = 500_000_000,
+            no_retire_limit: Optional[int] = None) -> PipelineStats:
+        """Simulate until HALT retires; return the statistics.
+
+        Two progress guards protect the caller from a runaway model:
+        ``max_cycles`` bounds the total simulated time, and the no-retire
+        watchdog (``no_retire_limit``, defaulting to
+        ``params.watchdog_no_retire``; ``0`` disables) aborts when no
+        instruction has retired for that many cycles — catching livelocks
+        where events keep firing but the ROB head never drains, which the
+        quiescence-based deadlock detector cannot see.  Both raise
+        :class:`SimulationError` carrying the full pipeline-state report.
+        """
         # The per-cycle loop is the simulator's hottest code: stage calls
         # are guarded so quiescent stages cost a single truth test, and the
         # loop-invariant lookups are bound to locals.
@@ -728,15 +739,24 @@ class OutOfOrderCore:
         event_heap = self._event_heap
         wb = self.wb
         trace_len = len(self.trace)
+        if no_retire_limit is None:
+            no_retire_limit = self.params.watchdog_no_retire
+        last_retire = self.now
         while not self._halted:
             now = self.now
             if now > max_cycles:
-                raise SimulationError(
-                    "exceeded %d cycles at trace index %d"
-                    % (max_cycles, self._fetch_index))
+                raise SimulationError(self._stuck_report(
+                    "exceeded the %d-cycle budget" % max_cycles))
             events = (self._process_events()
                       if event_heap and event_heap[0] == now else 0)
             retired = self._retire_stage() if self._rob else 0
+            if retired:
+                last_retire = now
+            elif no_retire_limit and now - last_retire > no_retire_limit:
+                raise SimulationError(self._stuck_report(
+                    "no instruction retired for %d cycles "
+                    "(watchdog limit %d)" % (now - last_retire,
+                                             no_retire_limit)))
             if self._halted:
                 record_issue(0)
                 break
@@ -759,13 +779,15 @@ class OutOfOrderCore:
                     record_issue(0, skipped)
                 self.now = next_cycle
                 continue
-            raise SimulationError(self._deadlock_report())
+            raise SimulationError(self._stuck_report(
+                "pipeline deadlock (no stage progressed, nothing scheduled)"))
         return self.stats
 
-    def _deadlock_report(self) -> str:
+    def _stuck_report(self, reason: str) -> str:
+        """Rich pipeline-state dump for any stuck-simulation error."""
         head = self._rob[0] if self._rob else None
         lines = [
-            "pipeline deadlock at cycle %d" % self.now,
+            "%s at cycle %d" % (reason, self.now),
             "  fetch index: %d / %d" % (self._fetch_index, len(self.trace)),
             "  ROB: %d entries, head=%r" % (len(self._rob), head),
             "  IQ: %d entries" % len(self._iq),

@@ -58,8 +58,16 @@ class CoreParams:
     agu_latency: int = 1
     forward_latency: int = 1
 
+    #: Progress watchdog: if no instruction retires for this many cycles
+    #: the run raises :class:`~repro.pipeline.core.SimulationError` with a
+    #: full pipeline-state report instead of spinning (livelock guard; the
+    #: deadlock detector only fires when *nothing* is scheduled).  ``0``
+    #: disables the watchdog.  The default is orders of magnitude above any
+    #: legitimate retire gap (worst memory round-trips are ~10^3 cycles).
+    watchdog_no_retire: int = 2_000_000
+
     def validate(self) -> None:
-        may_be_zero = {"dsb_penalty"}
+        may_be_zero = {"dsb_penalty", "watchdog_no_retire"}
         fields = dataclasses.asdict(self)
         for name, value in fields.items():
             if value < 0 or (value == 0 and name not in may_be_zero):

@@ -14,6 +14,7 @@ import dataclasses
 import random
 from typing import Callable, Dict
 
+from repro.chaos import chaos_point
 from repro.nvmfw.framework import BuiltWorkload, PersistentFramework
 
 
@@ -73,6 +74,7 @@ def build(name: str, mode: str, scale: Scale,
     architectural parameters) only contributes to the cache key.
     """
     global BUILD_COUNT
+    chaos_point("build", "%s/%s" % (name, mode))
     if cache is not None:
         from repro.harness.trace_cache import load_or_build
 

@@ -1,0 +1,103 @@
+"""Strict shared parsing of the REPRO_* environment knobs."""
+
+import pytest
+
+from repro.harness.envutil import (
+    env_flag,
+    env_float,
+    env_int,
+    env_positive_int,
+)
+from repro.harness.profiling import profile_enabled_by_env
+from repro.harness.result_cache import cache_enabled_by_env
+from repro.harness.trace_cache import trace_cache_enabled_by_env
+
+
+class TestEnvFlag:
+    @pytest.mark.parametrize("raw", ["1", "true", "TRUE", "True", " 1 "])
+    def test_true_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_X", raw)
+        assert env_flag("REPRO_X", default=False) is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "FALSE", "False"])
+    def test_false_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_X", raw)
+        assert env_flag("REPRO_X", default=True) is False
+
+    def test_unset_and_empty_mean_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_X", raising=False)
+        assert env_flag("REPRO_X", default=True) is True
+        assert env_flag("REPRO_X", default=False) is False
+        monkeypatch.setenv("REPRO_X", "")
+        assert env_flag("REPRO_X", default=True) is True
+
+    @pytest.mark.parametrize("raw", ["yes", "no", "2", "on", "off", "enable"])
+    def test_junk_is_rejected_loudly(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_X", raw)
+        with pytest.raises(ValueError, match="REPRO_X"):
+            env_flag("REPRO_X")
+
+    def test_error_names_value_and_spellings(self, monkeypatch):
+        monkeypatch.setenv("REPRO_X", "yes")
+        with pytest.raises(ValueError, match=r"0/1/true/false.*'yes'"):
+            env_flag("REPRO_X")
+
+
+class TestNumericKnobs:
+    def test_env_int(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N", "5")
+        assert env_int("REPRO_N", 2) == 5
+        monkeypatch.delenv("REPRO_N")
+        assert env_int("REPRO_N", 2) == 2
+
+    def test_env_int_rejects_garbage_and_bounds(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N", "many")
+        with pytest.raises(ValueError, match="REPRO_N"):
+            env_int("REPRO_N", 2)
+        monkeypatch.setenv("REPRO_N", "-1")
+        with pytest.raises(ValueError, match="REPRO_N"):
+            env_int("REPRO_N", 2, minimum=0)
+
+    def test_env_float(self, monkeypatch):
+        monkeypatch.setenv("REPRO_F", "2.5")
+        assert env_float("REPRO_F", 1.0) == 2.5
+        monkeypatch.setenv("REPRO_F", "soon")
+        with pytest.raises(ValueError, match="REPRO_F"):
+            env_float("REPRO_F", 1.0)
+        monkeypatch.setenv("REPRO_F", "-0.5")
+        with pytest.raises(ValueError, match="REPRO_F"):
+            env_float("REPRO_F", 1.0, minimum=0.0)
+
+    def test_env_positive_int(self, monkeypatch):
+        monkeypatch.setenv("REPRO_P", "3")
+        assert env_positive_int("REPRO_P", 1) == 3
+        monkeypatch.setenv("REPRO_P", "0")
+        with pytest.raises(ValueError, match="REPRO_P"):
+            env_positive_int("REPRO_P", 1)
+
+
+class TestHarnessKnobsShareTheParser:
+    """Every boolean REPRO_* knob must reject junk, not silently guess."""
+
+    @pytest.mark.parametrize("name,reader", [
+        ("REPRO_RESULT_CACHE", cache_enabled_by_env),
+        ("REPRO_TRACE_CACHE", trace_cache_enabled_by_env),
+        ("REPRO_PROFILE", profile_enabled_by_env),
+    ])
+    def test_junk_rejected(self, monkeypatch, name, reader):
+        monkeypatch.setenv(name, "maybe")
+        with pytest.raises(ValueError, match=name):
+            reader()
+
+    @pytest.mark.parametrize("name,reader,default", [
+        ("REPRO_RESULT_CACHE", cache_enabled_by_env, True),
+        ("REPRO_TRACE_CACHE", trace_cache_enabled_by_env, True),
+        ("REPRO_PROFILE", profile_enabled_by_env, False),
+    ])
+    def test_spellings_and_default(self, monkeypatch, name, reader, default):
+        monkeypatch.delenv(name, raising=False)
+        assert reader() is default
+        monkeypatch.setenv(name, "true")
+        assert reader() is True
+        monkeypatch.setenv(name, "false")
+        assert reader() is False

@@ -13,6 +13,7 @@ from repro.harness.result_cache import (
     cache_enabled_by_env,
     default_cache_dir,
     source_fingerprint,
+    unframe_payload,
 )
 from repro.workloads import Scale, TEST_SCALE
 
@@ -80,7 +81,8 @@ class TestStoreAndLoad:
                      if p.suffix not in (".pkl",)]
         assert leftovers == []
         with open(cache._path(key), "rb") as handle:
-            assert pickle.load(handle) == {"payload": 1}
+            assert pickle.loads(unframe_payload(handle.read())) == {
+                "payload": 1}
 
     def test_clear(self, cache):
         cache.store("aa" * 32, 1)

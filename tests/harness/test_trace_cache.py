@@ -9,7 +9,11 @@ from repro.harness import CONFIGURATIONS, configuration, run_matrix, run_one
 from repro.harness.configs import DEFAULT_PARAMS
 from repro.harness.parallel import run_matrix_parallel
 from repro.harness.profiling import profile_enabled_by_env
-from repro.harness.result_cache import default_cache_dir, source_fingerprint
+from repro.harness.result_cache import (
+    default_cache_dir,
+    source_fingerprint,
+    unframe_payload,
+)
 from repro.harness.trace_cache import (
     TraceCache,
     default_trace_cache_dir,
@@ -82,9 +86,9 @@ class TestHitIdentity:
     def test_entries_are_compressed(self, cache):
         workload_base.build("update", "ede", TEST_SCALE, cache=cache)
         (path,) = list(cache.root.glob("*.trace"))
-        payload = path.read_bytes()
-        assert zlib.decompress(payload)  # valid zlib stream
-        assert len(payload) < len(zlib.decompress(payload))
+        body = unframe_payload(path.read_bytes())
+        assert zlib.decompress(body)  # valid zlib stream under the frame
+        assert len(body) < len(zlib.decompress(body))
 
 
 class TestInvalidation:

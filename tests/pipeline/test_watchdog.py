@@ -1,0 +1,70 @@
+"""Progress watchdog: livelocks and budget blowouts die loudly."""
+
+import dataclasses
+
+import pytest
+
+from repro.isa import instructions as ops
+from repro.pipeline.core import SimulationError
+from repro.pipeline.params import CoreParams
+
+from tests.pipeline.conftest import make_core
+
+
+def livelocked_core(params=CoreParams()):
+    """A core whose retire stage never drains but whose clock keeps
+    ticking: dispatch is suppressed after the first instruction enters
+    the ROB, and retirement is vetoed outright.  Events/stages still
+    report progress (dispatch returns 1), so the quiescence-based
+    deadlock detector never fires — only the watchdog can catch it."""
+    trace = [ops.nop() for _ in range(4)]
+    core, _ = make_core(trace, params=params)
+    core._retire_stage = lambda: 0
+    core._dispatch_stage = lambda: 1
+    return core
+
+
+class TestNoRetireWatchdog:
+    def test_livelock_raises_with_report(self):
+        core = livelocked_core()
+        with pytest.raises(SimulationError) as excinfo:
+            core.run(no_retire_limit=500)
+        message = str(excinfo.value)
+        assert "no instruction retired" in message
+        assert "watchdog limit 500" in message
+        # The rich pipeline-state report rides along.
+        assert "ROB:" in message and "event heap" in message
+
+    def test_limit_defaults_to_params(self):
+        params = dataclasses.replace(CoreParams(), watchdog_no_retire=300)
+        core = livelocked_core(params=params)
+        with pytest.raises(SimulationError, match="watchdog limit 300"):
+            core.run()
+
+    def test_zero_disables_the_watchdog(self):
+        core = livelocked_core()
+        # With the watchdog off, only the cycle budget stops the livelock.
+        with pytest.raises(SimulationError, match="cycle budget"):
+            core.run(max_cycles=2_000, no_retire_limit=0)
+
+    def test_healthy_run_unaffected(self):
+        trace = [ops.mov_imm(r % 8, r) for r in range(32)]
+        core, _ = make_core(trace)
+        stats = core.run(no_retire_limit=100)
+        assert stats.retired == len(trace) + 1  # + HALT
+
+    def test_param_validates_zero_but_not_negative(self):
+        dataclasses.replace(CoreParams(), watchdog_no_retire=0).validate()
+        with pytest.raises(ValueError, match="watchdog_no_retire"):
+            dataclasses.replace(CoreParams(),
+                                watchdog_no_retire=-1).validate()
+
+
+class TestCycleBudget:
+    def test_budget_blowout_carries_state_report(self):
+        core = livelocked_core()
+        with pytest.raises(SimulationError) as excinfo:
+            core.run(max_cycles=1_000, no_retire_limit=0)
+        message = str(excinfo.value)
+        assert "exceeded the 1000-cycle budget" in message
+        assert "fetch index" in message
