@@ -7,7 +7,6 @@
 * the DSB drain penalty (why it is zero by default).
 """
 
-import dataclasses
 
 from benchmarks.common import print_header
 from repro.harness.configs import A72Params, configuration

@@ -22,14 +22,14 @@ import time
 from benchmarks.common import bench_scale, print_header
 from repro.harness.configs import DEFAULT_PARAMS, configuration
 from repro.harness.parallel import resolve_workers, run_matrix_parallel
-from repro.harness.runner import run_matrix, run_one, warm_hierarchy
+from repro.harness.runner import run_matrix, warm_hierarchy
 from repro.harness.trace_cache import TraceCache
 from repro.isa.assembler import assemble
 from repro.isa.machine import Machine
 from repro.memory.controller import MemoryController
 from repro.memory.hierarchy import CacheHierarchy
 from repro.pipeline.core import OutOfOrderCore
-from repro.workloads import Scale, base as workload_base
+from repro.workloads import base as workload_base
 
 #: Matrix used by the serial-vs-parallel and cache measurements — small
 #: enough to run twice in one bench, large enough to dominate overheads.

@@ -1,7 +1,7 @@
 """Tables I, II and III: architectural parameters, applications and
 configurations — regenerated from the code that actually uses them."""
 
-from benchmarks.common import bench_scale, print_header
+from benchmarks.common import print_header
 from repro.harness.configs import CONFIGURATIONS, DEFAULT_PARAMS
 from repro.workloads import Scale, build, workload_names
 

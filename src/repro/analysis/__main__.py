@@ -1,0 +1,207 @@
+"""Command-line driver: ``python -m repro.analysis``.
+
+Targets are workload names (analyzed per fence mode) or ``.s`` assembly
+files.  With no targets, every registered workload is analyzed.
+
+Exit status: 0 when no finding reaches the ``--fail-on`` threshold, 1
+when one does, 2 on usage errors.
+
+Examples::
+
+    python -m repro.analysis                        # all workloads, all modes
+    python -m repro.analysis update swap --modes ede
+    python -m repro.analysis figures/fig4.s --convention
+    python -m repro.analysis --format json --output analysis.json
+    python -m repro.analysis --list-checks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.findings import (
+    CHECK_CATALOG,
+    ERROR,
+    SEVERITY_RANK,
+    WARNING,
+    at_or_above,
+)
+from repro.analysis.keystate import KeyStateOptions
+from repro.analysis.report import (
+    AnalysisReport,
+    analyze_program,
+    analyze_workload,
+    render,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Whole-program static analysis of EDE code: key-state "
+        "checks, persist-ordering proofs, and the fence-redundancy linter.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="workload names and/or .s assembly files (default: all workloads)",
+    )
+    parser.add_argument(
+        "--modes",
+        default=None,
+        help="comma-separated fence modes for workload targets "
+        "(default: dsb,dmb_st,ede,none)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("test", "bench", "paper"),
+        default="test",
+        help="workload scale (default: test)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help="lowest severity that makes the exit status nonzero "
+        "(default: error)",
+    )
+    parser.add_argument(
+        "--edm-capacity",
+        type=int,
+        default=None,
+        help="override the EDM capacity used by the pressure check",
+    )
+    parser.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the fence-redundancy linter",
+    )
+    parser.add_argument(
+        "--convention",
+        action="store_true",
+        help="also run EDK calling-convention checks (assembly targets)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="include info-severity findings in text output",
+    )
+    parser.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="print the check catalog and exit",
+    )
+    return parser
+
+
+def _resolve_scale(name: str):
+    from repro.workloads import base as workloads_base
+
+    return {
+        "test": workloads_base.TEST_SCALE,
+        "bench": workloads_base.BENCH_SCALE,
+        "paper": workloads_base.PAPER_SCALE,
+    }[name]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        width = max(len(check) for check in CHECK_CATALOG)
+        for check in sorted(CHECK_CATALOG):
+            print("%-*s  %s" % (width, check, CHECK_CATALOG[check]))
+        return 0
+
+    from repro.nvmfw.codegen import ALL_MODES
+    from repro.workloads import base as workloads_base
+
+    known_workloads = set(workloads_base.workload_names())
+    targets = list(args.targets)
+    if not targets:
+        targets = sorted(known_workloads)
+
+    modes = list(ALL_MODES)
+    if args.modes is not None:
+        modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+        unknown = [m for m in modes if m not in ALL_MODES]
+        if unknown:
+            parser.error(
+                "unknown fence mode(s) %s (have: %s)"
+                % (", ".join(unknown), ", ".join(ALL_MODES))
+            )
+
+    options = None
+    if args.edm_capacity is not None:
+        options = KeyStateOptions(edm_capacity=args.edm_capacity)
+
+    scale = _resolve_scale(args.scale)
+    reports: List[AnalysisReport] = []
+    for target in targets:
+        if target in known_workloads:
+            for mode in modes:
+                reports.append(
+                    analyze_workload(
+                        target,
+                        mode,
+                        scale=scale,
+                        options=options,
+                        lint=not args.no_lint,
+                    )
+                )
+        elif target.endswith(".s"):
+            reports.append(
+                analyze_program(
+                    target,
+                    options=options,
+                    check_convention=args.convention,
+                    lint=not args.no_lint,
+                )
+            )
+        else:
+            parser.error(
+                "unknown target %r: not a workload (have: %s) and not a "
+                ".s file" % (target, ", ".join(sorted(known_workloads)))
+            )
+
+    output = render(reports, args.format, verbose=args.verbose)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output + "\n")
+    else:
+        print(output)
+
+    if args.fail_on == "never":
+        return 0
+    threshold = ERROR if args.fail_on == "error" else WARNING
+    assert threshold in SEVERITY_RANK
+    failing = [
+        finding
+        for report in reports
+        for finding in at_or_above(report.findings, threshold)
+    ]
+    if failing:
+        print(
+            "%d finding(s) at or above %r severity" % (len(failing), args.fail_on),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

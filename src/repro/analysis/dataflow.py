@@ -1,0 +1,189 @@
+"""Reaching-producer dataflow and the execution-dependence chain graph.
+
+The persist-ordering prover and the fence-redundancy linter both need the
+same two facts about a program:
+
+1. **reaching producers** — at a given instruction, which producer sites
+   may be the *current* producer of each key (the EDM tracks only the
+   latest producer per key, Figure 6 of the paper);
+2. **guaranteed waiting** — whether executing instruction ``X`` provably
+   waits for the completion of instruction ``A``, following consumer
+   edges transitively (a consumer cannot execute before its producer
+   completes; ``JOIN``/``WAIT_KEY`` chain productions behind
+   consumptions).
+
+The reaching analysis is a *may* analysis (union at joins, with the
+distinguished :data:`NO_PRODUCER` element for paths with none), so every
+"guaranteed" claim quantifies over all possible producers: ``X`` waits on
+``A`` only when **every** possible current producer of one of ``X``'s use
+keys transitively waits on ``A``.  That is sound — paths the program
+cannot take only add candidates that make claims harder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from repro.analysis.cfg import CFG
+from repro.analysis.keystate import FULL_FENCES
+from repro.core.edk import ZERO_KEY
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+
+#: "Some path reaches here with no producer for this key."
+NO_PRODUCER = -1
+
+_NONE_ONLY: FrozenSet[int] = frozenset({NO_PRODUCER})
+
+CurrentState = Dict[int, FrozenSet[int]]
+
+
+def _join(a: CurrentState, b: CurrentState) -> CurrentState:
+    out: CurrentState = dict(a)
+    for key, sites in b.items():
+        existing = out.get(key)
+        if existing is None:
+            out[key] = sites | _NONE_ONLY
+        elif existing is not sites:
+            out[key] = existing | sites
+    for key in a:
+        if key not in b:
+            out[key] = out[key] | _NONE_ONLY
+    return out
+
+
+class KeyDependenceAnalysis:
+    """Reaching producers, chain edges, and guaranteed-wait queries."""
+
+    def __init__(self, instructions: Sequence[Instruction], cfg: CFG):
+        self.instructions = instructions
+        self.cfg = cfg
+        #: site -> key -> may-set of current producer sites; recorded for
+        #: consumer sites and waits (the only places queries look at).
+        self.current_at: Dict[int, CurrentState] = {}
+        #: producer site -> consumer sites that may wait on it.
+        self.children: Dict[int, Set[int]] = {}
+        self.full_fence_sites: Set[int] = set()
+        self.wait_sites: List[int] = []
+        self._run()
+
+    # --- dataflow -----------------------------------------------------------
+
+    def _transfer(self, block_index: int, state: CurrentState, record: bool) -> CurrentState:
+        state = dict(state)
+        for site in self.cfg.blocks[block_index].sites():
+            inst = self.instructions[site]
+            opcode = inst.opcode
+            if record:
+                if opcode in FULL_FENCES:
+                    self.full_fence_sites.add(site)
+                is_wait = opcode in (Opcode.WAIT_KEY, Opcode.WAIT_ALL_KEYS)
+                if is_wait:
+                    self.wait_sites.append(site)
+                if inst.consumer_keys() or opcode is Opcode.WAIT_ALL_KEYS:
+                    self.current_at[site] = dict(state)
+                    watched = (
+                        list(state)
+                        if opcode is Opcode.WAIT_ALL_KEYS
+                        else inst.consumer_keys()
+                    )
+                    for key in watched:
+                        for producer in state.get(key, _NONE_ONLY):
+                            if producer != NO_PRODUCER:
+                                self.children.setdefault(producer, set()).add(site)
+            if inst.edk_def != ZERO_KEY:
+                state[inst.edk_def] = frozenset({site})
+        return state
+
+    def _run(self) -> None:
+        cfg = self.cfg
+        if not cfg.blocks:
+            return
+        in_states: Dict[int, CurrentState] = {0: {}}
+        order = {b: i for i, b in enumerate(cfg.reverse_postorder())}
+        work: Set[int] = {0}
+        while work:
+            block_index = min(work, key=lambda b: order.get(b, b))
+            work.discard(block_index)
+            out = self._transfer(block_index, in_states[block_index], record=False)
+            for succ in cfg.blocks[block_index].successors:
+                if succ < 0:
+                    continue
+                existing = in_states.get(succ)
+                joined = out if existing is None else _join(existing, out)
+                if existing is None or joined != existing:
+                    in_states[succ] = joined
+                    work.add(succ)
+        for block_index in sorted(in_states):
+            self._transfer(block_index, in_states[block_index], record=True)
+
+    # --- queries ------------------------------------------------------------
+
+    def waits_on(self, x_site: int, a_site: int, _visiting: Optional[Set[int]] = None) -> bool:
+        """True when executing ``x_site`` provably waits for ``a_site``.
+
+        ``X`` waits on ``A`` when ``X`` *is* ``A``, or when for some use
+        key of ``X`` every possible current producer transitively waits
+        on ``A``.  Cycles (loop-carried chains) conservatively fail.
+        """
+        if x_site == a_site:
+            return True
+        if _visiting is None:
+            _visiting = set()
+        if x_site in _visiting:
+            return False
+        _visiting.add(x_site)
+        try:
+            state = self.current_at.get(x_site)
+            if state is None:
+                return False
+            inst = self.instructions[x_site]
+            use_keys = inst.consumer_keys()
+            if not use_keys and inst.opcode is Opcode.WAIT_ALL_KEYS:
+                use_keys = tuple(state)
+            for key in use_keys:
+                producers = state.get(key, _NONE_ONLY)
+                if not producers or NO_PRODUCER in producers:
+                    continue
+                if all(
+                    self.waits_on(producer, a_site, _visiting)
+                    for producer in producers
+                ):
+                    return True
+            return False
+        finally:
+            _visiting.discard(x_site)
+
+    def wait_covers(self, wait_site: int, a_site: int) -> bool:
+        """True when the wait at ``wait_site`` provably waits for ``a_site``.
+
+        Waits enforce their ordering at *retirement* against the write
+        buffer, not against the EDM (:mod:`repro.pipeline.write_buffer`):
+        a retiring ``WAIT_ALL_KEYS`` stalls until no older EDE instruction
+        is resident, and ``WAIT_KEY (k)`` until no older EDE instruction
+        touching ``k`` is.  So on any path that reaches the wait *through*
+        ``a_site``, the wait covers ``a_site`` whenever ``a_site`` is an
+        EDE instruction (with a matching key, for ``WAIT_KEY``) — even
+        when its EDM entry was overwritten in between.  Callers must only
+        query waits that lie on a path from ``a_site``.  The EDM chain
+        (:meth:`waits_on`) remains as the fallback for ``JOIN``-mediated
+        coverage.
+        """
+        wait = self.instructions[wait_site]
+        target = self.instructions[a_site]
+        if target.is_ede:
+            if wait.opcode is Opcode.WAIT_ALL_KEYS:
+                return True
+            if wait.opcode is Opcode.WAIT_KEY:
+                keys = {
+                    key
+                    for key in (target.edk_def, target.edk_use, target.edk_use2)
+                    if key != ZERO_KEY
+                }
+                if wait.edk_use in keys:
+                    return True
+        return self.waits_on(wait_site, a_site)
+
+    def has_consumer(self, a_site: int) -> bool:
+        """Whether any consumer anywhere may wait on ``a_site``."""
+        return bool(self.children.get(a_site))

@@ -1,0 +1,220 @@
+"""Fence-redundancy linter: find fences EDE already makes unnecessary.
+
+The paper's entire premise is that execution dependences express the
+orderings programs actually need, making full fences — which order
+*everything* — removable.  This linter identifies ``DSB SY``/``DMB SY``
+instructions whose whole ordering effect is already enforced without
+them, and reports the estimated saving.
+
+For a full fence ``F`` the linter considers every ordered pair
+``(p, s)`` where ``p`` is a store-class instruction (store, pairwise
+store or ``DC CVAP``) that may reach ``F`` without crossing another full
+fence, and ``s`` is a store-class instruction reachable from ``F``
+before the next full fence.  ``F`` is *redundant* when every such pair
+is already ordered without it: ``s`` transitively consumes ``p``'s key
+production, or every ``F``-free path from ``p`` to ``s`` crosses another
+full fence or a wait that provably waits for ``p``.  Fences with an
+empty window on either side order no store-class pair inside the
+analyzed sequence and are left alone (their effect, if any, is against
+code outside the sequence).
+
+Windows are *may* sets (union over paths), so removing a fence is only
+suggested when every pair on every path is covered — conservative in
+the safe direction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import KeyDependenceAnalysis
+from repro.analysis.findings import INFO, Finding
+from repro.analysis.keystate import FULL_FENCES
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+
+WindowState = FrozenSet[int]
+
+
+@dataclasses.dataclass
+class FenceReport:
+    """Aggregate linter output for one instruction sequence."""
+
+    total_full_fences: int
+    redundant_sites: List[int]
+    instructions: int
+
+    @property
+    def redundant_count(self) -> int:
+        return len(self.redundant_sites)
+
+    @property
+    def eliminable_fraction(self) -> float:
+        if not self.total_full_fences:
+            return 0.0
+        return self.redundant_count / self.total_full_fences
+
+    def to_dict(self) -> dict:
+        return {
+            "total_full_fences": self.total_full_fences,
+            "redundant_fences": self.redundant_count,
+            "redundant_sites": list(self.redundant_sites),
+            "eliminable_fraction": self.eliminable_fraction,
+            "instructions": self.instructions,
+        }
+
+
+class _FenceLinter:
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        cfg: CFG,
+        analysis: KeyDependenceAnalysis,
+    ):
+        self.instructions = instructions
+        self.cfg = cfg
+        self.analysis = analysis
+
+    # --- windows ------------------------------------------------------------
+
+    def _before_windows(self) -> Dict[int, FrozenSet[int]]:
+        """Per-fence may-set of store-class sites since the last full fence."""
+        cfg = self.cfg
+        windows: Dict[int, Set[int]] = {}
+        in_states: Dict[int, WindowState] = {0: frozenset()}
+        order = {b: i for i, b in enumerate(cfg.reverse_postorder())}
+        work: Set[int] = {0}
+
+        def transfer(block_index: int, state: WindowState, record: bool) -> WindowState:
+            pending = set(state)
+            for site in cfg.blocks[block_index].sites():
+                inst = self.instructions[site]
+                if inst.opcode in FULL_FENCES:
+                    if record:
+                        windows.setdefault(site, set()).update(pending)
+                    pending.clear()
+                elif inst.is_store_class:
+                    pending.add(site)
+            return frozenset(pending)
+
+        while work:
+            block_index = min(work, key=lambda b: order.get(b, b))
+            work.discard(block_index)
+            out = transfer(block_index, in_states[block_index], record=False)
+            for succ in cfg.blocks[block_index].successors:
+                if succ < 0:
+                    continue
+                existing = in_states.get(succ)
+                joined = out if existing is None else existing | out
+                if existing is None or joined != existing:
+                    in_states[succ] = joined
+                    work.add(succ)
+        for block_index in sorted(in_states):
+            transfer(block_index, in_states[block_index], record=True)
+        return {site: frozenset(sites) for site, sites in windows.items()}
+
+    def _after_window(self, fence_site: int) -> FrozenSet[int]:
+        """Store-class sites reachable from the fence before the next one."""
+        window: Set[int] = set()
+        frontier = list(self.cfg.successor_sites(fence_site))
+        visited = set(frontier)
+        while frontier:
+            site = frontier.pop()
+            inst = self.instructions[site]
+            if inst.opcode in FULL_FENCES:
+                continue
+            if inst.is_store_class:
+                window.add(site)
+            for succ in self.cfg.successor_sites(site):
+                if succ not in visited:
+                    visited.add(succ)
+                    frontier.append(succ)
+        return frozenset(window)
+
+    # --- pair ordering without the fence under test ---------------------------
+
+    def _ordered_without(self, p_site: int, s_site: int, fence_site: int) -> bool:
+        analysis = self.analysis
+        state = analysis.current_at.get(s_site)
+        if state is not None:
+            from repro.analysis.dataflow import NO_PRODUCER
+
+            for key in self.instructions[s_site].consumer_keys():
+                producers = state.get(key)
+                if not producers or NO_PRODUCER in producers:
+                    continue
+                if all(analysis.waits_on(q, p_site) for q in producers):
+                    return True
+        # Path search: every p -> s path must cross a securing point other
+        # than the fence under test.
+        frontier = list(self.cfg.successor_sites(p_site))
+        visited = set(frontier)
+        while frontier:
+            site = frontier.pop()
+            if site == s_site:
+                return False
+            if site != fence_site:
+                inst = self.instructions[site]
+                if inst.opcode in FULL_FENCES:
+                    continue
+                if inst.opcode in (Opcode.WAIT_KEY, Opcode.WAIT_ALL_KEYS):
+                    if analysis.wait_covers(site, p_site):
+                        continue
+            for succ in self.cfg.successor_sites(site):
+                if succ not in visited:
+                    visited.add(succ)
+                    frontier.append(succ)
+        return True
+
+    # --- driver -------------------------------------------------------------
+
+    def run(self) -> Tuple[List[Finding], FenceReport]:
+        findings: List[Finding] = []
+        fence_sites = sorted(self.analysis.full_fence_sites)
+        before = self._before_windows()
+        redundant: List[int] = []
+        for fence_site in fence_sites:
+            before_window = before.get(fence_site, frozenset())
+            if not before_window:
+                continue
+            after_window = self._after_window(fence_site)
+            if not after_window:
+                continue
+            if all(
+                self._ordered_without(p, s, fence_site)
+                for p in before_window
+                for s in after_window
+            ):
+                redundant.append(fence_site)
+                findings.append(
+                    Finding(
+                        INFO,
+                        fence_site,
+                        "full fence at %d is redundant: all %d x %d store-class "
+                        "orderings across it are already enforced by EDE "
+                        "dependences or waits (candidate for elimination)"
+                        % (fence_site, len(before_window), len(after_window)),
+                        "redundant-fence",
+                    )
+                )
+        report = FenceReport(
+            total_full_fences=len(fence_sites),
+            redundant_sites=redundant,
+            instructions=len(self.instructions),
+        )
+        return findings, report
+
+
+def lint_fences(
+    instructions: Sequence[Instruction],
+    cfg: Optional[CFG] = None,
+    analysis: Optional[KeyDependenceAnalysis] = None,
+) -> Tuple[List[Finding], FenceReport]:
+    """Run the fence-redundancy linter; returns (findings, report)."""
+    if cfg is None:
+        cfg = build_cfg(instructions)
+    if analysis is None:
+        analysis = KeyDependenceAnalysis(instructions, cfg)
+    return _FenceLinter(instructions, cfg, analysis).run()

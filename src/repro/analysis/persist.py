@@ -1,0 +1,272 @@
+"""Static persist-ordering prover.
+
+The NVM framework emits, per operation, crash-consistency *obligations*
+(:mod:`repro.consistency.obligations`) that the dynamic checker validates
+against a full timing simulation.  This module decides the same
+obligations **statically**, before a single cycle is simulated:
+
+* ``GUARANTEED`` — the ordering holds on every path, because (a) the
+  second instruction transitively consumes the first's key production
+  (an EDE edge: a consumer cannot execute before its producer completes),
+  or (b) every path between the two crosses a ``DSB SY``/``DMB SY`` or a
+  ``WAIT_KEY``/``WAIT_ALL_KEYS`` that provably waits for the first
+  instruction's completion.
+* ``VIOLATED`` — some path between the two carries **no ordering
+  mechanism at all**: no full fence, no covering wait, and the first
+  instruction's production (if any) is consumed by nobody.  ``DMB ST``
+  intentionally does not count — AArch64's ``DMB ST`` does not order
+  ``DC CVAP``, which is exactly why the SU configuration is unsafe by
+  specification (Table III).
+* ``INDETERMINATE`` — neither: some partial mechanism exists (for
+  example a key chain that is later re-produced before the commit wait)
+  but the analysis cannot prove the ordering.  The dynamic checker
+  remains the authority for these.
+
+Soundness contract (cross-validated by the test suite): a ``GUARANTEED``
+verdict must never correspond to a dynamic violation in a safe
+configuration (B, IQ, WB).  ``VIOLATED`` under a mode that claims safety
+is a code-generation bug and is reported at error severity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import NO_PRODUCER, KeyDependenceAnalysis
+from repro.analysis.keystate import FULL_FENCES
+from repro.consistency.obligations import (
+    LOG_BEFORE_STORE,
+    PERSIST_BEFORE_COMMIT,
+    Obligation,
+)
+from repro.core.edk import ZERO_KEY
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+
+GUARANTEED = "guaranteed"
+VIOLATED = "violated"
+INDETERMINATE = "indeterminate"
+
+
+@dataclasses.dataclass(frozen=True)
+class ObligationVerdict:
+    """The static fate of one persist-ordering obligation."""
+
+    obligation: Obligation
+    verdict: str
+    reason: str
+    first_index: Optional[int]
+    second_index: Optional[int]
+
+    def __str__(self) -> str:
+        return "%s: %s (%s)" % (self.verdict.upper(), self.obligation, self.reason)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.obligation.kind,
+            "first_tag": self.obligation.first_tag,
+            "second_tag": self.obligation.second_tag,
+            "op_id": self.obligation.op_id,
+            "txn_id": self.obligation.txn_id,
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "first_index": self.first_index,
+            "second_index": self.second_index,
+        }
+
+
+def _tag_number(tag: str) -> int:
+    try:
+        return int(tag.split(":", 1)[1])
+    except (IndexError, ValueError):
+        return -1
+
+
+def derive_obligations(instructions: Sequence[Instruction]) -> List[Obligation]:
+    """Derive the standard obligations implied by persist tags.
+
+    This is how assembly fixtures get persist-ordering checks without a
+    framework build: every ``log:N``/``store:N`` tag pair implies
+    ``LOG_BEFORE_STORE``, and every ``log:``/``data:``/``init:`` tag
+    implies ``PERSIST_BEFORE_COMMIT`` against the first ``commit:M`` tag
+    appearing after it in the stream (its transaction's commit).
+    """
+    tags = [
+        (site, inst.comment)
+        for site, inst in enumerate(instructions)
+        if inst.comment is not None
+    ]
+    commits = [(site, tag) for site, tag in tags if tag.startswith("commit:")]
+    store_tags = {tag for _site, tag in tags if tag.startswith("store:")}
+    obligations: List[Obligation] = []
+    for _site, tag in tags:
+        if tag.startswith("log:"):
+            store = "store:%s" % tag.split(":", 1)[1]
+            if store in store_tags:
+                obligations.append(
+                    Obligation(
+                        kind=LOG_BEFORE_STORE,
+                        first_tag=tag,
+                        second_tag=store,
+                        op_id=_tag_number(tag),
+                        txn_id=-1,
+                    )
+                )
+    for site, tag in tags:
+        if tag.split(":", 1)[0] in ("log", "data", "init"):
+            commit = next((c for c_site, c in commits if c_site > site), None)
+            if commit is not None:
+                obligations.append(
+                    Obligation(
+                        kind=PERSIST_BEFORE_COMMIT,
+                        first_tag=tag,
+                        second_tag=commit,
+                        op_id=-1,
+                        txn_id=_tag_number(commit),
+                    )
+                )
+    return obligations
+
+
+def build_tag_index(instructions: Sequence[Instruction]) -> Dict[str, int]:
+    """Map each persist tag (instruction ``comment``) to its first site."""
+    index: Dict[str, int] = {}
+    for site, inst in enumerate(instructions):
+        if inst.comment is not None and inst.comment not in index:
+            index[inst.comment] = site
+    return index
+
+
+class PersistProver:
+    """Decides obligations over one instruction sequence."""
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        cfg: Optional[CFG] = None,
+        analysis: Optional[KeyDependenceAnalysis] = None,
+    ):
+        self.instructions = instructions
+        self.cfg = cfg if cfg is not None else build_cfg(instructions)
+        self.analysis = (
+            analysis
+            if analysis is not None
+            else KeyDependenceAnalysis(instructions, self.cfg)
+        )
+        self.tag_index = build_tag_index(instructions)
+
+    # --- path search --------------------------------------------------------
+
+    def _unsecured_path_exists(self, a_site: int, b_site: int) -> bool:
+        """Whether some path ``a -> b`` avoids every securing instruction.
+
+        Securing instructions are full fences and waits that provably
+        wait for ``a_site``'s completion; the search does not expand
+        through them.  Reaching ``b_site`` means the ordering is not
+        enforced on at least one path.
+        """
+        analysis = self.analysis
+        frontier = list(self.cfg.successor_sites(a_site))
+        visited = set(frontier)
+        while frontier:
+            site = frontier.pop()
+            if site == b_site:
+                return True
+            inst = self.instructions[site]
+            opcode = inst.opcode
+            if opcode in FULL_FENCES:
+                continue
+            if opcode in (Opcode.WAIT_KEY, Opcode.WAIT_ALL_KEYS):
+                if analysis.wait_covers(site, a_site):
+                    continue
+            for succ in self.cfg.successor_sites(site):
+                if succ not in visited:
+                    visited.add(succ)
+                    frontier.append(succ)
+        return False
+
+    def _consumes_chain(self, b_site: int, a_site: int) -> bool:
+        """Whether ``b`` transitively consumes ``a``'s key production."""
+        state = self.analysis.current_at.get(b_site)
+        if state is None:
+            return False
+        for key in self.instructions[b_site].consumer_keys():
+            producers = state.get(key)
+            if not producers or NO_PRODUCER in producers:
+                continue
+            if all(self.analysis.waits_on(p, a_site) for p in producers):
+                return True
+        return False
+
+    # --- verdicts -----------------------------------------------------------
+
+    def prove(self, obligation: Obligation) -> ObligationVerdict:
+        a_site = self.tag_index.get(obligation.first_tag)
+        b_site = self.tag_index.get(obligation.second_tag)
+        if a_site is None or b_site is None:
+            missing = obligation.first_tag if a_site is None else obligation.second_tag
+            return ObligationVerdict(
+                obligation,
+                INDETERMINATE,
+                "tag %r not found in the instruction stream" % (missing,),
+                a_site,
+                b_site,
+            )
+        if a_site == b_site:
+            return ObligationVerdict(
+                obligation,
+                INDETERMINATE,
+                "both tags resolve to the same instruction",
+                a_site,
+                b_site,
+            )
+
+        if self._consumes_chain(b_site, a_site):
+            return ObligationVerdict(
+                obligation,
+                GUARANTEED,
+                "the second instruction transitively consumes the first's "
+                "key production (EDE edge)",
+                a_site,
+                b_site,
+            )
+        if not self._unsecured_path_exists(a_site, b_site):
+            return ObligationVerdict(
+                obligation,
+                GUARANTEED,
+                "every path crosses a full fence or a wait covering the "
+                "first instruction",
+                a_site,
+                b_site,
+            )
+
+        produces = self.instructions[a_site].edk_def != ZERO_KEY
+        if produces and self.analysis.has_consumer(a_site):
+            return ObligationVerdict(
+                obligation,
+                INDETERMINATE,
+                "a consumer chains behind the first instruction but no "
+                "fence or covering wait secures every path to the second",
+                a_site,
+                b_site,
+            )
+        return ObligationVerdict(
+            obligation,
+            VIOLATED,
+            "no full fence, covering wait, or EDE edge orders the pair "
+            "on some path",
+            a_site,
+            b_site,
+        )
+
+    def prove_all(self, obligations: Sequence[Obligation]) -> List[ObligationVerdict]:
+        return [self.prove(obligation) for obligation in obligations]
+
+
+def summarize(verdicts: Sequence[ObligationVerdict]) -> Dict[str, int]:
+    counts = {GUARANTEED: 0, VIOLATED: 0, INDETERMINATE: 0}
+    for verdict in verdicts:
+        counts[verdict.verdict] += 1
+    return counts

@@ -35,7 +35,7 @@ The victim choice is the classic farthest-next-use heuristic.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.edk import NUM_KEYS
 from repro.isa import instructions as builders

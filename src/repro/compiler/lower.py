@@ -129,8 +129,6 @@ def verify_lowering(function: IrFunction,
     # the payload instruction (IrOps are frozen and reused), walking both
     # sequences in order.  JOIN/WAIT insertions shift indices.
     lowered_index_of_original: List[Optional[int]] = []
-    cursor = 0
-    original_iter = list(function.ops)
     # Build from assignment.ops: they carry the original IrOps in order,
     # possibly rewritten (uses dropped), interleaved with spill ops.
     position = 0

@@ -19,7 +19,7 @@ observed violations.  U typically shows observed violations.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.consistency.obligations import (
     LOG_BEFORE_STORE,

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.core.edk import NUM_KEYS, ZERO_KEY, validate_edk
+from repro.core.edk import ZERO_KEY, validate_edk
 
 
 class ExecutionDependenceMap:

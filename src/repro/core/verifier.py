@@ -13,92 +13,69 @@ the analogue of using an uninitialized register:
   producer and consumer already enforces (the EDE annotation is redundant;
   reported as informational).
 * **calling-convention violations** via :mod:`repro.core.calling_convention`.
+
+Since the introduction of :mod:`repro.analysis` this module is a thin
+compatibility wrapper: :func:`verify` runs the path-sensitive key-state
+engine with :data:`~repro.analysis.keystate.COMPAT_OPTIONS` (the four
+historical checks, same messages, same ordering).  The full engine — CFG
+dataflow, dead-key and EDM-pressure checks, persist-ordering proofs, the
+fence-redundancy linter — lives in :mod:`repro.analysis`.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import List, Sequence
 
+from repro.analysis.cfg import CfgError, build_cfg
+from repro.analysis.findings import ERROR, INFO, WARNING, Finding
+from repro.analysis.keystate import COMPAT_OPTIONS, analyze_key_states
 from repro.core import calling_convention
-from repro.core.edk import ZERO_KEY
 from repro.isa.instructions import Instruction
-from repro.isa.opcodes import Opcode
 
-ERROR = "error"
-WARNING = "warning"
-INFO = "info"
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "Finding",
+    "verify",
+    "errors_only",
+    "assert_clean",
+]
 
 
-@dataclasses.dataclass(frozen=True)
-class Finding:
-    severity: str
-    index: int
-    message: str
+def _compat_cfg(instructions: Sequence[Instruction]):
+    """A CFG for label-less verification, as the historical verifier saw it.
 
-    def __str__(self) -> str:
-        return "[%s] at %d: %s" % (self.severity, self.index, self.message)
+    ``verify`` receives bare instruction sequences with no label table.
+    Sequences carrying symbolic branch targets (assembled programs passed
+    without their label map) fall back to the historical linear reading:
+    every branch treated as fall-through.
+    """
+    try:
+        return build_cfg(instructions)
+    except CfgError:
+        import dataclasses
+
+        linear = [
+            dataclasses.replace(inst, target=None) if inst.target is not None else inst
+            for inst in instructions
+        ]
+        return build_cfg(linear)
 
 
 def verify(instructions: Sequence[Instruction],
            check_convention: bool = False) -> List[Finding]:
     """Run all static checks; return findings ordered by position."""
-    findings: List[Finding] = []
-    # key -> (producer index, consumed?) for the live producer of each key.
-    live_producer: dict = {}
-    fence_since: dict = {}  # key -> True if a full fence passed since produce
-
-    for index, inst in enumerate(instructions):
-        if inst.opcode in (Opcode.DSB_SY, Opcode.DMB_SY):
-            for key in list(fence_since):
-                fence_since[key] = True
-
-        if not inst.is_ede:
-            continue
-
-        if inst.opcode is Opcode.WAIT_ALL_KEYS:
-            # Waits on every live producer: they all count as consumed.
-            for key, (producer_index, _consumed) in live_producer.items():
-                live_producer[key] = (producer_index, True)
-            continue
-
-        if inst.opcode is Opcode.JOIN and not inst.consumer_keys():
-            findings.append(Finding(
-                WARNING, index, "JOIN with no use keys has no effect"))
-
-        for key in inst.consumer_keys():
-            if key not in live_producer:
-                findings.append(Finding(
-                    WARNING, index,
-                    "consumes EDK#%d but no live producer exists "
-                    "(EDM will miss; no ordering enforced)" % key))
-            else:
-                producer_index, _ = live_producer[key]
-                live_producer[key] = (producer_index, True)
-                if fence_since.get(key):
-                    findings.append(Finding(
-                        INFO, index,
-                        "execution dependence on EDK#%d (producer at %d) is "
-                        "already enforced by an intervening full fence"
-                        % (key, producer_index)))
-
-        if inst.edk_def != ZERO_KEY:
-            previous = live_producer.get(inst.edk_def)
-            if previous is not None and not previous[1]:
-                is_self_chain = inst.edk_def in (inst.edk_use, inst.edk_use2)
-                if not is_self_chain:
-                    findings.append(Finding(
-                        WARNING, inst.edk_def and index,
-                        "EDK#%d producer at %d is overwritten before any "
-                        "consumer used it" % (inst.edk_def, previous[0])))
-            live_producer[inst.edk_def] = (index, False)
-            fence_since[inst.edk_def] = False
+    findings = analyze_key_states(
+        instructions, cfg=_compat_cfg(instructions), options=COMPAT_OPTIONS)
 
     if check_convention:
         for violation in calling_convention.check_caller(instructions):
-            findings.append(Finding(ERROR, violation.index, str(violation)))
+            findings.append(
+                Finding(ERROR, violation.index, str(violation), "calling-convention"))
         for violation in calling_convention.check_callee(instructions):
-            findings.append(Finding(ERROR, violation.index, str(violation)))
+            findings.append(
+                Finding(ERROR, violation.index, str(violation), "calling-convention"))
 
     findings.sort(key=lambda f: f.index)
     return findings

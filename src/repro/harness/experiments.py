@@ -12,7 +12,7 @@ import dataclasses
 import math
 from typing import Dict, List, Optional, Sequence
 
-from repro.harness.configs import CONFIGURATIONS, Configuration, DEFAULT_PARAMS
+from repro.harness.configs import CONFIGURATIONS, DEFAULT_PARAMS
 from repro.harness.runner import RunResult
 from repro.workloads import BENCH_SCALE, Scale
 

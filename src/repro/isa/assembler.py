@@ -18,6 +18,7 @@ with ``;`` or ``//``.  A trailing ``label:`` introduces a label.
 
 from __future__ import annotations
 
+import dataclasses
 import re
 from typing import List, Optional, Tuple
 
@@ -41,12 +42,21 @@ _EDK_RE = re.compile(r"^\(\s*(\d+)\s*(?:,\s*(\d+)\s*)?(?:,\s*(\d+)\s*)?\)$")
 _MEM_RE = re.compile(r"^\[\s*([a-zA-Z]\w*)\s*(?:,\s*#(-?\d+)\s*)?\]$")
 
 
-def _strip_comment(line: str) -> str:
+def _split_comment(line: str) -> Tuple[str, Optional[str]]:
+    """Split a source line into code and its trailing comment text."""
+    cut = None
     for marker in (";", "//"):
         index = line.find(marker)
-        if index >= 0:
-            line = line[:index]
-    return line.strip()
+        if index >= 0 and (cut is None or index < cut[0]):
+            cut = (index, len(marker))
+    if cut is None:
+        return line.strip(), None
+    index, width = cut
+    return line[:index].strip(), line[index + width:].strip()
+
+
+def _strip_comment(line: str) -> str:
+    return _split_comment(line)[0]
 
 
 def _split_operands(text: str) -> List[str]:
@@ -230,10 +240,18 @@ def assemble_line(line: str) -> Optional[ops.Instruction]:
 
 
 def assemble(source: str) -> Program:
-    """Assemble a multi-line source string into a :class:`Program`."""
+    """Assemble a multi-line source string into a :class:`Program`.
+
+    A comment beginning with ``@`` attaches its text to the instruction on
+    that line as a persist tag (``Instruction.comment``), so assembly
+    fixtures can carry the ``log:<op>``/``store:<op>``-style tags the
+    persist-ordering prover and the consistency checker key on::
+
+        str x1, [x0]      ;@ store:0
+    """
     program = Program()
     for line_number, raw_line in enumerate(source.splitlines(), start=1):
-        line = _strip_comment(raw_line)
+        line, comment = _split_comment(raw_line)
         if not line:
             continue
         label_match = _LABEL_RE.match(line)
@@ -253,5 +271,7 @@ def assemble(source: str) -> Program:
         except ValueError as exc:
             raise AssemblerError(str(exc), line_number, raw_line) from exc
         if inst is not None:
+            if comment and comment.startswith("@") and inst.comment is None:
+                inst = dataclasses.replace(inst, comment=comment[1:].strip())
             program.add(inst)
     return program

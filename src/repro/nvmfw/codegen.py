@@ -20,7 +20,7 @@ the persist log and the consistency checker key on.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from repro.core.edk import EdkAllocator
 from repro.isa import instructions as ops
@@ -33,6 +33,18 @@ MODE_EDE = "ede"
 MODE_NONE = "none"
 
 ALL_MODES = (MODE_DSB, MODE_DMB_ST, MODE_EDE, MODE_NONE)
+
+#: Whether each mode's discipline is safe by specification (Table III):
+#: ``dmb_st`` is unsafe because AArch64's ``DMB ST`` does not order
+#: ``DC CVAP``, and ``none`` orders nothing at all.  The static analyzer
+#: reports a statically-violated persist obligation at error severity only
+#: under modes that claim safety.
+MODE_SAFE_BY_SPEC = {
+    MODE_DSB: True,
+    MODE_DMB_ST: False,
+    MODE_EDE: True,
+    MODE_NONE: False,
+}
 
 # Register conventions for emitted framework code.
 _R_TARGET = 10   # element address

@@ -52,7 +52,7 @@ from repro.pipeline.dyninst import (
 )
 from repro.pipeline.params import CoreParams
 from repro.pipeline.stats import PipelineStats
-from repro.pipeline.write_buffer import PENDING, PUSHING, WriteBuffer
+from repro.pipeline.write_buffer import WriteBuffer
 
 _FLAGS_REG = FLAGS_REG
 

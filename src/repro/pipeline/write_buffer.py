@@ -18,10 +18,9 @@ or without EDE:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Set
 
 from repro.core.edk import NUM_KEYS, ZERO_KEY
-from repro.isa.opcodes import Opcode
 from repro.pipeline.dyninst import DynInst
 
 PENDING = 0

@@ -11,6 +11,7 @@ run scaled-down but steady-state-reaching sizes.
 from __future__ import annotations
 
 import dataclasses
+import os
 import random
 from typing import Callable, Dict
 
@@ -63,6 +64,24 @@ def register(name: str) -> Callable[[WorkloadFn], WorkloadFn]:
     return wrap
 
 
+def _maybe_static_check(built: BuiltWorkload, name: str, mode: str) -> None:
+    """Run the static analyzer over a fresh build when opted in.
+
+    Set ``REPRO_STATIC_CHECK=1`` to have every interpreted workload build
+    pass through :func:`repro.analysis.report.static_check`; a build with
+    error-severity findings (e.g. a statically violated persist ordering
+    under a safe-by-spec fence mode) raises
+    :class:`~repro.analysis.report.StaticCheckError` instead of returning.
+    Cache hits are not re-checked: the cached trace is byte-identical to a
+    build that was (or can be) checked.
+    """
+    if os.environ.get("REPRO_STATIC_CHECK", "") in ("", "0"):
+        return
+    from repro.analysis.report import static_check
+
+    static_check(built, name, mode)
+
+
 def build(name: str, mode: str, scale: Scale,
           cache=None, params=None) -> BuiltWorkload:
     """Build the named workload's trace for the given fence mode.
@@ -86,7 +105,9 @@ def build(name: str, mode: str, scale: Scale,
             "unknown workload %r (have: %s)"
             % (name, ", ".join(sorted(_REGISTRY)))) from None
     BUILD_COUNT += 1
-    return fn(mode, scale)
+    built = fn(mode, scale)
+    _maybe_static_check(built, name, mode)
+    return built
 
 
 def workload_names() -> tuple:

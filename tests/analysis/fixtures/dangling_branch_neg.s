@@ -1,0 +1,12 @@
+; Negative: both paths produce EDK#1 before the join-point consumer.
+; A linear scan of the fall-through path alone would also accept this,
+; but the analyzer must prove it across the diamond.
+  cmp x0, #0
+  b.eq other
+  dc cvap (1, 0), x2
+  b done
+other:
+  dc cvap (1, 0), x3
+done:
+  str (0, 1), x4, [x1]
+  halt

@@ -1,0 +1,9 @@
+; Positive: the consumer's producer exists on only one path.
+; The taken branch skips the dc cvap, so the str consumes EDK#1
+; with no live producer on that path -> dangling-consumer warning.
+  cmp x0, #0
+  b.eq skip
+  dc cvap (1, 0), x2
+skip:
+  str (0, 1), x3, [x1]
+  halt

@@ -1,0 +1,18 @@
+; Negative: fourteen live keys leave one EDM entry free -> no
+; edm-pressure warning.
+  dc cvap (1, 0), x2
+  dc cvap (2, 0), x2
+  dc cvap (3, 0), x2
+  dc cvap (4, 0), x2
+  dc cvap (5, 0), x2
+  dc cvap (6, 0), x2
+  dc cvap (7, 0), x2
+  dc cvap (8, 0), x2
+  dc cvap (9, 0), x2
+  dc cvap (10, 0), x2
+  dc cvap (11, 0), x2
+  dc cvap (12, 0), x2
+  dc cvap (13, 0), x2
+  dc cvap (14, 0), x2
+  wait_all_keys
+  halt

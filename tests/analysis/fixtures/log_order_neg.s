@@ -1,0 +1,6 @@
+; Negative: the store consumes the log persist's key (Figure 7), so the
+; derived LOG_BEFORE_STORE obligation is statically GUARANTEED by the
+; execution dependence alone -- no fence needed.
+  dc cvap (1, 0), x2    ;@ log:0
+  str (0, 1), x3, [x1]  ;@ store:0
+  halt

@@ -1,0 +1,9 @@
+; Positive: the log persist and the data store carry tags but nothing
+; orders them -- no fence, no EDE edge, no wait.  The derived
+; LOG_BEFORE_STORE obligation is statically VIOLATED, which is an
+; error-severity finding (an untagged-mode analysis assumes the code
+; claims safety).
+  mov x2, #64
+  dc cvap x2            ;@ log:0
+  str x3, [x1]          ;@ store:0
+  halt

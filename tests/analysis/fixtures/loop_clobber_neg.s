@@ -1,0 +1,10 @@
+; Negative: the loop consumes EDK#1 before the back edge redefines it,
+; so the redefinition clobbers nothing pending.
+  mov x0, #4
+loop:
+  dc cvap (1, 0), x2
+  str (0, 1), x3, [x1]
+  sub x0, x0, #1
+  cmp x0, #0
+  b.ne loop
+  halt

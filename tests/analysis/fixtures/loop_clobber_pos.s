@@ -1,0 +1,11 @@
+; Positive: the loop body redefines EDK#1 every iteration while the
+; previous iteration's production is still pending (no consumer, no
+; wait) -> producer-overwrite warning, annotated loop-carried, plus a
+; dead-key warning (nothing ever consumes the key).
+  mov x0, #4
+loop:
+  dc cvap (1, 0), x2
+  sub x0, x0, #1
+  cmp x0, #0
+  b.ne loop
+  halt

@@ -1,0 +1,7 @@
+; Negative: no EDE edge covers the persist -> the DSB SY is the only
+; thing ordering the flush against the later store, so it must stay.
+  mov x2, #64
+  dc cvap x2
+  dsb sy
+  str x3, [x1]
+  halt

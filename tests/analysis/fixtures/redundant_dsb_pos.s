@@ -1,0 +1,8 @@
+; Positive: the DSB SY separates a producer from the consumer that
+; already waits on it through the EDM, so every store-class ordering
+; across the fence is enforced without it -> redundant-fence info
+; (the paper's candidate elimination).
+  dc cvap (1, 0), x2
+  dsb sy
+  str (0, 1), x3, [x1]
+  halt

@@ -1,0 +1,115 @@
+"""CLI contract: exit codes, JSON round-trip, SARIF shape, file output."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.report import TOOL_NAME, AnalysisReport
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+class TestExitCodes:
+    def test_clean_target_exits_zero(self):
+        assert main([_fixture("log_order_neg.s")]) == 0
+
+    def test_error_finding_exits_one(self, capsys):
+        assert main([_fixture("log_order_pos.s")]) == 1
+        assert "severity" in capsys.readouterr().err
+
+    def test_fail_on_warning_promotes_warnings(self):
+        path = _fixture("loop_clobber_pos.s")
+        assert main([path]) == 0
+        assert main([path, "--fail-on", "warning"]) == 1
+        assert main([path, "--fail-on", "never"]) == 0
+
+    def test_unknown_target_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["no_such_workload"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_mode_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["update", "--modes", "sfence"])
+        assert excinfo.value.code == 2
+
+    def test_workload_target_clean_under_ede(self):
+        assert main(["update", "--modes", "ede", "--scale", "test"]) == 0
+
+    def test_list_checks(self, capsys):
+        assert main(["--list-checks"]) == 0
+        out = capsys.readouterr().out
+        assert "persist-ordering" in out
+        assert "redundant-fence" in out
+
+
+class TestJsonOutput:
+    def test_round_trip_through_output_file(self, tmp_path):
+        out = tmp_path / "report.json"
+        code = main([
+            _fixture("log_order_pos.s"),
+            _fixture("redundant_dsb_pos.s"),
+            "--format", "json",
+            "--output", str(out),
+            "--fail-on", "never",
+        ])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["tool"]["name"] == TOOL_NAME
+        reports = [AnalysisReport.from_dict(r) for r in data["reports"]]
+        assert len(reports) == 2
+
+        violated = reports[0]
+        assert violated.target.endswith("log_order_pos.s")
+        assert violated.counts["error"] == 1
+        assert [f.check for f in violated.errors] == ["persist-ordering"]
+
+        redundant = reports[1]
+        assert redundant.counts["error"] == 0
+        assert "redundant-fence" in {f.check for f in redundant.findings}
+        # Obligation and fence summaries survive serialization too.
+        raw = data["reports"][1]
+        assert raw["fences"]["total_full_fences"] == 1
+        assert raw["fences"]["redundant_sites"] == [1]
+
+    def test_exit_nonzero_iff_errors_present(self, tmp_path):
+        out = tmp_path / "report.json"
+        argv = ["--format", "json", "--output", str(out)]
+        assert main([_fixture("log_order_neg.s")] + argv) == 0
+        assert main([_fixture("log_order_pos.s")] + argv) == 1
+
+
+class TestSarifOutput:
+    def test_sarif_shape(self, tmp_path):
+        out = tmp_path / "report.sarif"
+        main([
+            _fixture("log_order_pos.s"),
+            "--format", "sarif",
+            "--output", str(out),
+            "--fail-on", "never",
+        ])
+        data = json.loads(out.read_text())
+        assert data["version"] == "2.1.0"
+        (run,) = data["runs"]
+        assert run["tool"]["driver"]["name"] == TOOL_NAME
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "persist-ordering" in rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "persist-ordering"
+        assert result["level"] == "error"
+
+
+class TestEdmCapacityOverride:
+    def test_override_shifts_pressure_threshold(self, capsys):
+        path = _fixture("edm_pressure_neg.s")
+        # 14 live keys: silent at the architectural capacity of 15 ...
+        assert main([path, "--fail-on", "warning"]) == 0
+        capsys.readouterr()
+        # ... but over a hypothetical 8-entry EDM the same code overflows.
+        assert main([path, "--fail-on", "warning", "--edm-capacity", "8"]) == 1

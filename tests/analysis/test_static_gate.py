@@ -1,0 +1,70 @@
+"""The opt-in REPRO_STATIC_CHECK build gate in repro.workloads.base."""
+
+import pytest
+
+from repro.analysis.persist import derive_obligations
+from repro.analysis.report import StaticCheckError
+from repro.isa import instructions as ops
+from repro.nvmfw.layout import DEFAULT_LAYOUT
+from repro.nvmfw.framework import BuiltWorkload
+from repro.workloads import base as workloads_base
+
+
+def _bad_built():
+    """A hand-rolled build whose log persist is statically unordered."""
+    trace = [
+        ops.mov_imm(2, 64),
+        ops.dc_cvap(2, comment="log:0"),
+        ops.store(3, 1, comment="store:0"),
+        ops.halt(),
+    ]
+    obligations = derive_obligations(trace)
+    assert obligations, "fixture must carry a derived obligation"
+    return BuiltWorkload(
+        trace=trace,
+        obligations=obligations,
+        line_snapshots={},
+        committed_states=[],
+        final_memory={},
+        baseline_memory={},
+        layout=DEFAULT_LAYOUT,
+        ops=1,
+        txns=0,
+    )
+
+
+@pytest.fixture
+def bad_workload():
+    name = "_gate_test_bad"
+    workloads_base._REGISTRY[name] = lambda mode, scale: _bad_built()
+    try:
+        yield name
+    finally:
+        del workloads_base._REGISTRY[name]
+
+
+def test_gate_off_by_default(bad_workload, monkeypatch):
+    monkeypatch.delenv("REPRO_STATIC_CHECK", raising=False)
+    built = workloads_base.build(bad_workload, "ede", workloads_base.TEST_SCALE)
+    assert built.ops == 1
+
+    monkeypatch.setenv("REPRO_STATIC_CHECK", "0")
+    workloads_base.build(bad_workload, "ede", workloads_base.TEST_SCALE)
+
+
+def test_gate_rejects_statically_violated_build(bad_workload, monkeypatch):
+    monkeypatch.setenv("REPRO_STATIC_CHECK", "1")
+    with pytest.raises(StaticCheckError) as excinfo:
+        workloads_base.build(bad_workload, "ede", workloads_base.TEST_SCALE)
+    report = excinfo.value.report
+    assert report.target == bad_workload
+    assert report.mode == "ede"
+    assert [f.check for f in report.errors] == ["persist-ordering"]
+    assert "log-before-store" in str(excinfo.value)
+
+
+def test_gate_accepts_correct_builds(monkeypatch):
+    monkeypatch.setenv("REPRO_STATIC_CHECK", "1")
+    for mode in ("dsb", "ede"):
+        built = workloads_base.build("update", mode, workloads_base.TEST_SCALE)
+        assert built.trace

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.harness.configs import (
-    A72Params,
     CONFIGURATIONS,
     DEFAULT_PARAMS,
     configuration,

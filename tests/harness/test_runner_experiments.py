@@ -4,7 +4,6 @@ import pytest
 
 from repro.harness import CONFIGURATIONS, configuration, run_matrix, run_one
 from repro.harness.experiments import (
-    APPLICATIONS,
     fig9_execution_time,
     fig10_pending_writes,
     fig11_issue_distribution,

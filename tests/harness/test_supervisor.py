@@ -61,9 +61,13 @@ def _kill_n(payload):
 
 
 def _sleepy(payload):
-    """Stalls well past any test timeout on its first attempt."""
+    """Stalls well past any test timeout on its first attempt.
+
+    The claim is keyed by the task's value: concurrently running tasks
+    must not race for one shared claim (only the intended task stalls).
+    """
     claim_dir, seconds, value = payload
-    if _claim(claim_dir, "sleep"):
+    if _claim(claim_dir, "sleep%d" % value):
         time.sleep(seconds)
     return value
 

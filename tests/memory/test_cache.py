@@ -107,7 +107,7 @@ class TestDirty:
         cache = small_cache(assoc=2, sets=1)
         cache.insert(0x0, dirty=True)
         cache.insert(0x0, dirty=False)
-        victim_blocker = cache.insert(0x40)
+        cache.insert(0x40)  # fills the second way
         victim = cache.insert(0x80)
         assert victim.addr == 0x0 and victim.dirty
 

@@ -30,7 +30,7 @@ class TestBankBehaviour:
     def test_same_bank_serializes(self):
         params = DramParams()
         dram = DramModel(params)
-        first = dram.access(0x0, 0, is_write=False)
+        dram.access(0x0, 0, is_write=False)
         second = dram.access(0x0, 0, is_write=False)
         assert second >= params.bank_busy_cycles + params.row_hit_cycles
 

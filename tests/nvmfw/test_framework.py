@@ -150,7 +150,6 @@ class TestFinish:
     def test_warm_lines_cover_memory(self):
         fw = framework()
         fw.raw_store(0x80200000, 1)
-        built_lines = None
         fw.tx_begin()
         fw.write(0x80200000, 2)
         fw.tx_commit()

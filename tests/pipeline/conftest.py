@@ -2,7 +2,6 @@
 
 from typing import List, Optional, Sequence
 
-import pytest
 
 from repro.core.policies import EnforcementPolicy, FENCE_POLICY
 from repro.isa.instructions import Instruction, halt

@@ -1,6 +1,5 @@
 """Tests for pipeline parameters and statistics."""
 
-import dataclasses
 
 import pytest
 

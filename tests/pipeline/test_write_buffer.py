@@ -4,7 +4,7 @@ import pytest
 
 from repro.isa import instructions as ops
 from repro.pipeline.dyninst import DynInst
-from repro.pipeline.write_buffer import PENDING, PUSHING, WriteBuffer
+from repro.pipeline.write_buffer import PUSHING, WriteBuffer
 
 
 def store_dyn(seq, addr, src_ids=(), edk_def=0, edk_use=0, epoch=0):

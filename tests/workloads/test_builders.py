@@ -5,7 +5,6 @@ import pytest
 from repro.isa.opcodes import Opcode
 from repro.nvmfw import codegen
 from repro.workloads import Scale, build, workload_names
-from repro.workloads.base import TEST_SCALE
 
 SMALL = Scale(ops_per_txn=4, txns=2)
 
