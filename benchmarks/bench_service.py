@@ -1,0 +1,85 @@
+"""Service-layer throughput: cold vs warm jobs/sec through the HTTP API.
+
+Measures the end-to-end cost of serving the experiment matrix through
+:mod:`repro.service` — HTTP round-trips, admission, batching, supervised
+execution — against the same persistent result cache the batch engines
+use.  The *cold* pass simulates every job; the *warm* pass restarts the
+server on the same cache directory and must answer every submission
+instantly from disk (disposition ``cached``).  The gap between the two is
+the service overhead floor: a warm job costs one HTTP round-trip plus a
+pickle load, no simulation.
+
+Scale control: ``REPRO_BENCH_OPS`` / ``REPRO_BENCH_TXNS`` as in
+:mod:`benchmarks.common`; CI runs this at a tiny scale as a smoke test.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+from benchmarks.common import bench_scale, print_header
+from repro.service import ServiceClient, ThreadedServer
+
+#: Small enough to run cold twice in one bench, wide enough to exercise
+#: trace-sharing groups (three fence modes across two workloads).
+WORKLOADS = ("update", "swap")
+CONFIGS = ("B", "WB", "U")
+
+
+def _serve_matrix(cache_dir, scale, expect_cached=False):
+    """Run the matrix through a fresh server; return (seconds, statuses)."""
+    with ThreadedServer(cache_dir=cache_dir) as server:
+        client = ServiceClient(port=server.port, client_id="bench")
+        start = time.perf_counter()
+        statuses = client.submit_matrix(list(WORKLOADS), list(CONFIGS),
+                                        scale.ops_per_txn, scale.txns)
+        finals = client.wait_all(statuses)
+        elapsed = time.perf_counter() - start
+        assert all(status["state"] == "done" for status in finals)
+        if expect_cached:
+            assert all(status["disposition"] == "cached"
+                       for status in statuses)
+        return elapsed, statuses
+
+
+def test_service_cold_vs_warm_jobs_per_sec(benchmark):
+    scale = bench_scale()
+    jobs = len(WORKLOADS) * len(CONFIGS)
+    cache_dir = tempfile.mkdtemp(prefix="bench-service-")
+    try:
+        cold_s, _ = _serve_matrix(cache_dir, scale)
+
+        timings = []
+
+        def warm():
+            elapsed, statuses = _serve_matrix(cache_dir, scale,
+                                              expect_cached=True)
+            timings.append(elapsed)
+            return statuses
+
+        benchmark.pedantic(warm, rounds=3, iterations=1)
+        warm_s = min(timings)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    cold_rate = jobs / cold_s
+    warm_rate = jobs / warm_s
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["cold_seconds"] = round(cold_s, 4)
+    benchmark.extra_info["warm_seconds"] = round(warm_s, 4)
+    benchmark.extra_info["cold_jobs_per_sec"] = round(cold_rate, 2)
+    benchmark.extra_info["warm_jobs_per_sec"] = round(warm_rate, 2)
+    benchmark.extra_info["warm_speedup"] = round(cold_s / warm_s, 2)
+
+    print_header("Service throughput: cold vs warm (%d jobs, %dx%d)"
+                 % (jobs, scale.ops_per_txn, scale.txns))
+    print("  cold : %.3f s  ->  %.2f jobs/s (simulated)"
+          % (cold_s, cold_rate))
+    print("  warm : %.3f s  ->  %.2f jobs/s (served from cache)"
+          % (warm_s, warm_rate))
+    print("  warm speedup: %.1fx" % (cold_s / warm_s))
+    assert warm_rate > 0 and cold_rate > 0
+    # A warm job never simulates; it must not be slower than cold.
+    assert warm_s <= cold_s * 1.5

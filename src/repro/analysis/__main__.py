@@ -104,6 +104,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the check catalog and exit",
     )
+    parser.add_argument(
+        "--env",
+        action="store_true",
+        help="print every REPRO_* environment knob and exit",
+    )
     return parser
 
 
@@ -120,6 +125,12 @@ def _resolve_scale(name: str):
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+
+    if args.env:
+        from repro.harness.envutil import render_env_table
+
+        print(render_env_table())
+        return 0
 
     if args.list_checks:
         width = max(len(check) for check in CHECK_CATALOG)

@@ -2,19 +2,26 @@
 
 Every boolean knob in the harness (``REPRO_RESULT_CACHE``,
 ``REPRO_TRACE_CACHE``, ``REPRO_PROFILE``) historically grew its own
-parser, and the oldest of them silently accepted junk — ``REPRO_RESULT_
-CACHE=yes`` meant *enabled* because only the literal ``"0"`` disabled it.
+parser, and the oldest of them silently accepted junk — setting it to
+``yes`` meant *enabled* because only the literal ``"0"`` disabled it.
 A mistyped knob then changes behaviour without any signal.  This module
 centralizes the parsing and makes every knob loud, mirroring
 ``resolve_workers``'s handling of ``REPRO_PARALLEL``: unset and empty
 mean the default, a small set of spellings is accepted, and anything
 else raises ``ValueError`` naming the variable and the offending value.
+
+:func:`describe_env` is the registry of *every* knob any ``repro``
+module reads, with its parser kind, default and one-line description —
+surfaced by the ``--env`` flag on the service and analysis CLIs and
+kept in sync with the code by a grep-based test
+(``tests/harness/test_envutil.py``).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
-from typing import Optional
+from typing import Optional, Tuple
 
 #: Accepted spellings for boolean knobs (case-insensitive).
 _TRUE = ("1", "true")
@@ -78,3 +85,89 @@ def env_float(name: str, default: float,
 def env_positive_int(name: str, default: int) -> int:
     """A strictly positive integer knob (bench scales, worker counts)."""
     return env_int(name, default, minimum=1)
+
+
+def env_str(name: str, default: str) -> str:
+    """A free-form string knob (paths, host names); empty means default."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    return raw
+
+
+@dataclasses.dataclass(frozen=True)
+class EnvKnob:
+    """One documented environment knob: how it parses, what it does."""
+
+    name: str
+    kind: str          # flag | int | positive_int | float | str | json
+    default: str       # human-rendered default
+    description: str
+
+
+def describe_env() -> Tuple[EnvKnob, ...]:
+    """Every ``REPRO_*`` knob the codebase reads, with parser and default.
+
+    The authoritative user-facing list: ``python -m repro.service --env``
+    and ``python -m repro.analysis --env`` print it, and a grep-based
+    test asserts it matches the variables actually read under
+    ``src/repro``, so a new knob cannot ship undocumented.
+    """
+    from repro.harness import supervisor
+    from repro.harness.profiling import DEFAULT_PROFILE_DIR
+    from repro.harness.result_cache import DEFAULT_CACHE_DIR
+
+    return (
+        EnvKnob("REPRO_PARALLEL", "int", "cpu count",
+                "Worker-pool size for matrix runs; 0/1 force the "
+                "in-process serial path."),
+        EnvKnob("REPRO_RESULT_CACHE", "flag", "1",
+                "Persistent content-addressed result cache on/off."),
+        EnvKnob("REPRO_TRACE_CACHE", "flag", "1",
+                "Persistent compiled-trace cache on/off."),
+        EnvKnob("REPRO_CACHE_DIR", "str", DEFAULT_CACHE_DIR,
+                "Directory for result and trace caches."),
+        EnvKnob("REPRO_TIMEOUT", "float",
+                "%g" % supervisor.DEFAULT_TIMEOUT_S,
+                "Per-group wall-clock timeout in seconds (0 disables)."),
+        EnvKnob("REPRO_RETRIES", "int", "%d" % supervisor.DEFAULT_RETRIES,
+                "Failed attempts tolerated per group beyond the first."),
+        EnvKnob("REPRO_BACKOFF", "float",
+                "%g" % supervisor.DEFAULT_BACKOFF_S,
+                "Base retry backoff in seconds, doubled per failure."),
+        EnvKnob("REPRO_PROFILE", "flag", "0",
+                "Dump per-phase cProfile stats for build/simulate."),
+        EnvKnob("REPRO_PROFILE_DIR", "str", DEFAULT_PROFILE_DIR,
+                "Directory for cProfile dumps."),
+        EnvKnob("REPRO_BENCH_OPS", "positive_int", "25",
+                "Benchmark scale: operations per transaction."),
+        EnvKnob("REPRO_BENCH_TXNS", "positive_int", "20",
+                "Benchmark scale: transaction count."),
+        EnvKnob("REPRO_STATIC_CHECK", "flag", "0",
+                "Gate every interpreted workload build through the "
+                "static analyzer."),
+        EnvKnob("REPRO_CHAOS", "json", "unset",
+                "Serialized fault-injection plan (set by the chaos "
+                "harness, not by hand)."),
+        EnvKnob("REPRO_SERVICE_HOST", "str", "127.0.0.1",
+                "Bind address for `python -m repro.service serve`."),
+        EnvKnob("REPRO_SERVICE_PORT", "int", "0",
+                "Bind port for the service (0 = ephemeral)."),
+        EnvKnob("REPRO_SERVICE_QUEUE_DEPTH", "positive_int", "64",
+                "Admission-control bound on queued service jobs."),
+    )
+
+
+def render_env_table() -> str:
+    """Human-readable rendering of :func:`describe_env` (``--env``)."""
+    knobs = describe_env()
+    width = max(len(k.name) for k in knobs)
+    lines = ["%-*s  %-12s  %-18s  %s"
+             % (width, "knob", "kind", "default", "description"),
+             "%-*s  %-12s  %-18s  %s" % (width, "-" * width, "-" * 12,
+                                         "-" * 18, "-" * 11)]
+    for knob in knobs:
+        lines.append("%-*s  %-12s  %-18s  %s"
+                     % (width, knob.name, knob.kind, knob.default,
+                        knob.description))
+    return "\n".join(lines)

@@ -24,6 +24,7 @@ from repro.harness.experiments import (
     safety_matrix,
 )
 from repro.harness.runner import RunResult, run_matrix
+from repro.harness.supervisor import MatrixReport
 from repro.workloads import BENCH_SCALE, Scale
 
 _NAMES = [c.name for c in CONFIGURATIONS]
@@ -73,11 +74,45 @@ def safety_markdown(result: SafetyResult) -> str:
     return _table(["app"] + _NAMES, rows)
 
 
+def supervision_markdown(report: MatrixReport) -> str:
+    """Render a :class:`~repro.harness.supervisor.MatrixReport` — the
+    fault-tolerant engine's account of how the matrix actually ran — as
+    a markdown summary table plus a per-group table."""
+    summary = _table(
+        ["groups", "retries", "pool respawns", "cells from cache",
+         "wall time", "mode"],
+        [[str(len(report.groups)), str(report.total_retries),
+          str(report.pool_respawns), str(report.resumed_from_cache),
+          "%.2fs" % report.wall_time_s,
+          "serial (degraded)" if report.degraded_to_serial
+          else "parallel"]])
+    rows = []
+    for group in report.groups:
+        causes = "; ".join(group.failure_causes) or "—"
+        rows.append([group.group,
+                     "ok" if group.succeeded else "**FAILED**",
+                     str(len(group.attempts)), str(group.retries), causes])
+    groups = _table(["group", "status", "attempts", "retries",
+                     "failure causes"], rows)
+    return summary + "\n\n" + groups
+
+
 def full_report(scale: Scale = BENCH_SCALE,
                 results: Dict[str, Dict[str, RunResult]] = None) -> str:
-    """Run (or reuse) the full matrix; return the complete markdown."""
+    """Run (or reuse) the full matrix; return the complete markdown.
+
+    When the matrix runs through the supervised parallel engine, the
+    supervisor's :class:`MatrixReport` is appended as a "Supervised
+    execution" section so regenerated reports record retries, pool
+    respawns and cache resumption alongside the measurements."""
+    from repro.harness.parallel import last_matrix_report
+
+    before = last_matrix_report()
     if results is None:
         results = run_matrix(list(APPLICATIONS), list(CONFIGURATIONS), scale)
+    supervision = last_matrix_report()
+    if supervision is before:
+        supervision = None  # matrix was reused or ran serially
     sections: List[str] = []
     sections.append("# Measured results (%d ops/txn x %d txns)"
                     % (scale.ops_per_txn, scale.txns))
@@ -92,6 +127,9 @@ def full_report(scale: Scale = BENCH_SCALE,
                         fig11_issue_distribution(scale, results=results)))
     sections.append("## Crash-consistency verdicts\n\n"
                     + safety_markdown(safety_matrix(scale, results=results)))
+    if supervision is not None:
+        sections.append("## Supervised execution\n\n"
+                        + supervision_markdown(supervision))
     return "\n\n".join(sections) + "\n"
 
 

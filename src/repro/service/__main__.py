@@ -1,0 +1,226 @@
+"""Command-line driver: ``python -m repro.service`` (also ``repro-serve``).
+
+Subcommands::
+
+    serve    run the HTTP service (port 0 by default; --port-file for
+             scripts that need the ephemeral port)
+    submit   submit a (workloads x configs) simulation matrix, or
+             analysis jobs with --analyze
+    status   print one job's status JSON
+    wait     block until jobs finish; print their result summaries
+    metrics  dump the server's Prometheus metrics page
+
+``--env`` (global) prints every ``REPRO_*`` knob with its parser and
+default, then exits.
+
+Examples::
+
+    python -m repro.service serve --port 8080 --workers 4
+    python -m repro.service submit update swap --configs B,WB --wait \
+        --port 8080
+    python -m repro.service metrics --port 8080
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.harness.envutil import (
+    env_int,
+    env_positive_int,
+    env_str,
+    render_env_table,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Simulation-as-a-service: serve EDE experiments "
+        "over HTTP with batching, single-flight dedup and backpressure.",
+    )
+    parser.add_argument(
+        "--env", action="store_true",
+        help="print every REPRO_* environment knob and exit")
+    sub = parser.add_subparsers(dest="command")
+
+    serve = sub.add_parser("serve", help="run the HTTP service")
+    serve.add_argument("--host", default=None,
+                       help="bind address (default: $REPRO_SERVICE_HOST "
+                       "or 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port; 0 = ephemeral (default: "
+                       "$REPRO_SERVICE_PORT or 0)")
+    serve.add_argument("--port-file", default=None,
+                       help="write the bound port to this file "
+                       "(for scripts using an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="simulation worker count "
+                       "(default: $REPRO_PARALLEL or CPU count)")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       help="admission-control queue bound (default: "
+                       "$REPRO_SERVICE_QUEUE_DEPTH or 64)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="result/trace cache directory "
+                       "(default: $REPRO_CACHE_DIR)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the persistent result cache")
+
+    for name, help_text in (
+            ("submit", "submit simulation or analysis jobs"),
+            ("status", "print job status JSON"),
+            ("wait", "wait for jobs and print result summaries"),
+            ("metrics", "dump the Prometheus metrics page")):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--port", type=int, required=True,
+                         help="port of a running service")
+        cmd.add_argument("--host", default="127.0.0.1")
+        if name == "submit":
+            cmd.add_argument("workloads", nargs="+",
+                             help="workload names (Table II)")
+            cmd.add_argument("--configs", default="B,SU,IQ,WB,U",
+                             help="comma-separated Table III names "
+                             "(default: all five)")
+            cmd.add_argument("--analyze", action="store_true",
+                             help="submit static-analysis jobs instead "
+                             "(--configs then names fence modes)")
+            cmd.add_argument("--ops", type=int, default=5,
+                             help="operations per transaction")
+            cmd.add_argument("--txns", type=int, default=3,
+                             help="transaction count")
+            cmd.add_argument("--seed", type=int, default=2021)
+            cmd.add_argument("--wait", action="store_true",
+                             help="block until every job finishes")
+        elif name in ("status", "wait"):
+            cmd.add_argument("job_ids", nargs="+")
+    return parser
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import ServiceServer
+
+    host = args.host if args.host is not None else \
+        env_str("REPRO_SERVICE_HOST", "127.0.0.1")
+    port = args.port if args.port is not None else \
+        env_int("REPRO_SERVICE_PORT", 0, minimum=0)
+    depth = args.queue_depth if args.queue_depth is not None else \
+        env_positive_int("REPRO_SERVICE_QUEUE_DEPTH", 64)
+
+    from repro.service.queue import BoundedJobQueue
+
+    server = ServiceServer(
+        host=host, port=port,
+        queue=BoundedJobQueue(max_depth=depth),
+        max_workers=args.workers,
+        cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
+    )
+
+    async def main() -> None:
+        await server.start()
+        print("repro.service listening on http://%s:%d"
+              % (server.host, server.port), flush=True)
+        if args.port_file:
+            with open(args.port_file, "w") as handle:
+                handle.write("%d\n" % server.port)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _client(args):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(port=args.port, host=args.host)
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.jobs import JobSpec
+
+    client = _client(args)
+    names = [n.strip() for n in args.configs.split(",") if n.strip()]
+    kind = "analyze" if args.analyze else "simulate"
+    statuses = []
+    for workload in args.workloads:
+        for name in names:
+            spec = JobSpec(kind=kind, workload=workload, config=name,
+                           ops_per_txn=args.ops, txns=args.txns,
+                           seed=args.seed)
+            status = client.submit_retrying(spec)
+            statuses.append(status)
+            print("%-9s %s" % (status["disposition"], status["id"]))
+    if not args.wait:
+        return 0
+    failed = 0
+    for status in client.wait_all(statuses):
+        if status["state"] != "done":
+            failed += 1
+            print("FAILED %s: %s" % (status["id"], status.get("error")))
+            continue
+        result = client.result(status["id"])
+        if "report" in result:
+            print("done %s (analysis)" % status["id"])
+        else:
+            print("done %-8s %-4s cycles=%d ipc=%.3f %s"
+                  % (result["workload"], result["config"], result["cycles"],
+                     result["ipc"], result["verdict"]))
+    return 1 if failed else 0
+
+
+def _cmd_status(args) -> int:
+    client = _client(args)
+    for job_id in args.job_ids:
+        print(json.dumps(client.status(job_id), indent=2))
+    return 0
+
+
+def _cmd_wait(args) -> int:
+    client = _client(args)
+    failed = 0
+    for job_id in args.job_ids:
+        status = client.wait(job_id)
+        print(json.dumps(status, indent=2))
+        failed += status["state"] != "done"
+    return 1 if failed else 0
+
+
+def _cmd_metrics(args) -> int:
+    print(_client(args).metrics(), end="")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.env:
+        print(render_env_table())
+        return 0
+    if args.command is None:
+        parser.print_help()
+        return 2
+    handler = {
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "wait": _cmd_wait,
+        "metrics": _cmd_metrics,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""Blocking HTTP client for the simulation service.
+
+A thin ``http.client`` wrapper (stdlib only, one connection per
+request, matching the server's ``Connection: close``) used by the CLI,
+the CI smoke job, the benchmarks and the end-to-end tests.  Raises
+:class:`ServiceError` for every non-2xx response except backpressure,
+which gets its own :class:`Backpressure` carrying the server's
+retry-after hint so callers can implement honest retry loops.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import pickle
+import time
+from typing import Dict, List, Optional, Union
+
+from repro.service.jobs import JobSpec, JobState
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, payload):
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__("HTTP %d: %s" % (status, message or payload))
+        self.status = status
+        self.payload = payload
+
+
+class Backpressure(ServiceError):
+    """429: the queue is full; retry after ``retry_after_s``."""
+
+    def __init__(self, status: int, payload):
+        super().__init__(status, payload)
+        self.retry_after_s = float(
+            payload.get("retry_after_s", 1.0)
+            if isinstance(payload, dict) else 1.0)
+
+
+def parse_metrics(text: str) -> Dict[str, float]:
+    """Prometheus text -> ``{"name{labels}": value}`` (tests, CLI)."""
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            samples[name] = float(value)
+        except ValueError:
+            continue
+    return samples
+
+
+class ServiceClient:
+    """Talk to one service instance at (host, port)."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1",
+                 client_id: str = "cli", timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # --- low-level ----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None, raw: bool = False):
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            conn.request(method, path, body=payload,
+                         headers={"Content-Type": "application/json",
+                                  "X-Client": self.client_id})
+            response = conn.getresponse()
+            data = response.read()
+        finally:
+            conn.close()
+        if raw and 200 <= response.status < 300:
+            return data
+        try:
+            decoded = json.loads(data.decode())
+        except (ValueError, UnicodeDecodeError):
+            decoded = data.decode("latin-1")
+        if response.status == 429:
+            raise Backpressure(response.status, decoded)
+        if not 200 <= response.status < 300:
+            raise ServiceError(response.status, decoded)
+        return decoded
+
+    # --- job API ------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics", raw=True).decode()
+
+    def metric_samples(self) -> Dict[str, float]:
+        return parse_metrics(self.metrics())
+
+    def submit(self, spec: Union[JobSpec, dict],
+               priority: int = 0) -> dict:
+        """Submit one spec; return the job status (includes ``id`` and
+        ``disposition``).  Raises :class:`Backpressure` when rejected."""
+        if isinstance(spec, JobSpec):
+            spec = spec.to_dict()
+        return self._request("POST", "/jobs", body={
+            "spec": spec, "client": self.client_id, "priority": priority})
+
+    def submit_retrying(self, spec: Union[JobSpec, dict],
+                        priority: int = 0,
+                        give_up_after_s: float = 300.0) -> dict:
+        """Submit, honouring backpressure by sleeping the advertised
+        retry-after until admitted (bounded by ``give_up_after_s``)."""
+        deadline = time.monotonic() + give_up_after_s
+        while True:
+            try:
+                return self.submit(spec, priority=priority)
+            except Backpressure as exc:
+                if time.monotonic() + exc.retry_after_s > deadline:
+                    raise
+                time.sleep(exc.retry_after_s)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", "/jobs/%s" % job_id)
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             poll_s: float = 0.05) -> dict:
+        """Poll until the job is terminal; return its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in JobState.TERMINAL:
+                return status
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    "job %s still %r after %gs"
+                    % (job_id, status["state"], timeout))
+            time.sleep(poll_s)
+
+    def result(self, job_id: str) -> dict:
+        """The JSON result view (summary + digest for simulate jobs)."""
+        return self._request("GET", "/jobs/%s/result" % job_id)
+
+    def result_pickle(self, job_id: str):
+        """The full unpickled :class:`~repro.harness.runner.RunResult`."""
+        data = self._request("GET", "/jobs/%s/result?format=pickle" % job_id,
+                             raw=True)
+        return pickle.loads(data)
+
+    # --- conveniences -------------------------------------------------------
+
+    def submit_matrix(self, workloads: List[str], config_names: List[str],
+                      ops_per_txn: int, txns: int,
+                      seed: int = 2021) -> List[dict]:
+        """Submit the (workloads x configs) simulate cross-product;
+        return one submission status per cell."""
+        statuses = []
+        for workload in workloads:
+            for name in config_names:
+                spec = JobSpec(kind="simulate", workload=workload,
+                               config=name, ops_per_txn=ops_per_txn,
+                               txns=txns, seed=seed)
+                statuses.append(self.submit_retrying(spec))
+        return statuses
+
+    def wait_all(self, statuses: List[dict],
+                 timeout: float = 600.0) -> List[dict]:
+        return [self.wait(status["id"], timeout=timeout)
+                for status in statuses]

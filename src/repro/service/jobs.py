@@ -1,0 +1,274 @@
+"""Job model for the simulation service.
+
+A :class:`JobSpec` names one unit of servable work — a single
+(workload, configuration) simulation or a (workload, fence mode) static
+analysis — at an explicit scale.  Specs are frozen and content-addressed:
+:func:`job_id_for` derives the job ID from the same key scheme the
+persistent :class:`~repro.harness.result_cache.ResultCache` uses, so
+
+* two clients submitting the same work get the *same* job (the
+  scheduler coalesces them, single-flight), and
+* a simulation job whose result already sits in the on-disk cache is
+  served instantly without simulating — the job ID *is* the cache
+  address.
+
+:class:`Job` is the server-side lifecycle record (state machine
+``queued -> running -> done | failed``, progress events for the SSE
+stream, timing for the latency histogram).  :func:`result_digest`
+renders a full :class:`~repro.harness.runner.RunResult` into a SHA-256
+over every measured field — cycles, stats, NVM counters, the complete
+persist log, the consistency verdict — which is how the end-to-end
+tests prove served results are bit-identical to serial
+:func:`~repro.harness.runner.run_matrix` output.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import hashlib
+import time
+from typing import Dict, List, Optional
+
+from repro.harness.configs import CONFIG_BY_NAME, DEFAULT_PARAMS, Configuration
+from repro.harness.result_cache import (
+    canonical_key,
+    source_fingerprint,
+)
+from repro.workloads import base as workload_base
+
+#: Job kinds the service executes.
+KIND_SIMULATE = "simulate"
+KIND_ANALYZE = "analyze"
+KINDS = (KIND_SIMULATE, KIND_ANALYZE)
+
+
+class JobState:
+    """Lifecycle states of a service job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    #: States a job can never leave.
+    TERMINAL = (DONE, FAILED)
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """One unit of servable work, content-addressed and hashable.
+
+    ``config`` is a Table III configuration name (B, SU, IQ, WB, U) for
+    ``simulate`` jobs and a fence mode (dsb, dmb_st, ede, none) for
+    ``analyze`` jobs.  The scale is spelled out field by field so a spec
+    serializes to/from JSON without pickling.
+    """
+
+    kind: str
+    workload: str
+    config: str
+    ops_per_txn: int = workload_base.TEST_SCALE.ops_per_txn
+    txns: int = workload_base.TEST_SCALE.txns
+    seed: int = workload_base.TEST_SCALE.seed
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` naming the first invalid field."""
+        if self.kind not in KINDS:
+            raise ValueError(
+                "unknown job kind %r (expected one of %s)"
+                % (self.kind, ", ".join(KINDS)))
+        known = workload_base.workload_names()
+        if self.workload not in known:
+            raise ValueError(
+                "unknown workload %r (have: %s)"
+                % (self.workload, ", ".join(known)))
+        if self.kind == KIND_SIMULATE:
+            if self.config not in CONFIG_BY_NAME:
+                raise ValueError(
+                    "unknown configuration %r (expected one of %s)"
+                    % (self.config, ", ".join(CONFIG_BY_NAME)))
+        else:
+            from repro.nvmfw.codegen import ALL_MODES
+
+            if self.config not in ALL_MODES:
+                raise ValueError(
+                    "unknown fence mode %r (expected one of %s)"
+                    % (self.config, ", ".join(ALL_MODES)))
+        if self.ops_per_txn < 1 or self.txns < 1:
+            raise ValueError(
+                "scale must be positive, got %d ops/txn x %d txns"
+                % (self.ops_per_txn, self.txns))
+
+    @property
+    def scale(self) -> workload_base.Scale:
+        return workload_base.Scale(
+            ops_per_txn=self.ops_per_txn, txns=self.txns, seed=self.seed)
+
+    @property
+    def configuration(self) -> Configuration:
+        """The Table III configuration (simulate jobs only)."""
+        if self.kind != KIND_SIMULATE:
+            raise ValueError(
+                "%s jobs have a fence mode, not a configuration" % self.kind)
+        return CONFIG_BY_NAME[self.config]
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        """Build and validate a spec from decoded JSON (client input)."""
+        if not isinstance(data, dict):
+            raise ValueError("job spec must be a JSON object, got %s"
+                             % type(data).__name__)
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - fields)
+        if unknown:
+            raise ValueError("unknown job spec field(s): %s"
+                             % ", ".join(unknown))
+        missing = [name for name in ("kind", "workload", "config")
+                   if name not in data]
+        if missing:
+            raise ValueError("job spec missing field(s): %s"
+                             % ", ".join(missing))
+        try:
+            spec = cls(**data)
+        except TypeError as exc:
+            raise ValueError("bad job spec: %s" % exc) from None
+        for name in ("ops_per_txn", "txns", "seed"):
+            if not isinstance(getattr(spec, name), int):
+                raise ValueError("%s must be an integer" % name)
+        spec.validate()
+        return spec
+
+
+def result_cache_key(spec: JobSpec, params=DEFAULT_PARAMS) -> str:
+    """The :class:`~repro.harness.result_cache.ResultCache` key this
+    simulate job's result lives under — identical to
+    ``ResultCache.key(workload, config, scale, params)``, so the service
+    and the batch engines share one cache population."""
+    return canonical_key(source_fingerprint(), spec.workload,
+                         spec.configuration, spec.scale, params)
+
+
+def job_id_for(spec: JobSpec, params=DEFAULT_PARAMS) -> str:
+    """Content-addressed job ID.
+
+    Simulate jobs reuse the result-cache key verbatim (prefixed for
+    readability); analysis jobs hash the same ingredient list under
+    their own kind tag.  Identical specs — from any client, any process
+    — always map to the same ID, which is what makes single-flight
+    coalescing and instant cache completion possible.
+    """
+    if spec.kind == KIND_SIMULATE:
+        return "sim-" + result_cache_key(spec, params)
+    return "ana-" + canonical_key(source_fingerprint(), spec.kind,
+                                  spec.workload, spec.config, spec.scale)
+
+
+def result_digest(result) -> str:
+    """SHA-256 over every measured field of a RunResult.
+
+    Two runs digest equal iff cycles, the full pipeline statistics, the
+    NVM counters and buffer samples, the complete persist log and the
+    consistency verdict are all identical — the service's definition of
+    "bit-identical to the serial runner".
+    """
+    stats = dataclasses.asdict(result.stats)
+    stats["issue_histogram"] = sorted(stats["issue_histogram"].items())
+    payload = {
+        "workload": result.workload,
+        "config": result.config.name,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "stats": stats,
+        "nvm_pending_samples": list(result.nvm_pending_samples),
+        "nvm_media_writes": result.nvm_media_writes,
+        "nvm_coalesced_writes": result.nvm_coalesced_writes,
+        "persist_log": [
+            (rec.seq, rec.cycle, rec.line_addr, rec.kind, rec.tag,
+             rec.inst_seq)
+            for rec in result.persist_log
+        ],
+        "verdict": result.consistency.verdict,
+        "violations": [repr(v) for v in result.consistency.violations],
+        "unresolved": [repr(o) for o in result.consistency.unresolved],
+    }
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+class Job:
+    """Server-side lifecycle record of one submitted spec.
+
+    Created and mutated only on the event-loop thread; worker threads
+    hand results back through ``loop.call_soon_threadsafe``.
+    """
+
+    def __init__(self, spec: JobSpec, job_id: str, client: str = "anonymous",
+                 priority: int = 0):
+        self.spec = spec
+        self.id = job_id
+        self.client = client
+        self.priority = priority
+        self.state = JobState.QUEUED
+        self.created_s = time.monotonic()
+        self.started_s: Optional[float] = None
+        self.finished_s: Optional[float] = None
+        self.error: Optional[str] = None
+        self.result = None
+        self.from_cache = False
+        #: How many duplicate submissions were coalesced onto this job.
+        self.coalesced = 0
+        #: Progress events for the SSE stream (replayed to late joiners).
+        self.events: List[Dict[str, object]] = []
+        self.done_event = asyncio.Event()
+        #: Broadcast: replaced (and the old one set) on every new event,
+        #: so any number of SSE streamers can await the next change.
+        self._changed = asyncio.Event()
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.finished_s is None:
+            return None
+        return self.finished_s - self.created_s
+
+    def transition(self, state: str, error: Optional[str] = None) -> None:
+        """Move to ``state``, record the SSE event, wake waiters."""
+        self.state = state
+        if state == JobState.RUNNING:
+            self.started_s = time.monotonic()
+        if state in JobState.TERMINAL:
+            self.finished_s = time.monotonic()
+            self.error = error
+        self.add_event(state, error=error)
+        if state in JobState.TERMINAL:
+            self.done_event.set()
+
+    def add_event(self, event: str, **extra) -> None:
+        payload: Dict[str, object] = {"event": event, "job": self.id}
+        payload.update({k: v for k, v in extra.items() if v is not None})
+        self.events.append(payload)
+        changed, self._changed = self._changed, asyncio.Event()
+        changed.set()
+
+    async def next_change(self) -> None:
+        """Block until another event is appended (SSE streamers)."""
+        await self._changed.wait()
+
+    def to_status(self) -> dict:
+        """JSON rendering for ``GET /jobs/<id>``."""
+        status = {
+            "id": self.id,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "client": self.client,
+            "priority": self.priority,
+            "coalesced": self.coalesced,
+            "from_cache": self.from_cache,
+        }
+        if self.error is not None:
+            status["error"] = self.error
+        if self.latency_s is not None:
+            status["latency_s"] = round(self.latency_s, 6)
+        return status

@@ -1,0 +1,372 @@
+"""Asyncio HTTP/JSON front end for the simulation service.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` —
+stdlib only, one connection per request (``Connection: close``), which
+is all the job API needs and keeps the parser ~40 lines.  Routes:
+
+* ``POST /jobs`` — submit a :class:`~repro.service.jobs.JobSpec`
+  (``{"spec": {...}, "client": "...", "priority": 0}``); ``202`` for
+  newly queued work, ``200`` when the submission coalesced onto an
+  in-flight duplicate or was served from the result cache, ``429`` +
+  ``Retry-After`` under backpressure, ``400`` for invalid specs.
+* ``GET /jobs/<id>`` — job status JSON.
+* ``GET /jobs/<id>/result`` — the result: JSON summary + content digest
+  for simulate jobs (``?format=pickle`` streams the full pickled
+  :class:`~repro.harness.runner.RunResult`), the report dict for
+  analysis jobs; ``409`` while the job is still in flight.
+* ``GET /jobs/<id>/events`` — Server-Sent Events progress stream
+  (replays history, then live until the job is terminal).
+* ``GET /metrics`` — Prometheus text exposition.
+* ``GET /healthz`` — liveness.
+
+The default bind is ``127.0.0.1:0`` — an ephemeral kernel-assigned
+port — so concurrent test runs never collide; the bound port is
+reported via :attr:`ServiceServer.port` (and ``--port-file`` in the
+CLI).  :class:`ThreadedServer` runs the whole service on a background
+thread for tests, benchmarks and notebook use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pickle
+import threading
+from concurrent.futures import Future
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.jobs import Job, JobSpec, JobState, KIND_SIMULATE, \
+    result_digest
+from repro.service.queue import QueueFullError
+from repro.service.scheduler import Scheduler
+
+#: Largest request body accepted (a job spec is ~200 bytes).
+MAX_BODY_BYTES = 1 << 20
+
+_STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class ServiceServer:
+    """One scheduler plus the asyncio HTTP listener in front of it."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 scheduler: Optional[Scheduler] = None, **scheduler_kwargs):
+        self.host = host
+        self._requested_port = port
+        self.port: Optional[int] = None
+        self.scheduler = (scheduler if scheduler is not None
+                          else Scheduler(**scheduler_kwargs))
+        self.metrics = self.scheduler.metrics
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # --- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.scheduler.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # --- HTTP plumbing ------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, headers, body = request
+            await self._route(method, path, headers, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # last-ditch: never kill the acceptor
+            try:
+                self._respond(writer, 500, {"error": "%s: %s"
+                                            % (type(exc).__name__, exc)})
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader
+                            ) -> Optional[Tuple[str, str, Dict[str, str],
+                                                bytes]]:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        try:
+            method, path, _ = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ValueError("request body too large (%d bytes)" % length)
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    def _respond(self, writer: asyncio.StreamWriter, status: int,
+                 payload, content_type: str = "application/json",
+                 extra_headers: Optional[Dict[str, str]] = None) -> None:
+        if isinstance(payload, (dict, list)):
+            body = (json.dumps(payload, indent=2) + "\n").encode()
+        elif isinstance(payload, str):
+            body = payload.encode()
+        else:
+            body = payload
+        lines = [
+            "HTTP/1.1 %d %s" % (status, _STATUS_TEXT.get(status, "Unknown")),
+            "Content-Type: %s" % content_type,
+            "Content-Length: %d" % len(body),
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append("%s: %s" % (name, value))
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+
+    # --- routing ------------------------------------------------------------
+
+    async def _route(self, method: str, target: str,
+                     headers: Dict[str, str], body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        query = parse_qs(url.query)
+
+        if path == "/healthz" and method == "GET":
+            self._respond(writer, 200, {
+                "status": "ok",
+                "queue_depth": len(self.scheduler.queue),
+                "paused": self.scheduler.paused,
+            })
+        elif path == "/metrics" and method == "GET":
+            self._respond(writer, 200, self.metrics.render(),
+                          content_type="text/plain; version=0.0.4")
+        elif path == "/jobs" and method == "POST":
+            self._submit(headers, body, writer)
+        elif path.startswith("/jobs/"):
+            await self._job_route(method, path, query, writer)
+        else:
+            self._respond(writer, 404, {"error": "no route %s %s"
+                                        % (method, path)})
+
+    def _submit(self, headers: Dict[str, str], body: bytes,
+                writer: asyncio.StreamWriter) -> None:
+        try:
+            data = json.loads(body.decode() or "{}")
+            if not isinstance(data, dict):
+                raise ValueError("request body must be a JSON object")
+            spec = JobSpec.from_dict(data.get("spec", data))
+            client = str(data.get("client")
+                         or headers.get("x-client", "anonymous"))
+            priority = int(data.get("priority", 0))
+        except ValueError as exc:
+            self._respond(writer, 400, {"error": str(exc)})
+            return
+        try:
+            job, disposition = self.scheduler.submit(spec, client=client,
+                                                     priority=priority)
+        except QueueFullError as exc:
+            self._respond(
+                writer, 429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                extra_headers={"Retry-After":
+                               "%d" % max(1, round(exc.retry_after_s))})
+            return
+        status = job.to_status()
+        status["disposition"] = disposition
+        self._respond(writer, 202 if disposition == "created" else 200,
+                      status)
+
+    async def _job_route(self, method: str, path: str, query: Dict,
+                         writer: asyncio.StreamWriter) -> None:
+        parts = path.split("/")  # ["", "jobs", <id>, (tail)]
+        job_id = parts[2] if len(parts) > 2 else ""
+        tail = parts[3] if len(parts) > 3 else ""
+        job = self.scheduler.get(job_id)
+        if job is None:
+            self._respond(writer, 404, {"error": "unknown job %r" % job_id})
+            return
+        if method != "GET" or tail not in ("", "result", "events"):
+            self._respond(writer, 405, {"error": "no route %s %s"
+                                        % (method, path)})
+            return
+        if tail == "":
+            self._respond(writer, 200, job.to_status())
+        elif tail == "result":
+            self._result(job, query, writer)
+        else:
+            await self._stream_events(job, writer)
+
+    def _result(self, job: Job, query: Dict,
+                writer: asyncio.StreamWriter) -> None:
+        if job.state == JobState.FAILED:
+            self._respond(writer, 500, {"id": job.id, "state": job.state,
+                                        "error": job.error})
+            return
+        if job.state != JobState.DONE:
+            self._respond(writer, 409, {"id": job.id, "state": job.state,
+                                        "error": "job not finished"})
+            return
+        fmt = (query.get("format") or ["json"])[0]
+        if job.spec.kind != KIND_SIMULATE:
+            self._respond(writer, 200, {"id": job.id, "report": job.result})
+            return
+        if fmt == "pickle":
+            self._respond(writer, 200,
+                          pickle.dumps(job.result,
+                                       protocol=pickle.HIGHEST_PROTOCOL),
+                          content_type="application/octet-stream")
+            return
+        result = job.result
+        self._respond(writer, 200, {
+            "id": job.id,
+            "workload": result.workload,
+            "config": result.config.name,
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "ipc": result.ipc,
+            "verdict": result.consistency.verdict,
+            "violations": len(result.consistency.violations),
+            "nvm_media_writes": result.nvm_media_writes,
+            "from_cache": job.from_cache,
+            "digest": result_digest(result),
+        })
+
+    async def _stream_events(self, job: Job,
+                             writer: asyncio.StreamWriter) -> None:
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: text/event-stream\r\n"
+                     b"Cache-Control: no-cache\r\n"
+                     b"Connection: close\r\n\r\n")
+        index = 0
+        while True:
+            while index < len(job.events):
+                event = job.events[index]
+                writer.write(("event: %s\ndata: %s\n\n"
+                              % (event["event"],
+                                 json.dumps(event))).encode())
+                index += 1
+            await writer.drain()
+            if job.state in JobState.TERMINAL:
+                return
+            await job.next_change()
+
+
+class ThreadedServer:
+    """Run a :class:`ServiceServer` on a background thread.
+
+    The harness for tests, benchmarks and in-process embedding: the
+    event loop lives on a daemon thread, the caller gets the bound port
+    and a :meth:`call` bridge that executes a function *on the loop
+    thread* (how tests pause the scheduler or read metrics without
+    races).
+    """
+
+    def __init__(self, **server_kwargs):
+        self._kwargs = server_kwargs
+        self.server: Optional[ServiceServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._shutdown: Optional[asyncio.Event] = None
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None and self.server.port is not None
+        return self.server.port
+
+    @property
+    def scheduler(self) -> Scheduler:
+        assert self.server is not None
+        return self.server.scheduler
+
+    def __enter__(self) -> "ThreadedServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self, timeout: float = 30.0) -> "ThreadedServer":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-service")
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("service failed to start within %gs" % timeout)
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") \
+                from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self.server = ServiceServer(**self._kwargs)
+
+        async def main() -> None:
+            self._shutdown = asyncio.Event()
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._started.set()
+            await self._shutdown.wait()
+            await self.server.stop()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    def call(self, fn, *args, timeout: float = 30.0):
+        """Run ``fn(*args)`` on the event-loop thread; return its value."""
+        assert self._loop is not None
+        future: Future = Future()
+
+        def invoke() -> None:
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:
+                future.set_exception(exc)
+
+        self._loop.call_soon_threadsafe(invoke)
+        return future.result(timeout)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        if self._thread.is_alive() and self._shutdown is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+        self._thread.join(timeout)

@@ -1,12 +1,19 @@
 """Strict shared parsing of the REPRO_* environment knobs."""
 
+import pathlib
+import re
+
 import pytest
 
+import repro
 from repro.harness.envutil import (
+    describe_env,
     env_flag,
     env_float,
     env_int,
     env_positive_int,
+    env_str,
+    render_env_table,
 )
 from repro.harness.profiling import profile_enabled_by_env
 from repro.harness.result_cache import cache_enabled_by_env
@@ -101,3 +108,48 @@ class TestHarnessKnobsShareTheParser:
         assert reader() is True
         monkeypatch.setenv(name, "false")
         assert reader() is False
+
+
+class TestEnvStr:
+    def test_set_unset_empty(self, monkeypatch):
+        monkeypatch.setenv("REPRO_S", "/tmp/x")
+        assert env_str("REPRO_S", "d") == "/tmp/x"
+        monkeypatch.setenv("REPRO_S", "")
+        assert env_str("REPRO_S", "d") == "d"
+        monkeypatch.delenv("REPRO_S")
+        assert env_str("REPRO_S", "d") == "d"
+
+
+class TestEnvRegistry:
+    """describe_env() is the authoritative knob list; it must match the
+    variables the code actually reads, in both directions."""
+
+    def test_registry_matches_src_grep(self):
+        src_root = pathlib.Path(repro.__file__).resolve().parent
+        read_in_code = set()
+        for path in sorted(src_root.rglob("*.py")):
+            for token in re.findall(r"REPRO_[A-Z_]+",
+                                    path.read_text(encoding="utf-8")):
+                read_in_code.add(token.rstrip("_"))
+        documented = {knob.name for knob in describe_env()}
+        undocumented = read_in_code - documented
+        stale = documented - read_in_code
+        assert not undocumented, (
+            "REPRO_* knobs read under src/repro but missing from "
+            "describe_env(): %s" % sorted(undocumented))
+        assert not stale, (
+            "describe_env() documents knobs nothing reads: %s"
+            % sorted(stale))
+
+    def test_knob_shapes(self):
+        kinds = {"flag", "int", "positive_int", "float", "str", "json"}
+        for knob in describe_env():
+            assert knob.name.startswith("REPRO_")
+            assert knob.kind in kinds, knob
+            assert knob.default
+            assert knob.description.endswith(".")
+
+    def test_render_lists_every_knob(self):
+        table = render_env_table()
+        for knob in describe_env():
+            assert knob.name in table

@@ -1,0 +1,119 @@
+"""Unit tests for service metrics and the Prometheus rendering."""
+
+import pytest
+
+from repro.service.client import parse_metrics
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServiceMetrics,
+)
+
+
+class TestCounter:
+    def test_inc_and_labels(self):
+        counter = Counter("jobs_total", "Jobs.")
+        counter.inc()
+        counter.inc(2, kind="simulate")
+        assert counter.value() == 1
+        assert counter.value(kind="simulate") == 2
+        assert counter.total() == 3
+
+    def test_monotonic(self):
+        counter = Counter("jobs_total", "Jobs.")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_render(self):
+        counter = Counter("jobs_total", "Jobs.")
+        counter.inc(kind="simulate")
+        text = "\n".join(counter.render())
+        assert "# TYPE jobs_total counter" in text
+        assert 'jobs_total{kind="simulate"} 1' in text
+
+    def test_zero_sample_when_untouched(self):
+        assert Counter("x_total", "X.").samples() == ["x_total 0"]
+
+
+class TestGauge:
+    def test_set_add(self):
+        gauge = Gauge("depth", "Depth.")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value() == 3
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        hist = Histogram("lat", "Latency.", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = "\n".join(hist.samples())
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+        assert hist.sum == pytest.approx(5.55)
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", "Latency.", buckets=())
+
+
+class TestRegistry:
+    def test_duplicate_rejected(self):
+        registry = MetricsRegistry()
+        registry.register(Counter("a_total", "A."))
+        with pytest.raises(ValueError):
+            registry.register(Gauge("a_total", "Again."))
+
+    def test_render_ends_with_newline(self):
+        registry = MetricsRegistry()
+        registry.register(Counter("a_total", "A."))
+        assert registry.render().endswith("\n")
+
+
+class TestServiceMetrics:
+    def test_acceptance_metrics_present(self):
+        """The /metrics page must expose queue depth, cache-hit ratio,
+        coalesce count and per-outcome job counts."""
+        metrics = ServiceMetrics()
+        metrics.jobs_completed.inc(outcome="done")
+        metrics.jobs_completed.inc(outcome="failed")
+        text = metrics.render()
+        for required in ("repro_queue_depth",
+                         "repro_cache_hit_ratio",
+                         "repro_singleflight_coalesced_total",
+                         'repro_jobs_completed_total{outcome="done"}',
+                         'repro_jobs_completed_total{outcome="failed"}',
+                         "repro_job_latency_seconds_bucket"):
+            assert required in text, required
+
+    def test_cache_hit_ratio_computed_on_render(self):
+        metrics = ServiceMetrics()
+        metrics.cache_hits.inc(3)
+        metrics.cache_misses.inc(1)
+        samples = parse_metrics(metrics.render())
+        assert samples["repro_cache_hit_ratio"] == pytest.approx(0.75)
+
+    def test_ratio_zero_when_idle(self):
+        samples = parse_metrics(ServiceMetrics().render())
+        assert samples["repro_cache_hit_ratio"] == 0.0
+
+    def test_note_outcome_feeds_histogram(self):
+        metrics = ServiceMetrics()
+        metrics.note_outcome("done", 0.25)
+        metrics.note_outcome("failed", None)  # no latency: not observed
+        assert metrics.job_latency.count == 1
+        assert metrics.jobs_completed.value(outcome="failed") == 1
+
+
+class TestParseMetrics:
+    def test_parses_samples_and_skips_comments(self):
+        text = ("# HELP a_total A.\n# TYPE a_total counter\n"
+                'a_total{kind="x"} 3\nb_gauge 1.5\n')
+        samples = parse_metrics(text)
+        assert samples['a_total{kind="x"}'] == 3.0
+        assert samples["b_gauge"] == 1.5

@@ -1,0 +1,113 @@
+"""Unit tests for the bounded fair admission queue."""
+
+import pytest
+
+from repro.service.jobs import Job, JobSpec, job_id_for
+from repro.service.queue import (
+    BoundedJobQueue,
+    MAX_RETRY_AFTER_S,
+    MIN_RETRY_AFTER_S,
+    QueueFullError,
+)
+
+
+def make_job(config="B", workload="update", client="anonymous", priority=0,
+             ops=5):
+    spec = JobSpec(kind="simulate", workload=workload, config=config,
+                   ops_per_txn=ops, txns=2)
+    return Job(spec, job_id_for(spec), client=client, priority=priority)
+
+
+class TestBounds:
+    def test_depth_bound_rejects(self):
+        queue = BoundedJobQueue(max_depth=2)
+        queue.put(make_job("B"))
+        queue.put(make_job("WB"))
+        with pytest.raises(QueueFullError) as info:
+            queue.put(make_job("IQ"))
+        assert info.value.depth == 2
+        assert info.value.retry_after_s >= MIN_RETRY_AFTER_S
+        assert queue.rejected == 1
+        assert len(queue) == 2  # rejected job was not admitted
+
+    def test_pop_frees_capacity(self):
+        queue = BoundedJobQueue(max_depth=1)
+        queue.put(make_job("B"))
+        assert queue.pop() is not None
+        queue.put(make_job("WB"))  # no raise
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedJobQueue(max_depth=0)
+
+    def test_empty_pop_is_none(self):
+        assert BoundedJobQueue().pop() is None
+
+
+class TestFairness:
+    def test_round_robin_between_clients(self):
+        """Client B's single job is served second, not after all of A's."""
+        queue = BoundedJobQueue()
+        for config in ("B", "SU", "IQ"):
+            queue.put(make_job(config, client="alice"))
+        queue.put(make_job("WB", client="bob"))
+        order = [(job.client, job.spec.config)
+                 for job in queue.drain()]
+        assert order == [("alice", "B"), ("bob", "WB"),
+                         ("alice", "SU"), ("alice", "IQ")]
+
+    def test_priority_within_client(self):
+        queue = BoundedJobQueue()
+        queue.put(make_job("B", priority=5))
+        queue.put(make_job("WB", priority=1))
+        queue.put(make_job("IQ", priority=5))
+        configs = [job.spec.config for job in queue.drain()]
+        assert configs == ["WB", "B", "IQ"]  # low number first, then FIFO
+
+    def test_depth_by_client(self):
+        queue = BoundedJobQueue()
+        queue.put(make_job("B", client="alice"))
+        queue.put(make_job("WB", client="alice"))
+        queue.put(make_job("IQ", client="bob"))
+        assert queue.depth_by_client() == {"alice": 2, "bob": 1}
+
+    def test_drain_limit(self):
+        queue = BoundedJobQueue()
+        for config in ("B", "SU", "IQ"):
+            queue.put(make_job(config))
+        assert len(queue.drain(2)) == 2
+        assert len(queue) == 1
+
+
+class TestRetryAfter:
+    def test_scales_with_backlog_and_latency(self):
+        queue = BoundedJobQueue(max_depth=100)
+        for config in ("B", "SU", "IQ", "WB"):
+            queue.put(make_job(config))
+        queue.mean_service_s = 2.0
+        slow = queue.suggest_retry_after()
+        queue.mean_service_s = 0.001
+        fast = queue.suggest_retry_after()
+        assert slow > fast
+        assert fast >= MIN_RETRY_AFTER_S
+        assert slow <= MAX_RETRY_AFTER_S
+
+    def test_ewma_moves_toward_observation(self):
+        queue = BoundedJobQueue()
+        queue.mean_service_s = 1.0
+        queue.note_latency(3.0)
+        assert 1.0 < queue.mean_service_s < 3.0
+        before = queue.mean_service_s
+        queue.note_latency(3.0)
+        assert before < queue.mean_service_s < 3.0
+
+    def test_workers_divide_the_estimate(self):
+        queue = BoundedJobQueue(max_depth=100)
+        for config in ("B", "SU", "IQ", "WB", "U"):
+            queue.put(make_job(config))
+        queue.mean_service_s = 10.0
+        queue.workers = 1
+        serial = queue.suggest_retry_after()
+        queue.workers = 10
+        parallel = queue.suggest_retry_after()
+        assert parallel < serial
