@@ -148,24 +148,35 @@ class CheckpointedEdm:
         source).  Returns the IDs of the producers this instruction depends
         on (without duplicates, in operand order).
         """
+        # Hot path: keys come from decoded instructions, which validated
+        # their EDK operands at construction — operate on the maps
+        # directly.  The zero key is never *stored* (define skips it), so
+        # a zero-key lookup misses naturally.
+        entries = self.spec._entries
         producers = []
         for key in consumer_keys:
-            producer = self.spec.lookup(key)
+            producer = entries.get(key)
             if producer is not None and producer not in producers:
                 producers.append(producer)
-        self.spec.define(edk_def, inst_id)
+        if edk_def:
+            entries[edk_def] = inst_id
         return tuple(producers)
 
     # --- retirement interface -------------------------------------------------
 
     def retire(self, edk_def: int, inst_id: int) -> None:
         """Replay a retiring producer's definition on the non-spec copy."""
-        self.non_spec.define(edk_def, inst_id)
+        if edk_def:
+            self.non_spec._entries[edk_def] = inst_id
 
     def complete(self, edk_def: int, inst_id: int) -> None:
         """A producer finished: clear its entries from both copies."""
-        self.spec.clear_on_complete(edk_def, inst_id)
-        self.non_spec.clear_on_complete(edk_def, inst_id)
+        entries = self.spec._entries
+        if entries.get(edk_def) == inst_id:
+            del entries[edk_def]
+        entries = self.non_spec._entries
+        if entries.get(edk_def) == inst_id:
+            del entries[edk_def]
 
     # --- squash / checkpoint interface ------------------------------------------
 

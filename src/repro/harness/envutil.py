@@ -135,6 +135,9 @@ def describe_env() -> Tuple[EnvKnob, ...]:
         EnvKnob("REPRO_BACKOFF", "float",
                 "%g" % supervisor.DEFAULT_BACKOFF_S,
                 "Base retry backoff in seconds, doubled per failure."),
+        EnvKnob("REPRO_SHM", "flag", "0",
+                "Ship built traces to matrix workers via parent-owned "
+                "shared-memory segments."),
         EnvKnob("REPRO_PROFILE", "flag", "0",
                 "Dump per-phase cProfile stats for build/simulate."),
         EnvKnob("REPRO_PROFILE_DIR", "str", DEFAULT_PROFILE_DIR,
@@ -143,6 +146,9 @@ def describe_env() -> Tuple[EnvKnob, ...]:
                 "Benchmark scale: operations per transaction."),
         EnvKnob("REPRO_BENCH_TXNS", "positive_int", "20",
                 "Benchmark scale: transaction count."),
+        EnvKnob("REPRO_FUSION", "flag", "1",
+                "Superinstruction fusion in the functional machine "
+                "(codegen'd basic-block handlers) on/off."),
         EnvKnob("REPRO_STATIC_CHECK", "flag", "0",
                 "Gate every interpreted workload build through the "
                 "static analyzer."),

@@ -40,6 +40,9 @@ Environment variables:
   :mod:`repro.harness.result_cache`.
 * ``REPRO_TRACE_CACHE=0`` — disable the trace cache (see
   :mod:`repro.harness.trace_cache`).
+* ``REPRO_SHM=1`` — publish each group's built trace into a parent-owned
+  shared-memory segment instead of having workers load (or build) their
+  own copy (see :mod:`repro.harness.shm_transport`).
 """
 
 from __future__ import annotations
@@ -52,6 +55,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.chaos import chaos_point
 from repro.harness.configs import A72Params, Configuration, DEFAULT_PARAMS
 from repro.harness.result_cache import ResultCache, cache_enabled_by_env
+from repro.harness.shm_transport import (
+    TraceTransport,
+    attach_object,
+    shm_enabled_by_env,
+)
 from repro.harness.supervisor import (
     MatrixReport,
     SupervisorConfig,
@@ -124,21 +132,36 @@ def last_matrix_report() -> Optional[MatrixReport]:
 
 def _simulate_group(task: Tuple[str, Tuple[Configuration, ...],
                                 workload_base.Scale, A72Params,
-                                Optional[str]]) -> Dict[str, object]:
+                                Optional[str], Optional[str]]
+                    ) -> Dict[str, object]:
     """Worker: run every configuration of one (workload, fence mode) group.
 
-    Loads the group's trace from the trace cache (building and storing it
-    only on a miss) and shares it across the group's configurations,
-    mirroring the serial runner.  Module-level so it pickles for
+    With a shared-memory segment name in the task (``REPRO_SHM=1``), the
+    group's :class:`BuiltWorkload` is attached and deserialized from the
+    parent's segment; otherwise it is loaded from the trace cache
+    (building and storing it only on a miss).  Either way one built
+    workload is shared across the group's configurations, mirroring the
+    serial runner.  Module-level so it pickles for
     :class:`~concurrent.futures.ProcessPoolExecutor`.
     """
     from repro.harness.runner import run_one
 
-    workload, configs, scale, params, trace_dir = task
-    chaos_point("worker", "%s/%s" % (workload, configs[0].fence_mode))
-    store = TraceCache(trace_dir) if trace_dir is not None else None
-    built = workload_base.build(workload, configs[0].fence_mode, scale,
-                                cache=store, params=params)
+    from repro.harness.profiling import maybe_profile
+
+    workload, configs, scale, params, trace_dir, shm_name = task
+    mode = configs[0].fence_mode
+    chaos_point("worker", "%s/%s" % (workload, mode))
+    if shm_name is not None:
+        with maybe_profile("%s-%s" % (workload, mode), "load"):
+            built = attach_object(shm_name)
+    elif trace_dir is not None:
+        # load_or_build profiles its own load/build phases.
+        built = workload_base.build(workload, mode, scale,
+                                    cache=TraceCache(trace_dir),
+                                    params=params)
+    else:
+        with maybe_profile("%s-%s" % (workload, mode), "build"):
+            built = workload_base.build(workload, mode, scale, params=params)
     return {
         config.name: run_one(workload, config, scale, params, built=built)
         for config in configs
@@ -222,9 +245,28 @@ def run_matrix_parallel(workloads: Sequence[str],
     groups: Dict[Tuple[str, str], List[Configuration]] = {}
     for workload, config in missing:
         groups.setdefault((workload, config.fence_mode), []).append(config)
+
+    # With REPRO_SHM on, the parent materializes each group's built
+    # workload once and publishes it into a shared-memory segment; the
+    # task then carries the segment name and the worker attaches instead
+    # of loading or rebuilding.  Segments survive worker retries and
+    # chaos kills (they are parent-owned), and the try/finally below —
+    # plus the transport's own atexit hook — guarantees they are unlinked
+    # however the supervised run ends.
+    transport: Optional[TraceTransport] = None
+    segment_names: Dict[Tuple[str, str], str] = {}
+    if groups and shm_enabled_by_env():
+        transport = TraceTransport()
+        group_store = TraceCache(trace_dir) if trace_dir is not None else None
+        for workload, mode in groups:
+            built = workload_base.build(workload, mode, scale,
+                                        cache=group_store, params=params)
+            segment_names[(workload, mode)] = transport.publish_object(built)
+
     tasks = [
         ("%s/%s" % (workload, mode),
-         (workload, tuple(group_configs), scale, params, trace_dir))
+         (workload, tuple(group_configs), scale, params, trace_dir,
+          segment_names.get((workload, mode))))
         for (workload, mode), group_configs in groups.items()
     ]
 
@@ -240,8 +282,12 @@ def run_matrix_parallel(workloads: Sequence[str],
     config_ = SupervisorConfig.from_env(
         max_workers=resolve_workers(max_workers),
         timeout=timeout, retries=retries, backoff=backoff)
-    _, report = run_supervised(tasks, _simulate_group, config_,
-                               on_result=_persist)
+    try:
+        _, report = run_supervised(tasks, _simulate_group, config_,
+                                   on_result=_persist)
+    finally:
+        if transport is not None:
+            transport.close()
     report.resumed_from_cache = resumed
     _LAST_REPORT = report
     if not report.all_succeeded:

@@ -1,13 +1,16 @@
 """Opt-in per-phase profiling of harness runs.
 
-Setting ``REPRO_PROFILE=1`` wraps each phase of a run — trace *build*
-versus timing *simulate* — in :mod:`cProfile` and dumps the stats under
+Setting ``REPRO_PROFILE=1`` wraps each phase of a run — trace *build*,
+trace-cache/shared-memory *load* (deserialization of a pre-built trace)
+and timing *simulate* — in :mod:`cProfile` and dumps the stats under
 ``.benchmarks/profile/``: one binary ``<label>.<phase>.prof`` (loadable
 with ``pstats`` or ``snakeviz``) plus a ``<label>.<phase>.txt`` rendering
 of the top functions by cumulative time.  Profiles are per (workload,
 configuration) and the latest run wins, so after a matrix run the
-directory answers "where does the time go, build or simulate, and in
-which function?" without any harness code changes.
+directory answers "where does the time go — build, load or simulate, and
+in which function?" without any harness code changes.  ``load`` used to
+be folded into the surrounding phase, which made warm (cache-served)
+runs look build-heavy when the time was really zlib + unpickling.
 
 Environment variables:
 
@@ -60,21 +63,32 @@ def _dump(profile: cProfile.Profile, label: str, phase: str) -> None:
     (root / ("%s.%s.txt" % (label, phase))).write_text(text.getvalue())
 
 
+#: Whether a maybe_profile block is currently active in this process.
+#: cProfile refuses to nest, so an inner block (e.g. the trace cache's
+#: ``load`` phase inside a caller's ``build`` span) silently yields and
+#: its time is attributed to the enclosing phase.
+_ACTIVE = False
+
+
 @contextlib.contextmanager
 def maybe_profile(label: str, phase: str):
     """Profile the enclosed block when ``REPRO_PROFILE=1``.
 
     ``label`` identifies the run (e.g. ``btree-WB``), ``phase`` the part
-    of it (``build`` / ``simulate``).  No-op — not even a profiler
-    object — when the knob is off.
+    of it (``build`` / ``load`` / ``simulate``).  No-op — not even a
+    profiler object — when the knob is off, or when an enclosing
+    ``maybe_profile`` block is already being profiled.
     """
-    if not profile_enabled_by_env():
+    global _ACTIVE
+    if _ACTIVE or not profile_enabled_by_env():
         yield
         return
     profile = cProfile.Profile()
+    _ACTIVE = True
     profile.enable()
     try:
         yield
     finally:
         profile.disable()
+        _ACTIVE = False
         _dump(profile, label, phase)

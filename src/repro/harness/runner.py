@@ -22,6 +22,7 @@ from repro.memory.hierarchy import CacheHierarchy
 from repro.memory.persist_domain import PersistLog
 from repro.nvmfw.framework import BuiltWorkload
 from repro.pipeline.core import OutOfOrderCore
+from repro.pipeline.replay import meta_for
 from repro.pipeline.stats import PipelineStats
 from repro.workloads import base as workload_base
 
@@ -74,16 +75,25 @@ def run_one(workload: str, config: Configuration,
     deterministic per (workload, fence_mode, scale)); ``trace_cache`` (a
     :class:`~repro.harness.trace_cache.TraceCache`) serves the build from
     the on-disk trace cache instead, skipping trace interpretation on a
-    hit.  ``REPRO_PROFILE=1`` dumps per-phase (build / simulate) cProfile
-    stats to ``.benchmarks/profile/`` (see
-    :mod:`repro.harness.profiling`).
+    hit.  ``REPRO_PROFILE=1`` dumps per-phase (build / load / simulate)
+    cProfile stats to ``.benchmarks/profile/`` (see
+    :mod:`repro.harness.profiling`); with a trace cache the ``load``
+    (cache deserialization) and ``build`` (miss) phases are profiled
+    inside :func:`~repro.harness.trace_cache.load_or_build`, labelled by
+    fence mode.
     """
     chaos_point("run_one", "%s/%s" % (workload, config.name))
     label = "%s-%s" % (workload, config.name)
     if built is None:
-        with maybe_profile(label, "build"):
+        if trace_cache is not None:
+            # load_or_build profiles its own load/build phases; wrapping
+            # it here would fold cache deserialization into "build".
             built = workload_base.build(workload, config.fence_mode, scale,
                                         cache=trace_cache, params=params)
+        else:
+            with maybe_profile(label, "build"):
+                built = workload_base.build(workload, config.fence_mode,
+                                            scale, params=params)
 
     with maybe_profile(label, "simulate"):
         controller = MemoryController(
@@ -95,7 +105,7 @@ def run_one(workload: str, config: Configuration,
         if warm:
             warm_hierarchy(hierarchy, built)
         core = OutOfOrderCore(built.trace, hierarchy, config.policy,
-                              params.core)
+                              params.core, replay=meta_for(built))
         stats = core.run()
         # Drain outstanding NVM writes so buffer-occupancy samples (Fig. 10)
         # cover the whole run even at small scales.

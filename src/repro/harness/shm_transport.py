@@ -1,0 +1,179 @@
+"""Shared-memory transport of built workload traces to pool workers.
+
+With the trace cache warm, every worker group still pays a disk read plus
+zlib decompression to load its :class:`~repro.nvmfw.framework.BuiltWorkload`
+— and on a cold run each group *builds* the trace inside the worker.  With
+``REPRO_SHM=1`` the parent instead materializes each group's built
+workload once, serializes it into a POSIX shared-memory segment
+(:mod:`multiprocessing.shared_memory`), and hands workers the segment
+name; a worker attaches, deserializes straight out of the mapping, and
+detaches.  No per-worker disk I/O, no duplicate builds, and — unlike a
+pickled task argument — no copy of the payload queued per retry.
+
+Segment protocol
+----------------
+
+Segments are created **only by the parent** and named
+``repro-trace-<pid>-<token>`` (pid of the creating process plus a random
+hex token, so concurrent matrices and a respawned parent can never
+collide).  The layout is an 8-byte little-endian payload length followed
+by the pickle payload.  The size reported by the OS may exceed what was
+requested (it is rounded up to a page), which is why the explicit header
+is required.
+
+Lifetime and cleanup
+--------------------
+
+POSIX shared memory persists until explicitly unlinked — an orphaned
+segment survives the run and eats ``/dev/shm`` until reboot.  Ownership
+is therefore strictly parental:
+
+* The parent tracks every segment it creates in a :class:`TraceTransport`
+  and unlinks them all in ``close()`` — called from a ``try/finally``
+  around the supervised matrix run (covering supervisor teardown, worker
+  chaos kills and permanent failures) and, as a safety net, from an
+  ``atexit`` hook.
+* Workers never unlink.  On this Python, merely *attaching* registers
+  the segment with :mod:`multiprocessing.resource_tracker` (there is no
+  ``track=False`` parameter yet), and the tracker would unlink the
+  parent's live segment when the worker exits; attachers must therefore
+  unregister themselves immediately after attaching
+  (:func:`attach_payload` does).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+from typing import Dict, Optional
+
+from repro.harness.envutil import env_flag
+
+#: Segment name prefix; the orphan checks in the test-suite and CI grep
+#: /dev/shm for this.
+SEGMENT_PREFIX = "repro-trace-"
+
+#: Bytes of the little-endian payload-length header.
+_HEADER_BYTES = 8
+
+
+def shm_enabled_by_env() -> bool:
+    """Whether ``REPRO_SHM`` enables the shared-memory transport
+    (default off: it is an opt-in for hot matrix loops)."""
+    return env_flag("REPRO_SHM", default=False)
+
+
+def _unregister_attachment(shm) -> None:
+    """Undo the resource-tracker registration an attach performed.
+
+    Without this, every attaching process's resource tracker unlinks the
+    segment at process exit — destroying the parent's live segment after
+    the first worker finishes (and double-unlinking after the rest).
+    """
+    from multiprocessing import resource_tracker
+
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker already gone
+        pass
+
+
+class TraceTransport:
+    """Parent-side owner of the shared-memory segments of one matrix run.
+
+    ``publish`` creates and fills segments; ``close`` unlinks everything
+    this transport created.  ``close`` is idempotent and additionally
+    registered with :mod:`atexit` the first time a segment is created, so
+    an exception path that skips the ``finally`` still cannot leak.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, object] = {}
+        self._atexit_registered = False
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def publish(self, payload: bytes) -> str:
+        """Create a segment holding ``payload``; return its name."""
+        from multiprocessing import shared_memory
+
+        name = "%s%d-%s" % (SEGMENT_PREFIX, os.getpid(),
+                            os.urandom(8).hex())
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=_HEADER_BYTES + len(payload))
+        if not self._atexit_registered:
+            atexit.register(self.close)
+            self._atexit_registered = True
+        self._segments[name] = shm
+        shm.buf[:_HEADER_BYTES] = len(payload).to_bytes(
+            _HEADER_BYTES, "little")
+        shm.buf[_HEADER_BYTES:_HEADER_BYTES + len(payload)] = payload
+        return name
+
+    def publish_object(self, value) -> str:
+        """Pickle ``value`` into a fresh segment; return its name."""
+        return self.publish(
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def close(self) -> None:
+        """Unlink every segment this transport created (idempotent)."""
+        from multiprocessing import resource_tracker
+
+        for name, shm in list(self._segments.items()):
+            del self._segments[name]
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - buffer already released
+                pass
+            # The tracker's registry is a *set*: the first worker's
+            # attach-unregister deletes the parent's own registration, so
+            # the UNREGISTER that ``unlink`` is about to send would
+            # underflow it and the tracker would log a KeyError traceback.
+            # Re-registering first (an idempotent set-add) rebalances it.
+            try:
+                resource_tracker.register(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker already gone
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def attach_payload(name: str) -> bytes:
+    """Attach to segment ``name``, copy its payload out, detach.
+
+    Never unlinks: the segment belongs to the creating parent.  The
+    attach-time resource-tracker registration is undone immediately (see
+    module docstring) so this process's exit cannot destroy it either.
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    _unregister_attachment(shm)
+    try:
+        length = int.from_bytes(bytes(shm.buf[:_HEADER_BYTES]), "little")
+        return bytes(shm.buf[_HEADER_BYTES:_HEADER_BYTES + length])
+    finally:
+        shm.close()
+
+
+def attach_object(name: str):
+    """Deserialize the object published into segment ``name``."""
+    return pickle.loads(attach_payload(name))
+
+
+def orphaned_segments() -> list:
+    """Names of ``repro-trace-*`` segments currently live in /dev/shm.
+
+    Linux-specific best effort (an empty list on platforms without a
+    /dev/shm); used by the leak tests and the CI perf-smoke job.
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return []
+    return sorted(entry for entry in entries
+                  if entry.startswith(SEGMENT_PREFIX))

@@ -109,13 +109,7 @@ def three_update_timeline(config_name: str) -> TimelineResult:
                           DEFAULT_PARAMS.core)
 
     observed: List = []
-    original = core._mark_complete
-
-    def capture(dyn):
-        observed.append(dyn)
-        original(dyn)
-
-    core._mark_complete = capture
+    core.on_complete = observed.append
     stats = core.run()
 
     timings: List[InstTiming] = []
@@ -187,14 +181,12 @@ def fig8_microprogram(config_name: str) -> Fig8Result:
     core = OutOfOrderCore(trace, hierarchy, config.policy, DEFAULT_PARAMS.core)
 
     tagged: Dict[str, int] = {}
-    original = core._mark_complete
 
     def capture(dyn):
         if dyn.inst.comment:
             tagged[dyn.inst.comment] = core.now
-        original(dyn)
 
-    core._mark_complete = capture
+    core.on_complete = capture
     stats = core.run()
     return Fig8Result(
         config=config_name,

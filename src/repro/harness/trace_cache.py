@@ -127,7 +127,12 @@ def load_or_build(workload: str, fence_mode: str, scale, params=None,
     later process (and every later worker group of this process).  With
     ``store=None`` the build is uncached — the serial seed path.
     ``params=None`` keys under the default Table I parameters.
+
+    With ``REPRO_PROFILE=1`` the cache probe is profiled as its own
+    ``load`` phase (zlib + unpickling) and a miss's build as ``build``,
+    so warm runs no longer report deserialization time as build time.
     """
+    from repro.harness.profiling import maybe_profile
     from repro.workloads import base as workload_base
 
     if store is None:
@@ -136,9 +141,12 @@ def load_or_build(workload: str, fence_mode: str, scale, params=None,
         from repro.harness.configs import DEFAULT_PARAMS
 
         params = DEFAULT_PARAMS
+    label = "%s-%s" % (workload, fence_mode)
     key = store.key(workload, fence_mode, scale, params)
-    built = store.load(key)
+    with maybe_profile(label, "load"):
+        built = store.load(key)
     if built is None:
-        built = workload_base.build(workload, fence_mode, scale)
+        with maybe_profile(label, "build"):
+            built = workload_base.build(workload, fence_mode, scale)
         store.store(key, built)
     return built

@@ -29,6 +29,24 @@ as :meth:`Machine.run_reference`; the two produce bit-identical traces and
 architectural state (``tests/isa/test_threaded_machine.py`` holds the
 golden-equality suite, ``benchmarks/bench_selfperf.py`` tracks the
 speedup).
+
+Superinstruction fusion
+-----------------------
+
+On top of threading, :func:`compile_program_fused` fuses straight-line
+handler runs into *superinstructions*: per basic-block chunk (leaders are
+pc 0, label targets and branch targets), the per-instruction handler
+bodies are code-generated into one flat Python function and ``exec``'d,
+so a whole block costs a single indirect call and zero inter-instruction
+dispatch.  Fusion is controlled by the ``REPRO_FUSION`` knob (default
+on).  Chunks fall back to the per-instruction handlers when the machine's
+memory is not a plain :class:`SparseMemory` (codegen'd memory ops write
+the word dictionary directly) and instructions without a codegen template
+(unhandled opcodes, sub-word memory ops, undefined labels) are never
+fused.  Mid-chunk pcs keep their individual handlers, so dynamic entry
+into the middle of a chunk (a computed ``RET``) stays correct, and the
+step budget is charged per retired instruction, not per chunk — faults
+and traces stay bit-identical to :meth:`Machine.run_reference`.
 """
 
 from __future__ import annotations
@@ -492,6 +510,270 @@ def compile_program(program: Program) -> List:
     return factories
 
 
+# ---------------------------------------------------------------------------
+# Superinstruction fusion
+# ---------------------------------------------------------------------------
+
+#: Opcodes that transfer control: they terminate a fused chunk (and are
+#: fused into it as the final, pc-returning statement).
+_CONTROL_OPCODES = frozenset((
+    Opcode.B, Opcode.BL, Opcode.RET,
+    Opcode.B_EQ, Opcode.B_NE, Opcode.B_LT, Opcode.B_GE,
+    Opcode.HALT,
+))
+
+#: Unmasked ALU source expressions, mirroring ``_ALU_FUNCS`` (codegen
+#: applies the 64-bit mask on writeback, exactly like the handlers).
+_ALU_EXPRS: Dict[Opcode, str] = {
+    Opcode.ADD: "(%s + %s)",
+    Opcode.SUB: "(%s - %s)",
+    Opcode.AND: "(%s & %s)",
+    Opcode.ORR: "(%s | %s)",
+    Opcode.EOR: "(%s ^ %s)",
+    Opcode.MUL: "(%s * %s)",
+    Opcode.LSL: "(%s << (%s & 63))",
+    Opcode.LSR: "((%s & _MASK64) >> (%s & 63))",
+}
+
+
+def fusion_enabled() -> bool:
+    """Whether ``REPRO_FUSION`` enables superinstruction fusion (default
+    on).  Read per :meth:`Machine.run` call so tests can flip it."""
+    # Imported lazily: repro.isa is imported by the harness package, so a
+    # top-level import of repro.harness.envutil would be circular.
+    from repro.harness.envutil import env_flag
+    return env_flag("REPRO_FUSION", default=True)
+
+
+def _block_leaders(program: Program) -> frozenset:
+    """Basic-block leaders: pc 0, every label and every static branch
+    target, plus every control-transfer successor (fall-through pcs and
+    ``BL`` return addresses)."""
+    labels = program.labels
+    instructions = program.instructions
+    n = len(instructions)
+    leaders = {0}
+    for target in labels.values():
+        if 0 <= target < n:
+            leaders.add(target)
+    for pc, inst in enumerate(instructions):
+        opcode = inst.opcode
+        if opcode in _CONTROL_OPCODES:
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+            if opcode not in (Opcode.RET, Opcode.HALT):
+                target = _resolve_static_target(inst, labels)
+                if target is not None and 0 <= target < n:
+                    leaders.add(target)
+    return frozenset(leaders)
+
+
+def _emit_trace_line(pc: int, static_addr, addr_var: str) -> str:
+    """Source for appending instruction ``pc`` with a dynamic address."""
+    if static_addr is None:
+        return "append(_with_addr(_i%d, %s))" % (pc, addr_var)
+    return ("append(_i%d if %s == %d else _with_addr(_i%d, %s))"
+            % (pc, addr_var, static_addr, pc, addr_var))
+
+
+def _fused_lines(inst: Instruction, pc: int, labels: Dict[str, int],
+                 program_len: int):
+    """Codegen template for one instruction inside a fused chunk.
+
+    Returns ``(lines, uses_memory, ends_chunk)`` or ``None`` when the
+    instruction has no template (it then stays on its individual
+    handler).  The generated statements mirror the threaded handlers —
+    and therefore the reference interpreter — bit for bit, including
+    fault points and trace-append order.
+    """
+    opcode = inst.opcode
+    nxt = pc + 1
+    imm = inst.imm
+    static_addr = inst.addr
+
+    if opcode is Opcode.HALT:
+        return ["append(_i%d)" % pc, "return %d" % program_len], False, True
+
+    if opcode in _EMIT_ONLY_OPCODES:
+        return ["append(_i%d)" % pc], False, False
+
+    if opcode is Opcode.MOV:
+        rd = inst.dst[0]
+        if rd == XZR:
+            return ["append(_i%d)" % pc], False, False
+        if inst.src:
+            move = "regs[%d] = regs[%d]" % (rd, inst.src[0])
+        else:
+            move = "regs[%d] = %d" % (rd, imm & _MASK64)
+        return [move, "append(_i%d)" % pc], False, False
+
+    if opcode in _ALU_OPCODES:
+        rd = inst.dst[0]
+        lhs = "regs[%d]" % inst.src[0]
+        rhs = ("regs[%d]" % inst.src[1] if len(inst.src) == 2
+               else repr(imm))
+        if rd == XZR:
+            # The handlers evaluate the (side-effect-free) ALU function
+            # and discard it; codegen skips the dead computation.
+            return ["append(_i%d)" % pc], False, False
+        expr = _ALU_EXPRS[opcode] % (lhs, rhs)
+        return ["regs[%d] = %s & _MASK64" % (rd, expr),
+                "append(_i%d)" % pc], False, False
+
+    if opcode is Opcode.CMP:
+        lhs = "regs[%d]" % inst.src[0]
+        rhs = ("regs[%d]" % inst.src[1] if len(inst.src) == 2
+               else repr(imm))
+        return ["_t = (%s - %s) & _MASK64" % (lhs, rhs),
+                "flags.zero = _t == 0",
+                "flags.negative = _t >= _SIGN64",
+                "append(_i%d)" % pc], False, False
+
+    if opcode in (Opcode.LDR, Opcode.LDR_EDE):
+        if inst.size != 8:
+            return None
+        rd = inst.dst[0]
+        lines = ["_a = regs[%d] + %d" % (inst.src[0], imm),
+                 "if _a % 8:",
+                 "    raise MachineError('unaligned 8-byte load at %#x'"
+                 " % _a)"]
+        if rd != XZR:
+            lines.append("regs[%d] = get(_a, 0)" % rd)
+        lines.append(_emit_trace_line(pc, static_addr, "_a"))
+        return lines, True, False
+
+    if opcode in (Opcode.STR, Opcode.STR_EDE):
+        if inst.size != 8:
+            return None
+        lines = ["_a = regs[%d] + %d" % (inst.src[1], imm),
+                 "if _a % 8:",
+                 "    raise MachineError('unaligned 8-byte store at %#x'"
+                 " % _a)",
+                 "words[_a] = regs[%d] & _MASK64" % inst.src[0],
+                 _emit_trace_line(pc, static_addr, "_a")]
+        return lines, True, False
+
+    if opcode in (Opcode.STP, Opcode.STP_EDE):
+        lines = ["_a = regs[%d] + %d" % (inst.src[2], imm),
+                 "if _a % 8:",
+                 "    raise MachineError('unaligned 8-byte store at %#x'"
+                 " % _a)",
+                 "words[_a] = regs[%d] & _MASK64" % inst.src[0],
+                 "words[_a + 8] = regs[%d] & _MASK64" % inst.src[1],
+                 _emit_trace_line(pc, static_addr, "_a")]
+        return lines, True, False
+
+    if opcode in (Opcode.DC_CVAP, Opcode.DC_CVAP_EDE):
+        return ["_a = regs[%d]" % inst.src[0],
+                _emit_trace_line(pc, static_addr, "_a")], False, False
+
+    if opcode in (Opcode.B, Opcode.BL, Opcode.B_EQ, Opcode.B_NE,
+                  Opcode.B_LT, Opcode.B_GE):
+        target = _resolve_static_target(inst, labels)
+        if target is None:
+            return None  # must fault at execution time, unfused
+        if opcode is Opcode.B:
+            return ["append(_i%d)" % pc, "return %d" % target], False, True
+        if opcode is Opcode.BL:
+            return ["regs[30] = %d" % nxt, "append(_i%d)" % pc,
+                    "return %d" % target], False, True
+        if opcode is Opcode.B_EQ:
+            tail = "return %d if flags.zero else %d" % (target, nxt)
+        elif opcode is Opcode.B_NE:
+            tail = "return %d if flags.zero else %d" % (nxt, target)
+        elif opcode is Opcode.B_LT:
+            tail = "return %d if flags.negative else %d" % (target, nxt)
+        else:
+            tail = "return %d if flags.negative else %d" % (nxt, target)
+        return ["append(_i%d)" % pc, tail], False, True
+
+    if opcode is Opcode.RET:
+        return ["append(_i%d)" % pc, "return regs[30]"], False, True
+
+    return None
+
+
+def compile_program_fused(program: Program):
+    """Fuse straight-line handler runs into codegen'd superinstructions.
+
+    Returns ``(factories, weights)``, both parallel to the program:
+    ``factories[pc]`` is a fused-chunk factory at each chunk-start pc
+    (``None`` elsewhere) and ``weights[pc]`` is the number of
+    instructions that chunk retires per call (1 elsewhere).  A fused
+    factory binds one machine's state and returns the chunk handler — or
+    ``None`` when the chunk touches memory and the machine's memory is
+    not a plain :class:`SparseMemory`, in which case the caller keeps the
+    per-instruction handlers for that chunk.  Memoized on the program
+    like :func:`compile_program`.
+    """
+    labels = program.labels
+    cached = getattr(program, "_fused_cache", None)
+    if (cached is not None and cached[0] == len(program)
+            and cached[1] == labels):
+        return cached[2], cached[3]
+    instructions = program.instructions
+    n = len(instructions)
+    leaders = _block_leaders(program)
+    factories: List = [None] * n
+    weights = [1] * n
+    namespace = {
+        "_MASK64": _MASK64, "_SIGN64": _SIGN64,
+        "MachineError": MachineError, "_with_addr": _with_addr,
+        "SparseMemory": SparseMemory,
+    }
+    source_parts: List[str] = []
+    chunks: List[tuple] = []  # (start_pc, length)
+    pc = 0
+    while pc < n:
+        start = pc
+        body: List[str] = []
+        uses_memory = False
+        ends = False
+        while pc < n and not (pc > start and pc in leaders):
+            info = _fused_lines(instructions[pc], pc, labels, n)
+            if info is None:
+                break
+            lines, mem, ends = info
+            body.extend(lines)
+            uses_memory = uses_memory or mem
+            namespace["_i%d" % pc] = instructions[pc]
+            pc += 1
+            if ends:
+                break
+        length = pc - start
+        if length < 2:
+            # Unfused pc (no template, or a singleton chunk with nothing
+            # to gain): keep the individual handler and move past it.
+            pc = max(pc, start + 1)
+            continue
+        if not ends:
+            body.append("return %d" % pc)
+        bind = ["    regs = machine.regs",
+                "    flags = machine.flags",
+                "    append = machine.trace.append"]
+        if uses_memory:
+            bind = ["    memory = machine.memory",
+                    "    if type(memory) is not SparseMemory:",
+                    "        return None",
+                    "    words = memory._words",
+                    "    get = words.get"] + bind
+        source_parts.append(
+            "def _fused_%d(machine):\n%s\n    def handler():\n%s\n"
+            "    return handler\n"
+            % (start, "\n".join(bind),
+               "\n".join("        " + line for line in body)))
+        chunks.append((start, length))
+    if chunks:
+        exec(compile("\n".join(source_parts),
+                     "<fused:%s>" % getattr(program, "name", "program"),
+                     "exec"), namespace)
+        for start, length in chunks:
+            factories[start] = namespace["_fused_%d" % start]
+            weights[start] = length
+    program._fused_cache = (n, labels, factories, weights)
+    return factories, weights
+
+
 class Machine:
     """Executes a :class:`Program` and emits a dynamic trace."""
 
@@ -522,23 +804,57 @@ class Machine:
         Threaded-code path: the program is pre-decoded once (see
         :func:`compile_program`), the factories are bound to this
         machine's state, and the step loop is a bare indirect call.
-        Produces traces and architectural state bit-identical to
-        :meth:`run_reference`.
+        With ``REPRO_FUSION`` on (the default), chunk-start pcs are
+        further replaced by codegen'd superinstructions (see
+        :func:`compile_program_fused`).  Produces traces and
+        architectural state bit-identical to :meth:`run_reference`.
         """
         factories = compile_program(program)
-        handlers = [factory(self) for factory in factories]
+        base = [factory(self) for factory in factories]
         # Handlers read source registers by direct index; keep the XZR
         # invariant (always zero — no handler ever writes it) explicit.
         self.regs[XZR] = 0
+        handlers = base
+        weights = None
+        if fusion_enabled():
+            fused_factories, fused_weights = compile_program_fused(program)
+            for i, fused_factory in enumerate(fused_factories):
+                if fused_factory is None:
+                    continue
+                handler = fused_factory(self)
+                if handler is None:
+                    continue  # non-SparseMemory: chunk stays unfused
+                if weights is None:
+                    handlers = list(base)
+                    weights = [1] * len(base)
+                handlers[i] = handler
+                weights[i] = fused_weights[i]
         pc = start
         steps = 0
-        n = len(handlers)
+        n = len(base)
+        if weights is None:
+            while pc < n:
+                steps += 1
+                if steps > max_steps:
+                    raise MachineError("exceeded %d steps; runaway loop?"
+                                       % max_steps)
+                pc = handlers[pc]()
+            return self.trace
         while pc < n:
-            steps += 1
-            if steps > max_steps:
-                raise MachineError("exceeded %d steps; runaway loop?"
-                                   % max_steps)
-            pc = handlers[pc]()
+            budget = steps + weights[pc]
+            if budget > max_steps:
+                # The chunk would blow the step budget mid-way; single-step
+                # its instructions on the unfused handlers so the fault
+                # fires after exactly ``max_steps`` retired instructions,
+                # like the reference interpreter.
+                steps += 1
+                if steps > max_steps:
+                    raise MachineError("exceeded %d steps; runaway loop?"
+                                       % max_steps)
+                pc = base[pc]()
+            else:
+                steps = budget
+                pc = handlers[pc]()
         return self.trace
 
     def run_reference(self, program: Program, start: int = 0,

@@ -28,6 +28,7 @@ Fig. 11 histogram.
 
 from __future__ import annotations
 
+import gc
 import heapq
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Set
@@ -44,6 +45,10 @@ from repro.isa.opcodes import Opcode
 from repro.memory.hierarchy import CacheHierarchy
 from repro.pipeline.dyninst import (
     DynInst,
+    EXEC_AGU,
+    EXEC_BRANCH,
+    EXEC_LOAD,
+    EXEC_MUL,
     RETIRE_DSB,
     RETIRE_HALT,
     RETIRE_NORMAL,
@@ -51,8 +56,9 @@ from repro.pipeline.dyninst import (
     RETIRE_WAIT_KEY,
 )
 from repro.pipeline.params import CoreParams
+from repro.pipeline.replay import TraceMeta
 from repro.pipeline.stats import PipelineStats
-from repro.pipeline.write_buffer import WriteBuffer
+from repro.pipeline.write_buffer import PENDING, WbEntry, WriteBuffer
 
 _FLAGS_REG = FLAGS_REG
 
@@ -69,7 +75,8 @@ class OutOfOrderCore:
                  hierarchy: CacheHierarchy,
                  policy: EnforcementPolicy = FENCE_POLICY,
                  params: CoreParams = CoreParams(),
-                 squash_at: Sequence[int] = ()):
+                 squash_at: Sequence[int] = (),
+                 replay=None):
         """Args:
             trace: Dynamic instruction stream ending in HALT.
             hierarchy: The cache hierarchy + memory controller to run against.
@@ -78,6 +85,13 @@ class OutOfOrderCore:
             squash_at: Trace indices at which to inject a pipeline squash
                 the first time the front end reaches them (testing hook for
                 the EDM checkpoint-recovery path).
+            replay: Replay-metadata control for the fast run loop.  ``None``
+                (default) builds a :class:`~repro.pipeline.replay.TraceMeta`
+                for the trace on demand; a ready ``TraceMeta`` (e.g. from
+                :func:`repro.pipeline.replay.meta_for`) reuses a shared
+                prepass; ``False`` forces the legacy stage-by-stage loop —
+                the reference implementation the fast path is tested
+                bit-identical against.
         """
         params.validate()
         self.trace = list(trace)
@@ -106,7 +120,9 @@ class OutOfOrderCore:
         self._scoreboard: Dict[int, DynInst] = {}
         self._reg_waiters: Dict[int, List[DynInst]] = {}
         self._ede_waiters: Dict[int, List[DynInst]] = {}
-        self._store_exec_waiters: Dict[int, List[Callable[[], None]]] = {}
+        #: Store seq -> loads whose forwarded data waits on that store's
+        #: execution (scheduled for data return when the store executes).
+        self._store_exec_waiters: Dict[int, List[DynInst]] = {}
 
         # In-flight completion tracking (for DSB / HALT).
         self._incomplete: Dict[int, DynInst] = {}
@@ -130,12 +146,38 @@ class OutOfOrderCore:
         self._events: Dict[int, List[Callable[[], None]]] = {}
         self._event_heap: List[int] = []
 
+        #: Fast-path staleness flag for the write-buffer push scan: the
+        #: scan's outcome can only change after a deposit, a push start or
+        #: a push completion (removal / srcID clear / epoch drain), so the
+        #: fast loop skips the scan while this is False.  Dispatch-side
+        #: epoch increments only make entries *more* blocked and need no
+        #: flag.  The legacy loop ignores it (scans every cycle).
+        self._wb_dirty = True
+
         self._squash_at: Set[int] = set(squash_at)
         self._squash_progress = False
+
+        if replay is not None and replay is not False:
+            if not isinstance(replay, TraceMeta):
+                raise TypeError(
+                    "replay must be None, False or a TraceMeta, got %r"
+                    % (replay,))
+            if not replay.matches(self.trace):
+                raise ValueError(
+                    "replay metadata does not match the trace "
+                    "(%d rows vs %d instructions)"
+                    % (replay.length, len(self.trace)))
+        self._replay = replay
 
         #: (cycle, seq, tag, addr) for every tagged store becoming visible —
         #: consumed by the crash-consistency checker.
         self.store_visibility: List[tuple] = []
+
+        #: Optional observer called with each DynInst as it completes
+        #: (``complete_cycle`` already set).  Completion is inlined at
+        #: several sites in both run loops for speed, so instrumentation
+        #: must use this hook rather than wrapping ``_mark_complete``.
+        self.on_complete: Optional[Callable[[DynInst], None]] = None
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -187,13 +229,6 @@ class OutOfOrderCore:
         oldest = self._min_incomplete()
         return oldest is None or oldest >= seq
 
-    def _producer_keys(self, dyn: DynInst) -> List[int]:
-        if dyn.opcode is Opcode.WAIT_ALL_KEYS:
-            return list(range(1, NUM_KEYS))
-        if dyn.inst.edk_def != ZERO_KEY:
-            return [dyn.inst.edk_def]
-        return []
-
     def _mark_complete(self, dyn: DynInst) -> None:
         """The EDE notion of completion: effects observable."""
         if dyn.completed or dyn.squashed:
@@ -203,7 +238,7 @@ class OutOfOrderCore:
         self._incomplete.pop(dyn.seq, None)
 
         if dyn.is_ede:
-            for key in self._producer_keys(dyn):
+            for key in dyn.producer_keys:
                 self.edm.complete(key, dyn.seq)
             for waiter in self._ede_waiters.pop(dyn.seq, ()):
                 waiter.e_deps_outstanding.discard(dyn.seq)
@@ -214,6 +249,8 @@ class OutOfOrderCore:
             self._mem_epoch_outstanding[dyn.mem_epoch] -= 1
         if dyn.is_store:
             self._unindex_store(dyn)
+        if self.on_complete is not None:
+            self.on_complete(dyn)
 
     # ------------------------------------------------------------------
     # Store forwarding index
@@ -517,11 +554,9 @@ class OutOfOrderCore:
             self._schedule(self.now + self.params.forward_latency,
                            self._load_data_return, dyn)
         else:
-            def on_store_executed(d: DynInst = dyn) -> None:
-                self._schedule(self.now + self.params.forward_latency,
-                               self._load_data_return, d)
-            self._store_exec_waiters.setdefault(store.seq, []).append(
-                on_store_executed)
+            # Forwarding store not executed yet: park the load; the store's
+            # execute-done wakes it (see _execute_done).
+            self._store_exec_waiters.setdefault(store.seq, []).append(dyn)
 
     def _load_data_return(self, dyn: DynInst) -> None:
         if dyn.squashed:
@@ -529,21 +564,51 @@ class OutOfOrderCore:
         dyn.executed = True
         dyn.execute_done_cycle = self.now
         self._lq_used -= 1
-        self._wake_reg_waiters(dyn)
+        # Inlined _wake_reg_waiters / _mark_complete: these callbacks fire
+        # once per instruction and the extra frames were measurable.
+        for waiter in self._reg_waiters.pop(dyn.seq, ()):
+            if not waiter.squashed:
+                waiter.regs_outstanding -= 1
         self._mark_complete(dyn)
 
     def _execute_done(self, dyn: DynInst) -> None:
         if dyn.squashed:
             return
         dyn.executed = True
-        dyn.execute_done_cycle = self.now
-        self._wake_reg_waiters(dyn)
+        now = self.now
+        dyn.execute_done_cycle = now
+        seq = dyn.seq
+        for waiter in self._reg_waiters.pop(seq, ()):
+            if not waiter.squashed:
+                waiter.regs_outstanding -= 1
         if dyn.is_store:
-            for fn in self._store_exec_waiters.pop(dyn.seq, ()):
-                fn()
-        if not dyn.needs_write_buffer:
-            # ALU / branch results are observable once computed.
-            self._mark_complete(dyn)
+            forward_latency = self.params.forward_latency
+            for load in self._store_exec_waiters.pop(seq, ()):
+                self._schedule(now + forward_latency,
+                               self._load_data_return, load)
+        if dyn.needs_write_buffer:
+            return
+        # ALU / branch results are observable once computed — inlined
+        # _mark_complete (the hottest completion site).
+        if dyn.completed:
+            return
+        dyn.completed = True
+        dyn.complete_cycle = now
+        self._incomplete.pop(seq, None)
+        if dyn.is_ede:
+            edm = self.edm
+            for key in dyn.producer_keys:
+                edm.complete(key, seq)
+            for waiter in self._ede_waiters.pop(seq, ()):
+                waiter.e_deps_outstanding.discard(seq)
+        if dyn.is_store_class:
+            self._store_epoch_outstanding[dyn.store_epoch] -= 1
+        if dyn.is_memory:
+            self._mem_epoch_outstanding[dyn.mem_epoch] -= 1
+        if dyn.is_store:
+            self._unindex_store(dyn)
+        if self.on_complete is not None:
+            self.on_complete(dyn)
 
     def _wake_reg_waiters(self, dyn: DynInst) -> None:
         for waiter in self._reg_waiters.pop(dyn.seq, ()):
@@ -607,7 +672,7 @@ class OutOfOrderCore:
             stats.retired += 1
 
             if dyn.is_ede:
-                for key in self._producer_keys(dyn):
+                for key in dyn.producer_keys:
                     self.edm.retire(key, dyn.seq)
 
             if dyn.needs_write_buffer:
@@ -660,12 +725,52 @@ class OutOfOrderCore:
         return pushes
 
     def _finish_push(self, entry) -> None:
-        self.wb.remove(entry)
+        """Event: a push completed — free the entry, mark complete.
+
+        ``wb.remove`` and ``_mark_complete`` are inlined: this fires once
+        per store-class instruction and the chained calls were a measurable
+        share of the run.  Entries here are always PUSHING (``mark_pushing``
+        precedes the event), and a write-buffer resident is never already
+        completed.
+        """
+        wb = self.wb
         dyn = entry.dyn
+        seq = entry.seq
+        self._wb_dirty = True
+        wb.entries.remove(entry)
+        wb._resident.discard(seq)
+        wb.pushing -= 1
+        if dyn.is_ede:
+            wb.total_ede -= 1
+            counters = wb.key_counters
+            for key in entry.ede_keys:
+                counters[key] -= 1
+        dependents = wb._dependents.pop(seq, None)
+        if dependents is not None:
+            for other in dependents:
+                other.src_ids.discard(seq)
         if dyn.is_store and dyn.inst.comment is not None:
             self.store_visibility.append(
-                (self.now, dyn.seq, dyn.inst.comment, dyn.addr))
-        self._mark_complete(dyn)
+                (self.now, seq, dyn.inst.comment, dyn.addr))
+        if dyn.completed or dyn.squashed:
+            return
+        dyn.completed = True
+        dyn.complete_cycle = self.now
+        self._incomplete.pop(seq, None)
+        if dyn.is_ede:
+            edm = self.edm
+            for key in dyn.producer_keys:
+                edm.complete(key, seq)
+            for waiter in self._ede_waiters.pop(seq, ()):
+                waiter.e_deps_outstanding.discard(seq)
+        if dyn.is_store_class:
+            self._store_epoch_outstanding[dyn.store_epoch] -= 1
+        if dyn.is_memory:
+            self._mem_epoch_outstanding[dyn.mem_epoch] -= 1
+        if dyn.is_store:
+            self._unindex_store(dyn)
+        if self.on_complete is not None:
+            self.on_complete(dyn)
 
     # ------------------------------------------------------------------
     # Squash injection (tests the EDM recovery path)
@@ -718,6 +823,26 @@ class OutOfOrderCore:
     # Main loop
     # ------------------------------------------------------------------
 
+    #: Methods whose bodies the replay fast path inlines or binds at loop
+    #: entry.  An instance-dict override of any of them (test harnesses
+    #: injecting faults, older instrumentation) would be silently ignored
+    #: by the fused loop, so ``run`` routes such cores to the legacy loop.
+    _FUSED_METHODS = (
+        "_schedule", "_process_events", "_mark_complete",
+        "_dispatch_stage", "_issue_stage", "_begin_execute",
+        "_load_agu_done", "_load_data_return", "_execute_done",
+        "_wake_reg_waiters", "_can_retire", "_retire_stage",
+        "_wb_push_stage", "_finish_push",
+    )
+
+    def _instance_overrides(self) -> bool:
+        """Whether any fused method is shadowed on the instance."""
+        instance_dict = self.__dict__
+        for name in self._FUSED_METHODS:
+            if name in instance_dict:
+                return True
+        return False
+
     def run(self, max_cycles: int = 500_000_000,
             no_retire_limit: Optional[int] = None) -> PipelineStats:
         """Simulate until HALT retires; return the statistics.
@@ -731,6 +856,20 @@ class OutOfOrderCore:
         quiescence-based deadlock detector cannot see.  Both raise
         :class:`SimulationError` carrying the full pipeline-state report.
         """
+        if no_retire_limit is None:
+            no_retire_limit = self.params.watchdog_no_retire
+        replay = self._replay
+        if (replay is not False and not self._squash_at
+                and not self._instance_overrides()):
+            # Replay fast path: a single-frame loop driven by packed
+            # metadata rows.  Squash injection rewinds the front end and
+            # re-bumps the dynamic DMB epochs, which the static row epochs
+            # cannot model — those runs stay on the legacy loop below.
+            # Instance-level overrides of a fused stage/event method also
+            # force the legacy loop: the fast path inlines those bodies
+            # and would silently ignore the patch.
+            meta = replay if replay is not None else TraceMeta(self.trace)
+            return self._run_fast(meta, max_cycles, no_retire_limit)
         # The per-cycle loop is the simulator's hottest code: stage calls
         # are guarded so quiescent stages cost a single truth test, and the
         # loop-invariant lookups are bound to locals.
@@ -739,8 +878,6 @@ class OutOfOrderCore:
         event_heap = self._event_heap
         wb = self.wb
         trace_len = len(self.trace)
-        if no_retire_limit is None:
-            no_retire_limit = self.params.watchdog_no_retire
         last_retire = self.now
         while not self._halted:
             now = self.now
@@ -782,6 +919,791 @@ class OutOfOrderCore:
             raise SimulationError(self._stuck_report(
                 "pipeline deadlock (no stage progressed, nothing scheduled)"))
         return self.stats
+
+    def _run_fast(self, meta: TraceMeta, max_cycles: int,
+                  no_retire_limit: int) -> PipelineStats:
+        """Single-frame replay loop (the fast path).
+
+        Semantically identical to the legacy stage-by-stage loop in
+        :meth:`run` — the per-fence-mode equivalence suite asserts
+        bit-identical stats, persist logs and store visibility — but every
+        stage is inlined into one frame, dispatch is driven by the packed
+        replay rows, the DMB-epoch checks and write-buffer eligibility scan
+        are unrolled inline, and the issue histogram is accumulated in a
+        local dict flushed on exit.  Squash injection is unsupported here;
+        :meth:`run` routes those runs to the legacy loop.
+        """
+        stats = self.stats
+        params = self.params
+        wb = self.wb
+        wb_entries = wb.entries
+        hierarchy = self.hierarchy
+        store_commit = hierarchy.store_commit
+        clean_to_pop = hierarchy.clean_to_pop
+        rows = meta.rows
+        trace_len = meta.length
+        rob = self._rob
+        events = self._events
+        event_heap = self._event_heap
+        incomplete = self._incomplete
+        incomplete_heap = self._incomplete_heap
+        scoreboard = self._scoreboard
+        reg_waiters = self._reg_waiters
+        store_epoch_outstanding = self._store_epoch_outstanding
+        mem_epoch_outstanding = self._mem_epoch_outstanding
+        active_dsbs = self._active_dsbs
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        dyn_new = DynInst.__new__
+        edm = self.edm
+        spec_entries = edm.spec._entries
+        ede_waiters = self._ede_waiters
+        enforce_at_issue = self.policy.enforce_at_issue
+        enforces_ede = self.policy.enforces_ede
+        mark_complete = self._mark_complete
+        index_store = self._index_store
+        finish_push = self._finish_push
+        load_agu_done = self._load_agu_done
+        execute_done = self._execute_done
+        load_data_return = self._load_data_return
+        noop = self._noop
+        store_exec_waiters = self._store_exec_waiters
+        visibility_append = self.store_visibility.append
+        unindex_store = self._unindex_store
+        forwarding_store = self._forwarding_store
+        hier_load = hierarchy.load
+        edm_complete = edm.complete
+        on_complete = self.on_complete
+        enforce_wb = self.policy.enforce_at_write_buffer
+        wb_capacity = wb.capacity
+        wb_resident = wb._resident
+        wb_dependents = wb._dependents
+        wb_key_counters = wb.key_counters
+        line_mask = ~(wb.line_size - 1)
+
+        decode_width = params.decode_width
+        rob_entries = params.rob_entries
+        iq_entries = params.iq_entries
+        lq_entries = params.load_queue_entries
+        sq_entries = params.store_queue_entries
+        issue_width = params.issue_width
+        retire_width = params.retire_width
+        int_alus = params.int_alus
+        branch_units = params.branch_units
+        load_ports = params.load_ports
+        store_ports = params.store_ports
+        agu_latency = params.agu_latency
+        mul_latency = params.mul_latency
+        branch_latency = params.branch_latency
+        alu_latency = params.alu_latency
+        dsb_penalty = params.dsb_penalty
+        wb_outstanding = params.wb_outstanding
+        wb_push_width = params.wb_push_width
+        forward_latency = params.forward_latency
+
+        iq = self._iq
+        wb_entry_new = WbEntry.__new__
+        #: Delta-1 event lane: with the default latencies (ALU/branch/AGU/
+        #: forward all 1) almost every event fires on the very next cycle,
+        #: so those skip the cycle-keyed dict + heap entirely and ride a
+        #: double-buffered list.  Ordering stays bit-identical to the
+        #: legacy wheel: a dict bucket for cycle ``c`` only ever holds
+        #: events scheduled at cycles <= c-2, and the lane holds the ones
+        #: scheduled at c-1, so draining bucket-then-lane preserves the
+        #: legacy bucket's chronological append order.
+        due = []
+        due_next = []
+        #: Without DSBs the oldest-incomplete heap is read only by the
+        #: final HALT, where "all older complete" degenerates to "nothing
+        #: but the HALT itself in flight" — skip maintaining the heap.
+        track_incomplete = meta.has_dsb
+        # Pipeline-occupancy state promoted to frame locals for the whole
+        # run (the attribute round-trips were measurable at one dispatch
+        # per instruction).  They are mirrored back onto the core in the
+        # ``finally`` below and, because ``_stuck_report`` reads the
+        # attributes, immediately before each raise site.
+        iq_len = len(iq)
+        rob_len = len(rob)
+        lq_used = self._lq_used
+        sq_used = self._sq_used
+        fetch_index = self._fetch_index
+        next_seq = self._next_seq
+        halt_dyn = self._halt_dyn
+        # Indexed by issued-count (0..issue_width); flushed into the stats
+        # dict on exit.  List indexing beats dict get/set in the hot loop.
+        hist = [0] * (issue_width + 1)
+        cycles_total = 0
+        issued_total = 0
+        retired_total = 0
+        dispatched_total = 0
+        min_live_store = self._min_live_store_epoch
+        min_live_mem = self._min_live_mem_epoch
+        last_retire = self.now
+        halted = False
+        wb_dirty = True
+        # Pause the cyclic GC for the run: the loop allocates heavily
+        # (DynInst, events, rows) but forms no reference cycles, and young
+        # -generation collections were a measurable share of the run.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while True:
+                now = self.now
+                now_next = now + 1
+                if now > max_cycles:
+                    self._fetch_index = fetch_index
+                    self._next_seq = next_seq
+                    self._lq_used = lq_used
+                    self._sq_used = sq_used
+                    self._halt_dyn = halt_dyn
+                    raise SimulationError(self._stuck_report(
+                        "exceeded the %d-cycle budget" % max_cycles))
+
+                # --- events --------------------------------------------
+                # Identity-dispatched drain: the four hot callbacks fire
+                # once or twice per instruction and their bound-method
+                # frames were the largest remaining share of the run, so
+                # their bodies are inlined here.  Squash injection never
+                # reaches the fast path, so the ``squashed`` guards of the
+                # method bodies are dropped.  Anything else (noop wakeups)
+                # falls through to the generic call.
+                # Swap the delta-1 double buffer: events parked on
+                # ``due_next`` during the previous cycle fire now, after
+                # any dict bucket (which only holds older schedules).
+                due, due_next = due_next, due
+                if event_heap and event_heap[0] == now:
+                    batch = events.pop(heappop(event_heap))
+                    if due:
+                        batch += due
+                        del due[:]
+                else:
+                    batch = due
+                if batch:
+                    events_any = True
+                    for fn, dyn in batch:
+                        if fn is execute_done:
+                            dyn.executed = True
+                            dyn.execute_done_cycle = now
+                            seq = dyn.seq
+                            waiters = reg_waiters.pop(seq, None)
+                            if waiters is not None:
+                                for waiter in waiters:
+                                    waiter.regs_outstanding -= 1
+                            if dyn.is_store:
+                                parked = store_exec_waiters.pop(seq, None)
+                                if parked is not None:
+                                    done = now + forward_latency
+                                    if done <= now_next:
+                                        bucket = due_next
+                                    else:
+                                        bucket = events.get(done)
+                                        if bucket is None:
+                                            bucket = events[done] = []
+                                            heappush(event_heap, done)
+                                    for load in parked:
+                                        bucket.append(
+                                            (load_data_return, load))
+                            if dyn.needs_write_buffer or dyn.completed:
+                                continue
+                            dyn.completed = True
+                            dyn.complete_cycle = now
+                            incomplete.pop(seq, None)
+                            if dyn.is_ede:
+                                for key in dyn.producer_keys:
+                                    edm_complete(key, seq)
+                                for waiter in ede_waiters.pop(seq, ()):
+                                    waiter.e_deps_outstanding.discard(seq)
+                            if dyn.is_store_class:
+                                store_epoch_outstanding[
+                                    dyn.store_epoch] -= 1
+                            if dyn.is_memory:
+                                mem_epoch_outstanding[dyn.mem_epoch] -= 1
+                            if dyn.is_store:
+                                unindex_store(dyn)
+                            if on_complete is not None:
+                                on_complete(dyn)
+                        elif fn is finish_push:
+                            entry = dyn
+                            dyn = entry.dyn
+                            seq = entry.seq
+                            wb_dirty = True
+                            wb_entries.remove(entry)
+                            wb_resident.discard(seq)
+                            wb.pushing -= 1
+                            if dyn.is_ede:
+                                wb.total_ede -= 1
+                                for key in entry.ede_keys:
+                                    wb_key_counters[key] -= 1
+                            dependents = wb_dependents.pop(seq, None)
+                            if dependents is not None:
+                                for other in dependents:
+                                    other.src_ids.discard(seq)
+                            if dyn.is_store and dyn.inst.comment is not None:
+                                visibility_append(
+                                    (now, seq, dyn.inst.comment, dyn.addr))
+                            if dyn.completed:
+                                continue
+                            dyn.completed = True
+                            dyn.complete_cycle = now
+                            incomplete.pop(seq, None)
+                            if dyn.is_ede:
+                                for key in dyn.producer_keys:
+                                    edm_complete(key, seq)
+                                for waiter in ede_waiters.pop(seq, ()):
+                                    waiter.e_deps_outstanding.discard(seq)
+                            if dyn.is_store_class:
+                                store_epoch_outstanding[
+                                    dyn.store_epoch] -= 1
+                            if dyn.is_memory:
+                                mem_epoch_outstanding[dyn.mem_epoch] -= 1
+                            if dyn.is_store:
+                                unindex_store(dyn)
+                            if on_complete is not None:
+                                on_complete(dyn)
+                        elif fn is load_agu_done:
+                            store = forwarding_store(dyn)
+                            if store is None:
+                                done = hier_load(dyn.addr, now)
+                            elif store.executed:
+                                done = now + forward_latency
+                            else:
+                                # Forwarding store not executed yet: park
+                                # the load; the store's execute-done event
+                                # wakes it (see the is_store branch above).
+                                bucket = store_exec_waiters.get(store.seq)
+                                if bucket is None:
+                                    store_exec_waiters[store.seq] = [dyn]
+                                else:
+                                    bucket.append(dyn)
+                                continue
+                            if done <= now_next:
+                                due_next.append((load_data_return, dyn))
+                            else:
+                                bucket = events.get(done)
+                                if bucket is None:
+                                    events[done] = [(load_data_return, dyn)]
+                                    heappush(event_heap, done)
+                                else:
+                                    bucket.append((load_data_return, dyn))
+                        elif fn is load_data_return:
+                            dyn.executed = True
+                            dyn.execute_done_cycle = now
+                            lq_used -= 1
+                            seq = dyn.seq
+                            waiters = reg_waiters.pop(seq, None)
+                            if waiters is not None:
+                                for waiter in waiters:
+                                    waiter.regs_outstanding -= 1
+                            # Loads are never store-class, always memory,
+                            # and only complete through this event.
+                            dyn.completed = True
+                            dyn.complete_cycle = now
+                            incomplete.pop(seq, None)
+                            if dyn.is_ede:
+                                for key in dyn.producer_keys:
+                                    edm_complete(key, seq)
+                                for waiter in ede_waiters.pop(seq, ()):
+                                    waiter.e_deps_outstanding.discard(seq)
+                            mem_epoch_outstanding[dyn.mem_epoch] -= 1
+                            if on_complete is not None:
+                                on_complete(dyn)
+                        else:
+                            fn(dyn)
+                    del batch[:]
+                else:
+                    events_any = False
+
+                # --- retire --------------------------------------------
+                retired = 0
+                while retired < retire_width and rob:
+                    dyn = rob[0]
+                    rc = dyn.retire_class
+                    if rc == RETIRE_NORMAL:
+                        if not dyn.executed:
+                            break
+                        if (dyn.needs_write_buffer
+                                and len(wb_entries) >= wb_capacity):
+                            stats.retire_stall_wb_full += 1
+                            break
+                    elif rc == RETIRE_DSB:
+                        while (incomplete_heap
+                               and incomplete_heap[0] not in incomplete):
+                            heappop(incomplete_heap)
+                        if (not incomplete_heap
+                                or incomplete_heap[0] >= dyn.seq):
+                            if dyn.barrier_ready_cycle < 0:
+                                dyn.barrier_ready_cycle = now
+                                self._schedule(now + dsb_penalty, noop)
+                            if now < dyn.barrier_ready_cycle + dsb_penalty:
+                                stats.retire_stall_dsb += 1
+                                break
+                        else:
+                            stats.retire_stall_dsb += 1
+                            break
+                    elif rc == RETIRE_WAIT_KEY:
+                        if wb.older_ede_with_key(dyn.inst.edk_use, dyn.seq):
+                            stats.retire_stall_wait += 1
+                            break
+                    elif rc == RETIRE_WAIT_ALL:
+                        if wb.older_ede_any(dyn.seq):
+                            stats.retire_stall_wait += 1
+                            break
+                    else:  # RETIRE_HALT
+                        if track_incomplete:
+                            while (incomplete_heap
+                                   and incomplete_heap[0] not in incomplete):
+                                heappop(incomplete_heap)
+                            if (incomplete_heap
+                                    and incomplete_heap[0] < dyn.seq):
+                                break
+                        elif len(incomplete) > 1:
+                            # HALT is the last dispatch, so anything else
+                            # still in flight is older than it.
+                            break
+                    rob.popleft()
+                    rob_len -= 1
+                    dyn.retired = True
+                    dyn.retire_cycle = now
+                    retired += 1
+                    if dyn.is_ede:
+                        for key in dyn.producer_keys:
+                            edm.retire(key, dyn.seq)
+                    if dyn.needs_write_buffer:
+                        sq_used -= 1
+                        # Inlined wb.deposit (space was checked above),
+                        # including the WbEntry constructor.
+                        addr = dyn.addr
+                        if enforce_wb and dyn.src_ids:
+                            src_ids = {s for s in dyn.src_ids
+                                       if s in wb_resident}
+                        else:
+                            src_ids = set()
+                        entry = wb_entry_new(WbEntry)
+                        entry.dyn = dyn
+                        entry.seq = dyn.seq
+                        entry.line = (
+                            (addr & line_mask) if addr is not None else -1)
+                        entry.src_ids = src_ids
+                        entry.state = PENDING
+                        entry.deposit_cycle = now
+                        entry.ede_keys = dyn.ede_keys
+                        wb_entries.append(entry)
+                        wb_resident.add(dyn.seq)
+                        wb_dirty = True
+                        if src_ids:
+                            for producer in src_ids:
+                                bucket = wb_dependents.get(producer)
+                                if bucket is None:
+                                    wb_dependents[producer] = [entry]
+                                else:
+                                    bucket.append(entry)
+                        if dyn.is_ede:
+                            wb.total_ede += 1
+                            for key in entry.ede_keys:
+                                wb_key_counters[key] += 1
+                    elif rc == RETIRE_NORMAL:
+                        if not dyn.completed:
+                            mark_complete(dyn)
+                    elif rc == RETIRE_HALT:
+                        mark_complete(dyn)
+                        halted = True
+                        break
+                    else:
+                        dyn.executed = True
+                        dyn.execute_done_cycle = now
+                        mark_complete(dyn)
+                if retired:
+                    retired_total += retired
+                    last_retire = now
+                elif no_retire_limit and now - last_retire > no_retire_limit:
+                    self._fetch_index = fetch_index
+                    self._next_seq = next_seq
+                    self._lq_used = lq_used
+                    self._sq_used = sq_used
+                    self._halt_dyn = halt_dyn
+                    raise SimulationError(self._stuck_report(
+                        "no instruction retired for %d cycles "
+                        "(watchdog limit %d)" % (now - last_retire,
+                                                 no_retire_limit)))
+                if halted:
+                    self._halted = True
+                    hist[0] += 1
+                    cycles_total += 1
+                    break
+
+                # --- write-buffer push ---------------------------------
+                # The eligibility scan is pure (no side effects besides
+                # starting pushes), so a scan that started none stays
+                # empty until the buffer changes: skip it while clean.
+                # ``self._wb_dirty`` is raised by _finish_push (removal /
+                # srcID clear / epoch drain); deposits and push starts
+                # raise the local mirror inline.
+                pushes = 0
+                if wb_entries and (wb_dirty or self._wb_dirty):
+                    wb_dirty = False
+                    self._wb_dirty = False
+                    in_flight = wb.pushing
+                    if (in_flight < wb_outstanding
+                            and in_flight != len(wb_entries)):
+                        budget = wb_outstanding - in_flight
+                        if budget > wb_push_width:
+                            budget = wb_push_width
+                        lines_seen = set()
+                        seen_add = lines_seen.add
+                        for entry in wb_entries:
+                            line = entry.line
+                            if line >= 0:
+                                blocked = line in lines_seen
+                                seen_add(line)
+                                if (blocked or entry.state != PENDING
+                                        or entry.src_ids):
+                                    continue
+                            elif entry.state != PENDING or entry.src_ids:
+                                continue
+                            epoch = entry.dyn.store_epoch
+                            pointer = min_live_store
+                            while (pointer < epoch
+                                   and store_epoch_outstanding.get(
+                                       pointer, 0) == 0):
+                                pointer += 1
+                            min_live_store = pointer
+                            if pointer < epoch:
+                                # Entries are in program order, so store
+                                # epochs are non-decreasing: every later
+                                # entry is epoch-blocked too.
+                                break
+                            wb.mark_pushing(entry)
+                            dyn = entry.dyn
+                            if dyn.is_store:
+                                done = store_commit(dyn.addr, now_next)
+                            elif dyn.is_writeback:
+                                done = clean_to_pop(
+                                    dyn.addr, now_next,
+                                    tag=dyn.inst.comment, inst_seq=dyn.seq)
+                            else:  # JOIN
+                                done = now_next
+                            if done <= now_next:
+                                due_next.append((finish_push, entry))
+                            else:
+                                bucket = events.get(done)
+                                if bucket is None:
+                                    events[done] = [(finish_push, entry)]
+                                    heappush(event_heap, done)
+                                else:
+                                    bucket.append((finish_push, entry))
+                            pushes += 1
+                            if pushes >= budget:
+                                break
+                        if pushes:
+                            # Entries went PUSHING; budget-limited
+                            # eligibles may push next cycle.
+                            wb_dirty = True
+
+                # --- issue ---------------------------------------------
+                issued = 0
+                if iq:
+                    if active_dsbs:
+                        while (active_dsbs
+                               and active_dsbs[0] not in incomplete):
+                            active_dsbs.pop(0)
+                        dsb_barrier = (active_dsbs[0] if active_dsbs
+                                       else None)
+                    else:
+                        dsb_barrier = None
+                    int_free = int_alus
+                    branch_free = branch_units
+                    load_free = load_ports
+                    store_free = store_ports
+                    # ``remaining`` (the post-issue IQ) is materialized
+                    # lazily on the first successful issue: a fully blocked
+                    # cycle — the common case under heavy fencing — walks
+                    # the IQ without allocating anything.
+                    remaining = None
+                    index = 0
+                    for dyn in iq:
+                        if issued >= issue_width:
+                            break
+                        if dsb_barrier is not None and dyn.seq > dsb_barrier:
+                            break
+                        if dyn.regs_outstanding or dyn.e_deps_outstanding:
+                            if remaining is not None:
+                                remaining.append(dyn)
+                            index += 1
+                            continue
+                        if dyn.is_memory:
+                            epoch = dyn.mem_epoch
+                            pointer = min_live_mem
+                            while (pointer < epoch
+                                   and mem_epoch_outstanding.get(
+                                       pointer, 0) == 0):
+                                pointer += 1
+                            min_live_mem = pointer
+                            if pointer < epoch:
+                                if remaining is not None:
+                                    remaining.append(dyn)
+                                index += 1
+                                continue
+                        kind = dyn.exec_kind
+                        if kind == EXEC_LOAD:
+                            if not load_free:
+                                if remaining is not None:
+                                    remaining.append(dyn)
+                                index += 1
+                                continue
+                            load_free -= 1
+                            dyn.issued = True
+                            dyn.issue_cycle = now
+                            done = now + agu_latency
+                            if done <= now_next:
+                                due_next.append((load_agu_done, dyn))
+                            else:
+                                bucket = events.get(done)
+                                if bucket is None:
+                                    events[done] = [(load_agu_done, dyn)]
+                                    heappush(event_heap, done)
+                                else:
+                                    bucket.append((load_agu_done, dyn))
+                        else:
+                            if kind == EXEC_AGU:
+                                epoch = dyn.store_epoch
+                                pointer = min_live_store
+                                while (pointer < epoch
+                                       and store_epoch_outstanding.get(
+                                           pointer, 0) == 0):
+                                    pointer += 1
+                                min_live_store = pointer
+                                if pointer < epoch or not store_free:
+                                    if remaining is not None:
+                                        remaining.append(dyn)
+                                    index += 1
+                                    continue
+                                store_free -= 1
+                                done = now + agu_latency
+                            elif kind == EXEC_BRANCH:
+                                if not branch_free:
+                                    if remaining is not None:
+                                        remaining.append(dyn)
+                                    index += 1
+                                    continue
+                                branch_free -= 1
+                                done = now + branch_latency
+                            elif kind == EXEC_MUL:
+                                if not int_free:
+                                    if remaining is not None:
+                                        remaining.append(dyn)
+                                    index += 1
+                                    continue
+                                int_free -= 1
+                                done = now + mul_latency
+                            else:  # EXEC_ALU
+                                if not int_free:
+                                    if remaining is not None:
+                                        remaining.append(dyn)
+                                    index += 1
+                                    continue
+                                int_free -= 1
+                                done = now + alu_latency
+                            dyn.issued = True
+                            dyn.issue_cycle = now
+                            if done <= now_next:
+                                due_next.append((execute_done, dyn))
+                            else:
+                                bucket = events.get(done)
+                                if bucket is None:
+                                    events[done] = [(execute_done, dyn)]
+                                    heappush(event_heap, done)
+                                else:
+                                    bucket.append((execute_done, dyn))
+                        if remaining is None:
+                            remaining = iq[:index]
+                        issued += 1
+                        index += 1
+                    if issued:
+                        if index < len(iq):
+                            remaining.extend(iq[index:])
+                        iq = remaining
+                        self._iq = remaining
+                        iq_len -= issued
+
+                # --- dispatch ------------------------------------------
+                dispatched = 0
+                if fetch_index < trace_len and halt_dyn is None:
+                    while (dispatched < decode_width
+                           and fetch_index < trace_len):
+                        if rob_len >= rob_entries:
+                            stats.dispatch_stall_rob += 1
+                            break
+                        row = rows[fetch_index]
+                        needs_iq = row[10]
+                        if needs_iq and iq_len >= iq_entries:
+                            stats.dispatch_stall_iq += 1
+                            break
+                        is_load = row[2]
+                        if is_load and lq_used >= lq_entries:
+                            stats.dispatch_stall_lsq += 1
+                            break
+                        is_store_class = row[5]
+                        if is_store_class and sq_used >= sq_entries:
+                            stats.dispatch_stall_lsq += 1
+                            break
+                        seq = next_seq
+                        # Inlined DynInst row constructor (same field
+                        # stores as DynInst.__init__'s row path, minus the
+                        # call frame — this runs once per instruction).
+                        dyn = dyn_new(DynInst)
+                        dyn.seq = seq
+                        (dyn.inst, dyn.opcode,
+                         dyn.is_load, dyn.is_store, dyn.is_writeback,
+                         dyn.is_store_class, dyn.is_memory, dyn.is_barrier,
+                         dyn.is_branch, dyn.is_ede,
+                         _ign, dyn.needs_write_buffer, dyn.is_wait,
+                         dyn.retire_class, dyn.addr, dyn.size, dyn.words,
+                         dyn.producer_keys, dyn.exec_kind,
+                         dyn.store_epoch, dyn.mem_epoch, dyn.result_regs,
+                         _ign, _ign, _ign, _ign, _ign, dyn.ede_keys) = row
+                        dyn.regs_outstanding = 0
+                        dyn.e_deps_outstanding = None
+                        dyn.src_ids = ()
+                        dyn.dispatch_cycle = now
+                        dyn.issue_cycle = -1
+                        dyn.execute_done_cycle = -1
+                        dyn.retire_cycle = -1
+                        dyn.complete_cycle = -1
+                        dyn.issued = False
+                        dyn.executed = False
+                        dyn.retired = False
+                        dyn.completed = False
+                        dyn.squashed = False
+                        dyn.barrier_ready_cycle = -1
+                        next_seq += 1
+                        fetch_index += 1
+                        dispatched += 1
+                        if row[9]:  # is_ede — inlined _dispatch_ede
+                            if dyn.retire_class == RETIRE_WAIT_ALL:
+                                # WAIT_ALL_KEYS produces every key so later
+                                # consumers chain behind it.
+                                for key in dyn.producer_keys:
+                                    spec_entries[key] = seq
+                            else:
+                                # EDM decode: look up consumer keys, then
+                                # define the producer key; keep producers
+                                # still in flight, deduped in operand order.
+                                prods = None
+                                for key in row[26]:  # consumer_keys
+                                    p = spec_entries.get(key)
+                                    if (p is not None and p in incomplete
+                                            and (prods is None
+                                                 or p not in prods)):
+                                        if prods is None:
+                                            prods = [p]
+                                        else:
+                                            prods.append(p)
+                                pk = dyn.producer_keys
+                                if pk:
+                                    spec_entries[pk[0]] = seq
+                                if prods is not None:
+                                    producers = tuple(prods)
+                                    dyn.src_ids = producers
+                                    if (not dyn.is_wait
+                                            and (enforce_at_issue
+                                                 or (is_load
+                                                     and enforces_ede))):
+                                        dyn.e_deps_outstanding = set(prods)
+                                        for producer in prods:
+                                            bucket = ede_waiters.get(
+                                                producer)
+                                            if bucket is None:
+                                                ede_waiters[producer] = [dyn]
+                                            else:
+                                                bucket.append(dyn)
+                        for reg in row[22]:  # timing_src_regs
+                            writer = scoreboard.get(reg)
+                            if (writer is not None and not writer.executed
+                                    and not writer.squashed):
+                                dyn.regs_outstanding += 1
+                                bucket = reg_waiters.get(writer.seq)
+                                if bucket is None:
+                                    reg_waiters[writer.seq] = [dyn]
+                                else:
+                                    bucket.append(dyn)
+                        for reg in row[23]:  # timing_dst_regs
+                            scoreboard[reg] = dyn
+                        if is_store_class:
+                            epoch = row[19]
+                            store_epoch_outstanding[epoch] = (
+                                store_epoch_outstanding.get(epoch, 0) + 1)
+                        if row[6]:  # is_memory
+                            epoch = row[20]
+                            mem_epoch_outstanding[epoch] = (
+                                mem_epoch_outstanding.get(epoch, 0) + 1)
+                        incomplete[seq] = dyn
+                        if track_incomplete:
+                            heappush(incomplete_heap, seq)
+                        rob.append(dyn)
+                        rob_len += 1
+                        if is_load:
+                            lq_used += 1
+                        if is_store_class:
+                            sq_used += 1
+                            if row[3]:  # is_store
+                                index_store(dyn)
+                        if needs_iq:
+                            iq.append(dyn)
+                            iq_len += 1
+                        else:
+                            dyn.executed = True
+                            dyn.execute_done_cycle = now
+                            if row[24]:  # is_dsb
+                                active_dsbs.append(seq)
+                            elif row[25]:  # is_halt
+                                halt_dyn = dyn
+                                break
+                    dispatched_total += dispatched
+
+                hist[issued] += 1
+                cycles_total += 1
+                issued_total += issued
+
+                if retired or pushes or issued or dispatched or events_any:
+                    self.now = now_next
+                    continue
+                if event_heap:
+                    next_cycle = event_heap[0]
+                    skipped = next_cycle - now - 1
+                    if skipped > 0:
+                        hist[0] += skipped
+                        cycles_total += skipped
+                    self.now = next_cycle
+                    continue
+                self._fetch_index = fetch_index
+                self._next_seq = next_seq
+                self._lq_used = lq_used
+                self._sq_used = sq_used
+                self._halt_dyn = halt_dyn
+                raise SimulationError(self._stuck_report(
+                    "pipeline deadlock (no stage progressed, "
+                    "nothing scheduled)"))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            self._wb_dirty = True
+            self._fetch_index = fetch_index
+            self._next_seq = next_seq
+            self._lq_used = lq_used
+            self._sq_used = sq_used
+            self._halt_dyn = halt_dyn
+            stats.retired += retired_total
+            stats.dispatched += dispatched_total
+            stats.issued += issued_total
+            stats.cycles += cycles_total
+            shist = stats.issue_histogram
+            for count, cycles in enumerate(hist):
+                if cycles:
+                    shist[count] = shist.get(count, 0) + cycles
+            self._min_live_store_epoch = min_live_store
+            self._min_live_mem_epoch = min_live_mem
+        return stats
 
     def _stuck_report(self, reason: str) -> str:
         """Rich pipeline-state dump for any stuck-simulation error."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
+from repro.core.edk import NUM_KEYS, ZERO_KEY
 from repro.isa.instructions import CLASSIFICATION_BY_OPCODE, Instruction
 from repro.isa.opcodes import Opcode
 
@@ -21,6 +22,53 @@ _RETIRE_CLASS = {
     Opcode.WAIT_ALL_KEYS: RETIRE_WAIT_ALL,
     Opcode.HALT: RETIRE_HALT,
 }
+
+#: Execution kinds — which functional unit / latency applies at issue.
+EXEC_LOAD = 0
+EXEC_AGU = 1
+EXEC_MUL = 2
+EXEC_BRANCH = 3
+EXEC_ALU = 4
+
+_ALL_PRODUCER_KEYS = tuple(range(1, NUM_KEYS))
+
+
+def retire_class_of(opcode: Opcode) -> int:
+    return _RETIRE_CLASS.get(opcode, RETIRE_NORMAL)
+
+
+def exec_kind_of(opcode: Opcode) -> int:
+    flags = CLASSIFICATION_BY_OPCODE[opcode]
+    if flags[0]:  # is_load
+        return EXEC_LOAD
+    if flags[3]:  # is_store_class
+        return EXEC_AGU
+    if opcode is Opcode.MUL:
+        return EXEC_MUL
+    if flags[6]:  # is_branch
+        return EXEC_BRANCH
+    return EXEC_ALU
+
+
+def producer_keys_of(inst: Instruction) -> Tuple[int, ...]:
+    """EDKs for which ``inst`` acts as a dependence producer.
+
+    WAIT_ALL_KEYS claims every key so later consumers chain behind it.
+    """
+    if inst.opcode is Opcode.WAIT_ALL_KEYS:
+        return _ALL_PRODUCER_KEYS
+    if inst.edk_def != ZERO_KEY:
+        return (inst.edk_def,)
+    return ()
+
+
+def ede_keys_of(inst: Instruction) -> Tuple[int, ...]:
+    """Unique nonzero EDKs an instruction carries into the write buffer."""
+    keys = []
+    for key in (inst.edk_def, inst.edk_use, inst.edk_use2):
+        if key != ZERO_KEY and key not in keys:
+            keys.append(key)
+    return tuple(keys)
 
 
 class DynInst:
@@ -44,10 +92,43 @@ class DynInst:
         "retire_cycle", "complete_cycle",
         "issued", "executed", "retired", "completed", "squashed",
         "store_epoch", "mem_epoch", "barrier_ready_cycle",
-        "result_regs",
+        "result_regs", "producer_keys", "exec_kind", "ede_keys",
     )
 
-    def __init__(self, seq: int, inst: Instruction):
+    def __init__(self, seq: int, inst: Optional[Instruction],
+                 row: Optional[tuple] = None):
+        if row is not None:
+            # Replay fast path: every static fact was precomputed into one
+            # packed row (see repro.pipeline.replay) — a single tuple unpack
+            # replaces classification, word splitting and retire-class
+            # lookup.  The row's epoch tags are valid because the fast path
+            # never rewinds the front end (no squash injection).
+            self.seq = seq
+            (self.inst, self.opcode,
+             self.is_load, self.is_store, self.is_writeback,
+             self.is_store_class, self.is_memory, self.is_barrier,
+             self.is_branch, self.is_ede,
+             _enters_iq, self.needs_write_buffer, self.is_wait,
+             self.retire_class, self.addr, self.size, self.words,
+             self.producer_keys, self.exec_kind,
+             self.store_epoch, self.mem_epoch, self.result_regs,
+             _src_regs, _dst_regs, _is_dsb, _is_halt,
+             _consumer_keys, self.ede_keys) = row
+            self.regs_outstanding = 0
+            self.e_deps_outstanding = None
+            self.src_ids = ()
+            self.dispatch_cycle = -1
+            self.issue_cycle = -1
+            self.execute_done_cycle = -1
+            self.retire_cycle = -1
+            self.complete_cycle = -1
+            self.issued = False
+            self.executed = False
+            self.retired = False
+            self.completed = False
+            self.squashed = False
+            self.barrier_ready_cycle = -1
+            return
         self.seq = seq
         self.inst = inst
         opcode = inst.opcode
@@ -101,6 +182,13 @@ class DynInst:
 
         #: Registers whose value this instruction produces.
         self.result_regs: Tuple[int, ...] = inst.dst
+        #: EDKs this instruction produces (cleared on completion).
+        self.producer_keys: Tuple[int, ...] = producer_keys_of(inst)
+        #: Functional-unit class for issue (EXEC_* constants).
+        self.exec_kind = exec_kind_of(opcode)
+        #: Unique EDKs carried into the write buffer (Section V-D counters).
+        self.ede_keys: Tuple[int, ...] = (
+            ede_keys_of(inst) if self.is_ede else ())
 
     def touched_words(self) -> List[int]:
         """8-byte-aligned words this memory op touches (for forwarding)."""

@@ -25,13 +25,7 @@ class PipelineCapture:
     def __init__(self, core: OutOfOrderCore):
         self.core = core
         self.records: List[DynInst] = []
-        original = core._mark_complete
-
-        def capture(dyn: DynInst) -> None:
-            self.records.append(dyn)
-            original(dyn)
-
-        core._mark_complete = capture
+        core.on_complete = self.records.append
 
     def run(self, *args, **kwargs):
         stats = self.core.run(*args, **kwargs)

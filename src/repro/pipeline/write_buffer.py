@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Set
 
-from repro.core.edk import NUM_KEYS, ZERO_KEY
+from repro.core.edk import NUM_KEYS
 from repro.pipeline.dyninst import DynInst
 
 PENDING = 0
@@ -30,7 +30,8 @@ PUSHING = 1
 class WbEntry:
     """One occupied write-buffer slot."""
 
-    __slots__ = ("dyn", "seq", "line", "src_ids", "state", "deposit_cycle")
+    __slots__ = ("dyn", "seq", "line", "src_ids", "state", "deposit_cycle",
+                 "ede_keys")
 
     def __init__(self, dyn: DynInst, line: int, src_ids: Set[int],
                  deposit_cycle: int):
@@ -40,6 +41,9 @@ class WbEntry:
         self.src_ids = src_ids
         self.state = PENDING
         self.deposit_cycle = deposit_cycle
+        #: Cached EDKs (precomputed on the DynInst: deposit, removal and
+        #: the WAIT counter probes all need them).
+        self.ede_keys = dyn.ede_keys
 
 
 class WriteBuffer:
@@ -51,6 +55,10 @@ class WriteBuffer:
         self.entries: List[WbEntry] = []
         #: Seqs of instructions currently occupying entries.
         self._resident: Set[int] = set()
+        #: Reverse srcID index: producer seq -> entries carrying the tag.
+        #: Lets remove() clear matching srcIDs in O(tags) instead of
+        #: sweeping the whole buffer per removal.
+        self._dependents: Dict[int, List[WbEntry]] = {}
         #: Per-EDK count of EDE instructions in the buffer (Section V-D).
         self.key_counters: Dict[int, int] = {k: 0 for k in range(1, NUM_KEYS)}
         #: Total EDE instructions in the buffer.
@@ -72,14 +80,6 @@ class WriteBuffer:
 
     # --- deposit / remove -----------------------------------------------------
 
-    def _keys_of(self, dyn: DynInst) -> List[int]:
-        inst = dyn.inst
-        keys = []
-        for key in (inst.edk_def, inst.edk_use, inst.edk_use2):
-            if key != ZERO_KEY and key not in keys:
-                keys.append(key)
-        return keys
-
     def deposit(self, dyn: DynInst, cycle: int,
                 enforce_src_ids: bool) -> WbEntry:
         """Allocate an entry for a retiring instruction.
@@ -98,9 +98,17 @@ class WriteBuffer:
         entry = WbEntry(dyn, line, src_ids, cycle)
         self.entries.append(entry)
         self._resident.add(dyn.seq)
+        if src_ids:
+            dependents = self._dependents
+            for producer in src_ids:
+                bucket = dependents.get(producer)
+                if bucket is None:
+                    dependents[producer] = [entry]
+                else:
+                    bucket.append(entry)
         if dyn.is_ede:
             self.total_ede += 1
-            for key in self._keys_of(dyn):
+            for key in entry.ede_keys:
                 self.key_counters[key] += 1
         return entry
 
@@ -118,11 +126,12 @@ class WriteBuffer:
         dyn = entry.dyn
         if dyn.is_ede:
             self.total_ede -= 1
-            for key in self._keys_of(dyn):
+            for key in entry.ede_keys:
                 self.key_counters[key] -= 1
         seq = entry.seq
-        for other in self.entries:
-            if other.src_ids:
+        dependents = self._dependents.pop(seq, None)
+        if dependents is not None:
+            for other in dependents:
                 other.src_ids.discard(seq)
 
     # --- scheduling ----------------------------------------------------------
@@ -152,7 +161,10 @@ class WriteBuffer:
             if entry.src_ids:
                 continue
             if not epoch_ok(entry.dyn.store_epoch):
-                continue
+                # Entries are deposited in program order, so store epochs
+                # are non-decreasing along the buffer and ``epoch_ok`` is
+                # monotone: every later entry is epoch-blocked too.
+                return
             yield entry
 
     def eligible_entries(self, epoch_ok: Callable[[int], bool]) -> List[WbEntry]:
@@ -174,7 +186,7 @@ class WriteBuffer:
         if self.key_counters.get(key, 0) == 0:
             return False
         return any(
-            entry.seq < seq and key in self._keys_of(entry.dyn)
+            entry.seq < seq and key in entry.ede_keys
             for entry in self.entries
         )
 

@@ -243,14 +243,30 @@ class TestLoweredCodeOnPipeline:
             for cache in (hierarchy.l3, hierarchy.l2, hierarchy.l1d):
                 cache.insert(line)
         core = OutOfOrderCore(trace, hierarchy, WB_POLICY)
+        # Store-class instructions complete when their write-buffer push
+        # finishes, at cycle max(done, push_cycle) — observe that at the
+        # memory boundary (the run loop binds these methods at entry, so
+        # wrapping them before run() intercepts every push).
         completions = {}
-        original = core._mark_complete
+        real_clean = hierarchy.clean_to_pop
+        real_commit = hierarchy.store_commit
 
-        def capture(dyn):
-            completions[dyn.seq] = core.now
-            original(dyn)
+        def clean(addr, cycle, tag=None, inst_seq=None):
+            done = real_clean(addr, cycle, tag=tag, inst_seq=inst_seq)
+            completions[addr] = max(done, cycle)
+            return done
 
-        core._mark_complete = capture
+        def commit(addr, cycle):
+            done = real_commit(addr, cycle)
+            completions[addr] = max(done, cycle)
+            return done
+
+        hierarchy.clean_to_pop = clean
+        hierarchy.store_commit = commit
         core.run()
-        assert completions[1] >= completions[0]
-        assert completions[3] >= completions[2]
+        cvap_addr = [inst.addr for inst in lowered.instructions
+                     if inst.opcode in (Opcode.DC_CVAP, Opcode.DC_CVAP_EDE)]
+        store_addr = [inst.addr for inst in lowered.instructions
+                      if inst.opcode in (Opcode.STR, Opcode.STR_EDE)]
+        assert completions[store_addr[0]] >= completions[cvap_addr[0]]
+        assert completions[store_addr[1]] >= completions[cvap_addr[1]]

@@ -1,0 +1,137 @@
+"""Shared-memory trace transport: round-trips, ownership, no leaks.
+
+Segments are parent-owned: workers attach, copy and detach without ever
+unlinking, and the parent's :class:`TraceTransport` guarantees unlink on
+every exit path — normal completion, supervisor retries after a chaos
+kill, and interpreter exit.  A leaked ``repro-trace-*`` segment eats
+``/dev/shm`` until reboot, so every test here ends by asserting none
+survived.
+"""
+
+import pytest
+
+from repro.chaos import FaultPlan, FaultSpec, summarize_state
+from repro.harness import CONFIGURATIONS, run_matrix
+from repro.harness.parallel import last_matrix_report, run_matrix_parallel
+from repro.harness.shm_transport import (
+    SEGMENT_PREFIX,
+    TraceTransport,
+    attach_object,
+    attach_payload,
+    orphaned_segments,
+    shm_enabled_by_env,
+)
+from repro.workloads import TEST_SCALE
+
+APPS = ["update", "swap"]
+CONFIGS = list(CONFIGURATIONS)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test starts and ends with a clean /dev/shm."""
+    assert orphaned_segments() == []
+    yield
+    assert orphaned_segments() == []
+
+
+class TestKnob:
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM", raising=False)
+        assert shm_enabled_by_env() is False
+        monkeypatch.setenv("REPRO_SHM", "1")
+        assert shm_enabled_by_env() is True
+        monkeypatch.setenv("REPRO_SHM", "bogus")
+        with pytest.raises(ValueError):
+            shm_enabled_by_env()
+
+
+class TestTransport:
+    def test_round_trip_bytes_and_objects(self):
+        transport = TraceTransport()
+        try:
+            payload = b"\x00\x01persist-ordering\xff" * 97
+            name = transport.publish(payload)
+            assert name.startswith(SEGMENT_PREFIX)
+            # The OS rounds segments up to a page; the header keeps the
+            # exact length.
+            assert attach_payload(name) == payload
+
+            value = {"trace": list(range(100)), "mode": "ede"}
+            assert attach_object(transport.publish_object(value)) == value
+            assert len(transport) == 2
+        finally:
+            transport.close()
+
+    def test_empty_payload(self):
+        transport = TraceTransport()
+        try:
+            assert attach_payload(transport.publish(b"")) == b""
+        finally:
+            transport.close()
+
+    def test_attach_does_not_destroy_the_segment(self):
+        """Worker-side attach/detach leaves the parent's segment alive
+        for the next worker (and the next retry of the same group)."""
+        transport = TraceTransport()
+        try:
+            name = transport.publish_object([1, 2, 3])
+            for _ in range(3):  # three "workers", one segment
+                assert attach_object(name) == [1, 2, 3]
+            assert orphaned_segments() == [name]
+        finally:
+            transport.close()
+
+    def test_close_unlinks_and_is_idempotent(self):
+        transport = TraceTransport()
+        name = transport.publish(b"payload")
+        assert orphaned_segments() == [name]
+        transport.close()
+        assert orphaned_segments() == []
+        assert len(transport) == 0
+        transport.close()  # second close: no-op, no error
+        with pytest.raises(FileNotFoundError):
+            attach_payload(name)
+
+
+class TestMatrixWithShm:
+    def test_results_identical_and_no_leak(self, monkeypatch):
+        serial = run_matrix(APPS, CONFIGS, TEST_SCALE, parallel=False)
+        monkeypatch.setenv("REPRO_SHM", "1")
+        results = run_matrix_parallel(APPS, CONFIGS, TEST_SCALE,
+                                      max_workers=2, cache=False,
+                                      trace_cache=False)
+        for app in APPS:
+            for config in CONFIGS:
+                assert (results[app][config.name].cycles
+                        == serial[app][config.name].cycles), (app, config)
+        # The autouse fixture re-checks, but the interesting moment is
+        # now, right after the supervised run returned.
+        assert orphaned_segments() == []
+
+    def test_chaos_kill_retries_converge_without_leak(self, tmp_path,
+                                                      monkeypatch):
+        """A worker murdered mid-group: the supervisor respawns and
+        retries against the *same parent-owned segment*, and teardown
+        still unlinks everything."""
+        serial = run_matrix(APPS, CONFIGS, TEST_SCALE, parallel=False)
+        monkeypatch.setenv("REPRO_SHM", "1")
+        plan = FaultPlan(
+            faults=[FaultSpec(point="worker", action="kill",
+                              match="update/*")],
+            state_dir=str(tmp_path / "chaos-state"),
+            seed=2021)
+        with plan.installed():
+            results = run_matrix_parallel(APPS, CONFIGS, TEST_SCALE,
+                                          max_workers=2, cache=False,
+                                          trace_cache=False,
+                                          retries=3, backoff=0.01)
+        assert summarize_state(plan)["worker[update/*]:kill"] == 1
+        report = last_matrix_report()
+        assert report is not None and report.all_succeeded
+        assert report.total_retries >= 1
+        for app in APPS:
+            for config in CONFIGS:
+                assert (results[app][config.name].cycles
+                        == serial[app][config.name].cycles), (app, config)
+        assert orphaned_segments() == []

@@ -37,12 +37,10 @@ def run_and_capture(trace, policy=FENCE_POLICY, params=CoreParams(),
     """Run a trace; return (core, controller, completed DynInsts by seq)."""
     core, controller = make_core(trace, policy, params, warm_lines, squash_at)
     completed = {}
-    original = core._mark_complete
 
     def capture(dyn):
         completed[dyn.seq] = dyn
-        original(dyn)
 
-    core._mark_complete = capture
+    core.on_complete = capture
     core.run()
     return core, controller, completed

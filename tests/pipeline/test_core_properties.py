@@ -87,14 +87,11 @@ class TestOrderingInvariant:
             core, controller = make_core(
                 list(trace), policy=policy, warm_lines=_LINES)
             complete_cycle = {}
-            original = core._mark_complete
 
-            def capture(dyn, complete_cycle=complete_cycle,
-                        original=original):
-                complete_cycle[dyn.seq] = core.now
-                original(dyn)
+            def capture(dyn, complete_cycle=complete_cycle):
+                complete_cycle[dyn.seq] = dyn.complete_cycle
 
-            core._mark_complete = capture
+            core.on_complete = capture
             stats = core.run()
             assert stats.retired == len(core.trace)
 
@@ -132,14 +129,12 @@ class TestOrderingInvariant:
                             warm_lines=_LINES,
                             squash_at=[min(squash_point, len(trace))])
         by_comment = {}
-        original = core._mark_complete
 
-        def capture(dyn, by_comment=by_comment, original=original):
+        def capture(dyn, by_comment=by_comment):
             if dyn.inst.comment:
-                by_comment[dyn.inst.comment] = core.now
-            original(dyn)
+                by_comment[dyn.inst.comment] = dyn.complete_cycle
 
-        core._mark_complete = capture
+        core.on_complete = capture
         core.run(max_cycles=2_000_000)
         for producer_pos, consumer_pos in edges:
             producer = trace[producer_pos]

@@ -40,14 +40,12 @@ class TestSquashRecovery:
             core, controller = make_core(
                 ede_trace(), policy=policy, warm_lines=LINES, squash_at=[5])
             completions = {}
-            original = core._mark_complete
 
-            def capture(dyn, completions=completions, original=original):
+            def capture(dyn, completions=completions):
                 if dyn.inst.comment:
-                    completions[dyn.inst.comment] = core.now
-                original(dyn)
+                    completions[dyn.inst.comment] = dyn.complete_cycle
 
-            core._mark_complete = capture
+            core.on_complete = capture
             core.run()
             assert completions["c"] >= completions["p"]
 

@@ -1,0 +1,108 @@
+"""Trace-replay fast path: bit-identical to the legacy event loop.
+
+The packed-row replay loop (:mod:`repro.pipeline.replay`) is the default
+run loop of :class:`~repro.pipeline.core.OutOfOrderCore`; ``replay=False``
+selects the legacy event-driven loop, which stays the golden reference.
+Every observable — cycle counts, the full stats dataclass, store
+visibility and the persist log — must match between the two, for every
+workload under every configuration.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.workloads  # noqa: F401  (registers workloads)
+from repro.harness.configs import CONFIGURATIONS, DEFAULT_PARAMS
+from repro.harness.runner import warm_hierarchy
+from repro.memory.controller import MemoryController
+from repro.memory.hierarchy import CacheHierarchy
+from repro.pipeline.core import OutOfOrderCore
+from repro.pipeline.replay import (
+    R_INST,
+    TraceMeta,
+    build_rows,
+    meta_for,
+)
+from repro.workloads import Scale
+from repro.workloads import base as workload_base
+
+#: Small but structurally complete: several transactions, enough ops to
+#: exercise the write buffer, EDM keys and DMB epochs in every mode.
+TEST_SCALE = Scale(ops_per_txn=4, txns=3)
+
+
+def _simulate(built, config, replay):
+    """One simulation; returns every observable as comparable data."""
+    params = DEFAULT_PARAMS
+    controller = MemoryController(
+        address_map=params.address_map,
+        dram_params=params.dram,
+        nvm_params=params.nvm,
+    )
+    hierarchy = CacheHierarchy(controller, params.hierarchy)
+    warm_hierarchy(hierarchy, built)
+    core = OutOfOrderCore(built.trace, hierarchy, config.policy,
+                          params.core, replay=replay)
+    stats = core.run()
+    controller.nvm.drain_all(stats.cycles)
+    return (dataclasses.asdict(stats),
+            list(core.store_visibility),
+            list(controller.persist_log.records()))
+
+
+@pytest.mark.parametrize("workload", sorted(workload_base.workload_names()))
+@pytest.mark.parametrize("config", CONFIGURATIONS, ids=lambda c: c.name)
+def test_replay_matches_legacy_loop(workload, config):
+    built = workload_base.build(workload, config.fence_mode, TEST_SCALE)
+    legacy = _simulate(built, config, replay=False)
+    fast = _simulate(built, config, replay=meta_for(built))
+    assert fast == legacy
+
+
+def test_default_run_uses_replay_and_matches():
+    """``replay=None`` (the constructor default) builds its own rows and
+    still equals the legacy loop."""
+    config = CONFIGURATIONS[0]
+    built = workload_base.build("btree", config.fence_mode, TEST_SCALE)
+    assert _simulate(built, config, replay=None) == _simulate(
+        built, config, replay=False)
+
+
+class TestTraceMeta:
+    def _built(self):
+        return workload_base.build("update", "ede", TEST_SCALE)
+
+    def test_rows_parallel_the_trace(self):
+        built = self._built()
+        rows = build_rows(built.trace)
+        assert len(rows) == len(built.trace)
+        assert all(row[R_INST] is inst
+                   for row, inst in zip(rows, built.trace))
+
+    def test_matches_rejects_other_traces(self):
+        built = self._built()
+        other = workload_base.build("btree", "ede", TEST_SCALE)
+        meta = TraceMeta(built.trace)
+        assert meta.matches(built.trace)
+        assert not meta.matches(other.trace)
+        assert not meta.matches(built.trace[:-1])
+
+    def test_meta_for_is_memoized_per_workload(self):
+        built = self._built()
+        assert meta_for(built) is meta_for(built)
+
+    def test_mismatched_meta_is_rejected_at_construction(self):
+        built = self._built()
+        other = workload_base.build("btree", "ede", TEST_SCALE)
+        params = DEFAULT_PARAMS
+        controller = MemoryController(
+            address_map=params.address_map,
+            dram_params=params.dram,
+            nvm_params=params.nvm,
+        )
+        hierarchy = CacheHierarchy(controller, params.hierarchy)
+        config = CONFIGURATIONS[0]
+        with pytest.raises(ValueError):
+            OutOfOrderCore(built.trace, hierarchy, config.policy,
+                           params.core, replay=meta_for(other))
