@@ -1,0 +1,37 @@
+"""Distributed experiment cluster: coordinator + sharded workers.
+
+``repro.cluster`` scales the single-node simulation service
+(:mod:`repro.service`) horizontally: N independent worker processes
+(shards) behind one coordinator that routes each job by consistent hash
+of its content-addressed ID, federates the fleet's Prometheus metrics,
+rate-limits per tenant, and routes around failing shards with circuit
+breakers, health probes, eviction and deterministic re-routing.  The
+coordinator presents the *same* HTTP surface as one service instance,
+so every existing client works against a cluster unchanged.
+"""
+
+from repro.cluster.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    ShardState,
+    ThreadedCoordinator,
+    federate_metrics,
+)
+from repro.cluster.hashring import HashRing
+from repro.cluster.local import LocalCluster
+from repro.cluster.ratelimit import RateLimiter, TokenBucket
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "ClusterCoordinator",
+    "HashRing",
+    "LocalCluster",
+    "RateLimiter",
+    "ShardState",
+    "ThreadedCoordinator",
+    "TokenBucket",
+    "federate_metrics",
+]

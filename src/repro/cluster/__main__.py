@@ -1,0 +1,141 @@
+"""Command-line driver: ``python -m repro.cluster`` (also
+``repro-cluster``).
+
+Subcommands::
+
+    up       spawn N shard workers plus a coordinator and serve until
+             SIGTERM/SIGINT (then drain workers and exit)
+    status   print the coordinator's /healthz JSON
+
+The coordinator speaks the same HTTP surface as a single-node service,
+so the existing tools work against it unchanged::
+
+    repro-cluster up --shards 4 --port 8080 &
+    python -m repro.service submit update swap --port 8080 --wait
+    python -m repro.service metrics --port 8080   # federated
+
+``--env`` (global) prints every ``REPRO_*`` knob with its parser and
+default, then exits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.harness.envutil import env_int, render_env_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="Sharded simulation cluster: consistent-hash routed "
+        "workers behind one coordinator with federated metrics.",
+    )
+    parser.add_argument(
+        "--env", action="store_true",
+        help="print every REPRO_* environment knob and exit")
+    sub = parser.add_subparsers(dest="command")
+
+    up = sub.add_parser("up", help="run coordinator + N shard workers")
+    up.add_argument("--shards", type=int, default=None,
+                    help="worker-process count "
+                    "(default: $REPRO_CLUSTER_SHARDS or 2)")
+    up.add_argument("--host", default="127.0.0.1",
+                    help="coordinator bind address")
+    up.add_argument("--port", type=int, default=None,
+                    help="coordinator bind port; 0 = ephemeral "
+                    "(default: $REPRO_SERVICE_PORT or 0)")
+    up.add_argument("--port-file", default=None,
+                    help="write the coordinator's bound port to this file")
+    up.add_argument("--workers-per-shard", type=int, default=1,
+                    help="simulation pool size inside each shard "
+                    "(default 1: the shards are the parallelism)")
+    up.add_argument("--queue-depth", type=int, default=None,
+                    help="per-shard admission-control queue bound")
+    up.add_argument("--cache-dir", default=None,
+                    help="shared result/trace cache directory "
+                    "(default: scratch dir, removed on exit)")
+
+    status = sub.add_parser("status",
+                            help="print a coordinator's /healthz JSON")
+    status.add_argument("--port", type=int, required=True)
+    status.add_argument("--host", default="127.0.0.1")
+    return parser
+
+
+def _cmd_up(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.cluster.coordinator import ClusterCoordinator
+    from repro.cluster.local import LocalCluster
+
+    port = args.port if args.port is not None else \
+        env_int("REPRO_SERVICE_PORT", 0, minimum=0)
+    cluster = LocalCluster(
+        shards=args.shards,
+        workers_per_shard=args.workers_per_shard,
+        queue_depth=args.queue_depth,
+        cache_dir=args.cache_dir,
+        host=args.host,
+    )
+
+    async def main() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        coordinator = ClusterCoordinator(
+            cluster.addresses, host=args.host, port=port)
+        await coordinator.start()
+        print("repro.cluster coordinator on http://%s:%d (%d shards)"
+              % (coordinator.host, coordinator.port, cluster.n_shards),
+              flush=True)
+        for index, (host, shard_port) in enumerate(cluster.addresses):
+            print("  shard%d -> http://%s:%d" % (index, host, shard_port),
+                  flush=True)
+        if args.port_file:
+            with open(args.port_file, "w") as handle:
+                handle.write("%d\n" % coordinator.port)
+        await stop.wait()
+        print("stopping coordinator, draining shards", file=sys.stderr,
+              flush=True)
+        await coordinator.stop()
+
+    try:
+        cluster.start()
+        try:
+            asyncio.run(main())
+        except KeyboardInterrupt:
+            pass
+    finally:
+        cluster.stop()
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(port=args.port, host=args.host)
+    print(json.dumps(client.healthz(), indent=2))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.env:
+        print(render_env_table())
+        return 0
+    if args.command is None:
+        parser.print_help()
+        return 2
+    handler = {"up": _cmd_up, "status": _cmd_status}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

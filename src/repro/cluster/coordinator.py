@@ -1,0 +1,655 @@
+"""Cluster coordinator: consistent-hash routing, proxying, federation.
+
+One coordinator fronts N shard workers (each a full
+:class:`~repro.service.server.ServiceServer` process) and presents the
+*same* HTTP surface as a single service, so every existing client — the
+:class:`~repro.service.client.ServiceClient`, the CLI, the benchmarks —
+talks to a cluster unchanged.  What the coordinator adds:
+
+* **Consistent-hash routing** (``POST /jobs``): the job's
+  content-addressed ID (the result-cache key) is placed on the
+  :class:`~repro.cluster.hashring.HashRing`, so duplicate submissions —
+  from any client, any time — always land on the same shard and the
+  shard's single-flight dedup keeps the cluster-wide exactly-once
+  guarantee.  The winning shard's name is stamped into the response.
+* **Per-tenant token-bucket rate limiting** before any shard is
+  touched: a tenant that bursts past its bucket gets ``429`` + an
+  honest ``Retry-After``; other tenants are untouched.
+* **Per-shard circuit breakers**: every upstream exchange feeds the
+  shard's breaker; an open breaker excludes the shard from routing (the
+  ring walks to the deterministic next owner) and half-open probes
+  re-admit it, so one sick shard cannot stall the fleet.
+* **Status/result/SSE proxying** (``GET /jobs/<id>...``): lookups
+  follow the recorded route (authoritative across evictions), falling
+  back to ring placement and finally to a shard sweep; while a job's
+  shard is down awaiting re-route the coordinator answers with a
+  synthetic ``queued`` status so pollers keep polling instead of
+  erroring.
+* **Federated ``/metrics``**: each shard's Prometheus page is fetched,
+  every sample is relabelled with ``shard="<name>"``, families are
+  merged in first-seen order, and the coordinator's own
+  ``repro_cluster_*`` series are appended — one scrape shows the fleet.
+* **Health probes with eviction and deterministic re-routing**: a
+  background loop polls every shard's ``/healthz``; after
+  ``evict_after`` consecutive failures the shard is evicted from the
+  ring and every non-terminal job routed to it is resubmitted to its
+  new deterministic owner (the shared result cache makes re-running
+  already-finished work a cache hit).  A shard that comes back is
+  re-added to the ring.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from urllib.parse import urlsplit
+
+from repro.harness.configs import DEFAULT_PARAMS
+from repro.harness.envutil import env_float
+from repro.service.http import (
+    BaseHttpServer,
+    ThreadedHttpServer,
+    http_fetch,
+    render_request,
+)
+from repro.service.jobs import JobSpec, job_id_for
+from repro.service.metrics import Counter, Gauge, MetricsRegistry
+from repro.cluster.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.cluster.hashring import HashRing
+from repro.cluster.ratelimit import RateLimiter
+
+__all__ = ["ClusterCoordinator", "ThreadedCoordinator", "ShardState",
+           "federate_metrics"]
+
+#: Default seconds between health-probe rounds.
+DEFAULT_PROBE_INTERVAL_S = 1.0
+#: Consecutive probe failures before a shard is evicted from the ring.
+DEFAULT_EVICT_AFTER = 2
+#: Terminal job states (mirrors JobState.TERMINAL without the import
+#: cycle risk at JSON level).
+_TERMINAL = ("done", "failed")
+
+
+def probe_interval_by_env() -> float:
+    """``REPRO_CLUSTER_PROBE_INTERVAL``: seconds between shard health
+    probe rounds at the coordinator."""
+    return env_float("REPRO_CLUSTER_PROBE_INTERVAL",
+                     DEFAULT_PROBE_INTERVAL_S, minimum=0.01)
+
+
+class ShardState:
+    """Everything the coordinator knows about one worker."""
+
+    def __init__(self, name: str, host: str, port: int,
+                 breaker: CircuitBreaker):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.breaker = breaker
+        self.evicted = False
+        self.draining = False
+        self.consecutive_failures = 0
+        self.probes_ok = 0
+        self.probes_failed = 0
+
+    @property
+    def routable(self) -> bool:
+        """May new work be sent here right now?"""
+        return (not self.evicted and not self.draining
+                and self.breaker.state != OPEN)
+
+    def describe(self) -> dict:
+        return {
+            "host": self.host,
+            "port": self.port,
+            "routable": self.routable,
+            "evicted": self.evicted,
+            "draining": self.draining,
+            "breaker": self.breaker.state,
+            "breaker_trips": self.breaker.trips,
+            "consecutive_probe_failures": self.consecutive_failures,
+        }
+
+
+class _Route:
+    """Where one submitted job lives, and how to replay it."""
+
+    __slots__ = ("body", "shard", "terminal")
+
+    def __init__(self, body: bytes, shard: str, terminal: bool = False):
+        self.body = body          # exact upstream submit body, for replay
+        self.shard = shard
+        self.terminal = terminal
+
+
+class ClusterMetrics:
+    """The coordinator's own ``repro_cluster_*`` series."""
+
+    def __init__(self):
+        self.registry = MetricsRegistry()
+        reg = self.registry.register
+        self.jobs_routed = reg(Counter(
+            "repro_cluster_jobs_routed_total",
+            "Submissions proxied to a shard, by shard."))
+        self.reroutes = reg(Counter(
+            "repro_cluster_reroutes_total",
+            "Orphaned jobs resubmitted to a new shard after eviction."))
+        self.rate_limited = reg(Counter(
+            "repro_cluster_rate_limited_total",
+            "Submissions refused by per-tenant token buckets."))
+        self.unroutable = reg(Counter(
+            "repro_cluster_unroutable_total",
+            "Submissions refused because no shard was routable."))
+        self.proxy_errors = reg(Counter(
+            "repro_cluster_proxy_errors_total",
+            "Upstream exchanges that failed at the transport, by shard."))
+        self.evictions = reg(Counter(
+            "repro_cluster_evictions_total",
+            "Shards evicted from the ring after failed probes, by shard."))
+        self.rejoins = reg(Counter(
+            "repro_cluster_rejoins_total",
+            "Evicted shards re-added after passing probes, by shard."))
+        self.probes = reg(Counter(
+            "repro_cluster_probes_total",
+            "Health probes sent, by outcome."))
+        self.shard_up = reg(Gauge(
+            "repro_cluster_shard_up",
+            "1 when the shard is routable, 0 otherwise, by shard."))
+        self.breaker_state = reg(Gauge(
+            "repro_cluster_breaker_state",
+            "Shard breaker state: 0 closed, 1 half-open, 2 open."))
+        self.shards_available = reg(Gauge(
+            "repro_cluster_shards_available",
+            "Shards currently routable."))
+
+    def render(self, shards: Dict[str, ShardState]) -> str:
+        code = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+        available = 0
+        for shard in shards.values():
+            routable = shard.routable
+            available += routable
+            self.shard_up.set(1.0 if routable else 0.0, shard=shard.name)
+            self.breaker_state.set(code[shard.breaker.state],
+                                   shard=shard.name)
+        self.shards_available.set(available)
+        return self.registry.render()
+
+
+def federate_metrics(pages: List[Tuple[str, str]]) -> str:
+    """Merge shard Prometheus pages into one, labelling by shard.
+
+    ``pages`` is ``[(shard_name, exposition_text), ...]``.  Every sample
+    line gains a ``shard="<name>"`` label (prepended, so histogram
+    ``le`` labels survive untouched); ``# HELP`` / ``# TYPE`` headers
+    are emitted once per family, in first-seen order, with each shard's
+    samples grouped under them — a single well-formed exposition for
+    the whole fleet.
+    """
+    order: List[str] = []
+    headers: Dict[str, List[str]] = {}
+    samples: Dict[str, List[str]] = {}
+    for shard_name, text in pages:
+        family = None
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("# HELP "):
+                family = line.split(None, 3)[2]
+                if family not in headers:
+                    order.append(family)
+                    headers[family] = [line]
+                    samples[family] = []
+                continue
+            if line.startswith("# TYPE "):
+                name = line.split(None, 3)[2]
+                if name in headers and len(headers[name]) == 1:
+                    headers[name].append(line)
+                continue
+            if line.startswith("#") or family is None:
+                continue
+            lhs, _, value = line.rpartition(" ")
+            if not lhs:
+                continue
+            if "{" in lhs:
+                name, _, labels = lhs.partition("{")
+                labelled = '%s{shard="%s",%s' % (name, shard_name, labels)
+            else:
+                labelled = '%s{shard="%s"}' % (lhs, shard_name)
+            samples[family].append("%s %s" % (labelled, value))
+    lines: List[str] = []
+    for family in order:
+        lines.extend(headers[family])
+        lines.extend(samples[family])
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class ClusterCoordinator(BaseHttpServer):
+    """The routing front end over N shard workers."""
+
+    def __init__(self, shards: List[Tuple[str, int]],
+                 host: str = "127.0.0.1", port: int = 0,
+                 probe_interval_s: Optional[float] = None,
+                 probe_timeout_s: float = 5.0,
+                 evict_after: int = DEFAULT_EVICT_AFTER,
+                 proxy_timeout_s: float = 600.0,
+                 rate: Optional[float] = None,
+                 burst: Optional[int] = None,
+                 breaker_threshold: Optional[float] = None,
+                 breaker_reset_s: Optional[float] = None,
+                 params=DEFAULT_PARAMS):
+        super().__init__(host=host, port=port)
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        self.params = params
+        self.probe_interval_s = (probe_interval_s
+                                 if probe_interval_s is not None
+                                 else probe_interval_by_env())
+        self.probe_timeout_s = probe_timeout_s
+        self.evict_after = max(1, evict_after)
+        self.proxy_timeout_s = proxy_timeout_s
+        self.limiter = RateLimiter(rate=rate, burst=burst)
+        self.metrics = ClusterMetrics()
+        self.shards: Dict[str, ShardState] = {}
+        for index, (shard_host, shard_port) in enumerate(shards):
+            name = "shard%d" % index
+            self.shards[name] = ShardState(
+                name, shard_host, int(shard_port),
+                CircuitBreaker(threshold=breaker_threshold,
+                               reset_timeout_s=breaker_reset_s))
+        self.ring = HashRing(self.shards)
+        self.routes: Dict[str, _Route] = {}
+        self._probe_task: Optional[asyncio.Task] = None
+
+    # --- lifecycle ----------------------------------------------------------
+
+    async def on_start(self) -> None:
+        self._probe_task = asyncio.get_running_loop().create_task(
+            self._probe_loop())
+
+    async def on_stop(self) -> None:
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+
+    # --- upstream plumbing --------------------------------------------------
+
+    async def _exchange(self, shard: ShardState, method: str, path: str,
+                        body: Optional[bytes] = None,
+                        timeout: Optional[float] = None):
+        """One breaker-fed upstream exchange.
+
+        Transport failures count against the shard's breaker and
+        re-raise; HTTP-level responses (any status) count as breaker
+        successes — the shard answered, however unhappily.
+        """
+        try:
+            status, headers, data = await http_fetch(
+                shard.host, shard.port, method, path, body=body,
+                timeout=timeout if timeout is not None
+                else self.proxy_timeout_s)
+        except (OSError, asyncio.TimeoutError):
+            shard.breaker.record_failure()
+            self.metrics.proxy_errors.inc(shard=shard.name)
+            raise
+        shard.breaker.record_success()
+        return status, headers, data
+
+    # --- routing ------------------------------------------------------------
+
+    def _unroutable_names(self) -> FrozenSet[str]:
+        return frozenset(name for name, shard in self.shards.items()
+                         if not shard.routable)
+
+    async def _route_submit(self, job_id: str, body: bytes
+                            ) -> Tuple[Optional[str], int, Dict[str, str],
+                                       bytes]:
+        """Send a submit body to the job's shard, walking the ring past
+        unroutable/failed shards; returns (shard_name, status, headers,
+        payload), with shard_name None when nothing was reachable."""
+        attempted: set = set()
+        while True:
+            exclude = frozenset(self._unroutable_names() | attempted)
+            name = self.ring.lookup(job_id, exclude=exclude)
+            if name is None:
+                return None, 0, {}, b""
+            shard = self.shards[name]
+            try:
+                status, headers, data = await self._exchange(
+                    shard, "POST", "/jobs", body=body)
+            except (OSError, asyncio.TimeoutError):
+                attempted.add(name)
+                continue
+            if status == 503:
+                # Draining or refusing: honest refusal, not a fault —
+                # walk to the next deterministic owner.
+                shard.draining = True
+                attempted.add(name)
+                continue
+            if 200 <= status < 300:
+                self.metrics.jobs_routed.inc(shard=name)
+                self.routes[job_id] = _Route(body, name)
+            return name, status, headers, data
+
+    # --- HTTP routes --------------------------------------------------------
+
+    async def _route(self, method: str, target: str,
+                     headers: Dict[str, str], body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+
+        if path == "/healthz" and method == "GET":
+            self._respond(writer, 200, self.health())
+        elif path == "/metrics" and method == "GET":
+            text = await self.federated_metrics()
+            self._respond(writer, 200, text,
+                          content_type="text/plain; version=0.0.4")
+        elif path == "/jobs" and method == "POST":
+            await self._submit(headers, body, writer)
+        elif path.startswith("/jobs/") and method == "GET":
+            await self._job_route(path, url.query, writer)
+        else:
+            self._respond(writer, 404, {"error": "no route %s %s"
+                                        % (method, path)})
+
+    def health(self) -> dict:
+        return {
+            "status": "ok" if any(s.routable for s in self.shards.values())
+            else "degraded",
+            "role": "coordinator",
+            "shards": {name: shard.describe()
+                       for name, shard in self.shards.items()},
+            "ring_nodes": list(self.ring.nodes),
+            "jobs_routed": len(self.routes),
+            "rate_limited": self.limiter.rejections,
+        }
+
+    async def _submit(self, headers: Dict[str, str], body: bytes,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            data = json.loads(body.decode() or "{}")
+            if not isinstance(data, dict):
+                raise ValueError("request body must be a JSON object")
+            spec = JobSpec.from_dict(data.get("spec", data))
+            client = str(data.get("client")
+                         or headers.get("x-client", "anonymous"))
+            priority = int(data.get("priority", 0))
+        except ValueError as exc:
+            self._respond(writer, 400, {"error": str(exc)})
+            return
+
+        retry_after = self.limiter.try_acquire(client)
+        if retry_after is not None:
+            self.metrics.rate_limited.inc()
+            self._respond(
+                writer, 429,
+                {"error": "tenant %r over its submission rate" % client,
+                 "retry_after_s": retry_after},
+                extra_headers={"Retry-After":
+                               "%d" % max(1, round(retry_after))})
+            return
+
+        job_id = job_id_for(spec, self.params)
+        upstream_body = json.dumps({"spec": spec.to_dict(), "client": client,
+                                    "priority": priority}).encode()
+        name, status, _, data = await self._route_submit(job_id,
+                                                         upstream_body)
+        if name is None:
+            self.metrics.unroutable.inc()
+            retry = self.probe_interval_s * self.evict_after
+            self._respond(
+                writer, 429,
+                {"error": "no routable shard (all evicted, draining or "
+                          "circuit-open)", "retry_after_s": retry},
+                extra_headers={"Retry-After": "%d" % max(1, round(retry))})
+            return
+        payload = self._stamp_shard(data, name)
+        if 200 <= status < 300:
+            self._note_terminal_from(payload, job_id)
+        self._respond(writer, status, payload)
+
+    def _stamp_shard(self, data: bytes, shard_name: str):
+        """Add ``"shard"`` to a JSON payload (pass bytes through if not
+        JSON)."""
+        try:
+            payload = json.loads(data.decode())
+        except (ValueError, UnicodeDecodeError):
+            return data
+        if isinstance(payload, dict):
+            payload["shard"] = shard_name
+        return payload
+
+    def _note_terminal_from(self, payload, job_id: str) -> None:
+        if isinstance(payload, dict) and payload.get("state") in _TERMINAL:
+            route = self.routes.get(job_id)
+            if route is not None:
+                route.terminal = True
+
+    async def _job_route(self, path: str, query: str,
+                         writer: asyncio.StreamWriter) -> None:
+        parts = path.split("/")  # ["", "jobs", <id>, (tail)]
+        job_id = parts[2] if len(parts) > 2 else ""
+        tail = parts[3] if len(parts) > 3 else ""
+        if tail not in ("", "result", "events"):
+            self._respond(writer, 405, {"error": "no route GET %s" % path})
+            return
+        upstream_path = "/jobs/%s" % job_id + ("/" + tail if tail else "")
+        if query:
+            upstream_path += "?" + query
+
+        route = self.routes.get(job_id)
+        candidates: List[str] = []
+        if route is not None and route.shard in self.shards:
+            candidates.append(route.shard)
+        placed = self.ring.lookup(job_id)
+        for name in ([placed] if placed else []) + sorted(self.shards):
+            if name not in candidates:
+                candidates.append(name)
+
+        if tail == "events":
+            await self._stream_proxy(candidates, upstream_path, writer,
+                                     job_id)
+            return
+
+        last_404 = None
+        for name in candidates:
+            shard = self.shards[name]
+            if shard.evicted:
+                continue
+            try:
+                status, up_headers, data = await self._exchange(
+                    shard, "GET", upstream_path)
+            except (OSError, asyncio.TimeoutError):
+                continue
+            if status == 404:
+                last_404 = (status, data)
+                continue
+            payload = self._stamp_shard(data, name)
+            if tail == "":
+                self._note_terminal_from(payload, job_id)
+            content_type = up_headers.get("content-type",
+                                          "application/json")
+            if isinstance(payload, (dict, list)):
+                self._respond(writer, status, payload)
+            else:
+                self._respond(writer, status, data,
+                              content_type=content_type)
+            return
+        if route is not None and not route.terminal:
+            # The owning shard is unreachable but the job is known and
+            # will be re-routed by the probe loop: keep pollers polling.
+            self._respond(writer, 200, {"id": job_id, "state": "queued",
+                                        "rerouting": True,
+                                        "shard": route.shard})
+            return
+        if last_404 is not None:
+            self._respond(writer, 404, {"error": "unknown job %r" % job_id})
+            return
+        self._respond(writer, 502, {"error": "no shard could answer for "
+                                             "job %r" % job_id})
+
+    async def _stream_proxy(self, candidates: List[str], path: str,
+                            writer: asyncio.StreamWriter,
+                            job_id: str) -> None:
+        """Pipe an upstream byte stream (SSE) through verbatim."""
+        for name in candidates:
+            shard = self.shards[name]
+            if shard.evicted:
+                continue
+            try:
+                reader, upstream = await asyncio.open_connection(
+                    shard.host, shard.port)
+            except OSError:
+                shard.breaker.record_failure()
+                self.metrics.proxy_errors.inc(shard=name)
+                continue
+            try:
+                upstream.write(render_request("GET", path))
+                await upstream.drain()
+                piped = False
+                while True:
+                    chunk = await reader.read(4096)
+                    if not chunk:
+                        break
+                    piped = True
+                    writer.write(chunk)
+                    await writer.drain()
+                if piped:
+                    shard.breaker.record_success()
+                    return
+            except (OSError, ConnectionError):
+                pass
+            finally:
+                upstream.close()
+                try:
+                    await upstream.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+        self._respond(writer, 502, {"error": "no shard could stream "
+                                             "events for %r" % job_id})
+
+    # --- metrics federation -------------------------------------------------
+
+    async def federated_metrics(self) -> str:
+        names = [name for name, shard in self.shards.items()
+                 if not shard.evicted]
+
+        async def fetch(name: str) -> Tuple[str, str]:
+            shard = self.shards[name]
+            try:
+                status, _, data = await self._exchange(
+                    shard, "GET", "/metrics", timeout=self.probe_timeout_s)
+            except (OSError, asyncio.TimeoutError):
+                return name, ""
+            if status != 200:
+                return name, ""
+            return name, data.decode(errors="replace")
+
+        pages = list(await asyncio.gather(*(fetch(name) for name in names)))
+        federated = federate_metrics([page for page in pages if page[1]])
+        return federated + self.metrics.render(self.shards)
+
+    # --- health probes, eviction, re-routing --------------------------------
+
+    async def _probe_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.probe_interval_s)
+            try:
+                await self.probe_once()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # A probe round must never kill the loop; individual
+                # failures are already accounted per shard.
+                pass
+
+    async def probe_once(self) -> None:
+        """One probe round over every shard (public for tests)."""
+        for shard in list(self.shards.values()):
+            await self._probe_shard(shard)
+
+    async def _probe_shard(self, shard: ShardState) -> None:
+        ok = False
+        draining = False
+        try:
+            status, _, data = await http_fetch(
+                shard.host, shard.port, "GET", "/healthz",
+                timeout=self.probe_timeout_s)
+            if status == 200:
+                ok = True
+                try:
+                    draining = bool(json.loads(data.decode())
+                                    .get("draining", False))
+                except (ValueError, UnicodeDecodeError):
+                    pass
+        except (OSError, asyncio.TimeoutError):
+            ok = False
+        shard.draining = draining
+        if ok:
+            self.metrics.probes.inc(outcome="ok")
+            shard.probes_ok += 1
+            shard.consecutive_failures = 0
+            shard.breaker.record_success()
+            if shard.evicted and not draining:
+                self._rejoin(shard)
+        else:
+            self.metrics.probes.inc(outcome="failed")
+            shard.probes_failed += 1
+            shard.consecutive_failures += 1
+            shard.breaker.record_failure()
+            if (not shard.evicted
+                    and shard.consecutive_failures >= self.evict_after):
+                await self._evict(shard)
+
+    async def _evict(self, shard: ShardState) -> None:
+        """Drop a dead shard from the ring and re-route its orphans."""
+        shard.evicted = True
+        shard.breaker.trip()
+        self.ring.remove(shard.name)
+        self.metrics.evictions.inc(shard=shard.name)
+        await self._reroute_orphans(shard.name)
+
+    def _rejoin(self, shard: ShardState) -> None:
+        shard.evicted = False
+        shard.consecutive_failures = 0
+        self.ring.add(shard.name)
+        self.metrics.rejoins.inc(shard=shard.name)
+
+    async def _reroute_orphans(self, dead_shard: str) -> None:
+        """Resubmit every non-terminal job routed to ``dead_shard``.
+
+        The ring (minus the dead shard) names each orphan's new owner
+        deterministically.  Jobs that already finished there are not
+        lost either: results were persisted to the shared result cache
+        as each group completed, so resubmission is a cache hit on the
+        new shard.
+        """
+        orphans = [(job_id, route) for job_id, route in self.routes.items()
+                   if route.shard == dead_shard and not route.terminal]
+        for job_id, route in orphans:
+            name, status, _, data = await self._route_submit(job_id,
+                                                             route.body)
+            if name is not None and 200 <= status < 300:
+                self.metrics.reroutes.inc()
+                self._note_terminal_from(self._stamp_shard(data, name),
+                                         job_id)
+
+
+class ThreadedCoordinator(ThreadedHttpServer):
+    """Run a :class:`ClusterCoordinator` on a background thread (tests,
+    benchmarks, the ``repro-cluster`` CLI)."""
+
+    thread_name = "repro-coordinator"
+
+    def _build(self) -> ClusterCoordinator:
+        return ClusterCoordinator(**self._kwargs)
+
+    @property
+    def coordinator(self) -> ClusterCoordinator:
+        assert self.server is not None
+        return self.server

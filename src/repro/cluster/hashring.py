@@ -1,0 +1,114 @@
+"""Consistent-hash ring: deterministic job-to-shard placement.
+
+The cluster routes every job by its content-addressed ID (the result
+cache key), so the placement function must satisfy two properties the
+plain ``hash(key) % n_shards`` scheme lacks:
+
+* **stability under membership change** — evicting one shard must move
+  *only* that shard's keys (to their deterministic next-clockwise
+  owner), not reshuffle the whole keyspace; otherwise a single worker
+  death would break in-flight status lookups and spray duplicate work
+  across every surviving shard;
+* **cross-process agreement** — the coordinator, benchmark drivers and
+  tests must compute identical placements, so hashing goes through
+  :func:`~repro.harness.result_cache.stable_hash64`, never the
+  per-process-salted builtin ``hash``.
+
+Standard construction: each node is planted at ``vnodes`` pseudo-random
+points on a 64-bit circle; a key is owned by the first node point at or
+clockwise-after the key's hash.  Virtual nodes smooth the load split
+(with 64 points per node the heaviest of 4 shards typically carries
+~30% of a uniform keyspace instead of the ~50% a single-point ring can
+give).  ``lookup`` takes an ``exclude`` set so routing can skip shards
+whose circuit breaker is open without mutating ring membership.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.harness.result_cache import stable_hash64
+
+#: Ring points planted per node; more points = smoother key split.
+DEFAULT_VNODES = 64
+
+
+class HashRing:
+    """Consistent-hash ring over opaque node names."""
+
+    def __init__(self, nodes: Iterable[str] = (),
+                 vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1, got %d" % vnodes)
+        self.vnodes = vnodes
+        #: Sorted parallel arrays of (point hash, owning node).
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        self._nodes: Set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def _node_points(self, node: str) -> List[int]:
+        return [stable_hash64("%s#%d" % (node, index))
+                for index in range(self.vnodes)]
+
+    def add(self, node: str) -> None:
+        """Plant ``node``'s points; idempotent for present nodes."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for point in self._node_points(node):
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        """Remove ``node``; its keys fall to their clockwise successors."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        kept = [(point, owner)
+                for point, owner in zip(self._points, self._owners)
+                if owner != node]
+        self._points = [point for point, _ in kept]
+        self._owners = [owner for _, owner in kept]
+
+    def lookup(self, key: str,
+               exclude: FrozenSet[str] = frozenset()) -> Optional[str]:
+        """The node owning ``key``, skipping ``exclude``; None if every
+        node is excluded (or the ring is empty).
+
+        Deterministic: the same key, membership and exclusion set always
+        yield the same owner, which is what keeps cluster-wide
+        single-flight dedup working — duplicate submissions hash to the
+        same shard, where the scheduler coalesces them.
+        """
+        if not self._points or self._nodes <= exclude:
+            return None
+        start = bisect.bisect(self._points, stable_hash64(key))
+        count = len(self._points)
+        for offset in range(count):
+            owner = self._owners[(start + offset) % count]
+            if owner not in exclude:
+                return owner
+        return None
+
+    def key_counts(self, keys: Iterable[str]) -> Dict[str, int]:
+        """How many of ``keys`` each node owns (balance diagnostics)."""
+        counts: Dict[str, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            owner = self.lookup(key)
+            if owner is not None:
+                counts[owner] += 1
+        return counts

@@ -161,6 +161,27 @@ def describe_env() -> Tuple[EnvKnob, ...]:
                 "Bind port for the service (0 = ephemeral)."),
         EnvKnob("REPRO_SERVICE_QUEUE_DEPTH", "positive_int", "64",
                 "Admission-control bound on queued service jobs."),
+        EnvKnob("REPRO_DRAIN_TIMEOUT", "float", "60",
+                "Seconds a SIGTERM'd server may spend finishing "
+                "admitted work before exiting anyway."),
+        EnvKnob("REPRO_CLUSTER_SHARDS", "positive_int", "2",
+                "Worker-process count for `repro-cluster up` and the "
+                "local cluster manager."),
+        EnvKnob("REPRO_CLUSTER_PROBE_INTERVAL", "float", "1",
+                "Seconds between the coordinator's shard health-probe "
+                "rounds."),
+        EnvKnob("REPRO_CLUSTER_RATE", "float", "100",
+                "Per-tenant sustained submissions/second admitted by "
+                "the cluster coordinator."),
+        EnvKnob("REPRO_CLUSTER_BURST", "positive_int", "200",
+                "Per-tenant burst capacity (token-bucket size) at the "
+                "cluster coordinator."),
+        EnvKnob("REPRO_BREAKER_THRESHOLD", "float", "0.5",
+                "EWMA failure rate that trips a shard's circuit "
+                "breaker open."),
+        EnvKnob("REPRO_BREAKER_RESET", "float", "2",
+                "Seconds an open circuit breaker waits before "
+                "admitting half-open probes."),
     )
 
 

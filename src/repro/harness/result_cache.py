@@ -139,6 +139,17 @@ def canonical_key(*parts) -> str:
     return hashlib.sha256("\0".join(rendered).encode()).hexdigest()
 
 
+def stable_hash64(text: str) -> int:
+    """A process-stable 64-bit hash of ``text`` (SHA-256 prefix).
+
+    Python's builtin ``hash`` is salted per process, so anything that
+    must agree across processes — the cluster's consistent-hash ring
+    placing content-addressed cache keys on shards, most prominently —
+    hashes through this instead.
+    """
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
 class PickleStore:
     """Content-addressed on-disk store of pickled objects.
 

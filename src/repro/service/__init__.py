@@ -42,11 +42,12 @@ from repro.service.jobs import (
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.queue import BoundedJobQueue, QueueFullError
-from repro.service.scheduler import Scheduler
+from repro.service.scheduler import DrainingError, Scheduler
 from repro.service.server import ServiceServer, ThreadedServer
 
 __all__ = [
     "BoundedJobQueue",
+    "DrainingError",
     "Job",
     "JobSpec",
     "JobState",

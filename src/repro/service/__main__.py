@@ -101,6 +101,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import signal
 
     from repro.service.server import ServiceServer
 
@@ -122,18 +123,28 @@ def _cmd_serve(args) -> int:
     )
 
     async def main() -> None:
+        # SIGTERM/SIGINT trigger a graceful drain: refuse new
+        # admissions with 503, finish every admitted job (each group's
+        # results are flushed to the result cache as it completes),
+        # then exit.  A second signal is not special-cased: the drain
+        # window is bounded by REPRO_DRAIN_TIMEOUT.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
         await server.start()
         print("repro.service listening on http://%s:%d"
               % (server.host, server.port), flush=True)
         if args.port_file:
             with open(args.port_file, "w") as handle:
                 handle.write("%d\n" % server.port)
-        try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
-        finally:
-            await server.stop()
+        await stop.wait()
+        print("draining: refusing new jobs, finishing admitted work",
+              file=sys.stderr, flush=True)
+        drained = await server.drain_and_stop()
+        if not drained:
+            print("drain window expired with work still in flight",
+                  file=sys.stderr, flush=True)
 
     try:
         asyncio.run(main())

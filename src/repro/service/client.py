@@ -13,8 +13,9 @@ from __future__ import annotations
 import http.client
 import json
 import pickle
+import random
 import time
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.service.jobs import JobSpec, JobState
 
@@ -113,17 +114,46 @@ class ServiceClient:
 
     def submit_retrying(self, spec: Union[JobSpec, dict],
                         priority: int = 0,
-                        give_up_after_s: float = 300.0) -> dict:
-        """Submit, honouring backpressure by sleeping the advertised
-        retry-after until admitted (bounded by ``give_up_after_s``)."""
+                        give_up_after_s: float = 300.0,
+                        max_sleep_s: float = 10.0,
+                        jitter: float = 0.25,
+                        rng: Optional[random.Random] = None,
+                        sleep: Callable[[float], None] = time.sleep) -> dict:
+        """Submit, honouring the server's 429 ``Retry-After`` estimate.
+
+        Each backpressure rejection is retried after the *server's*
+        retry-after hint — not a fixed client-side schedule — scaled by
+        up to ``jitter`` of random spread (so a thundering herd of
+        rejected clients does not re-collide on the same instant) and
+        capped at ``max_sleep_s``.  Gives up after ``give_up_after_s``
+        of total waiting by re-raising the last :class:`Backpressure`.
+
+        The returned status gains two bookkeeping fields:
+        ``queue_wait_s`` (total seconds slept waiting for admission)
+        and ``queue_full_retries`` (rejections absorbed).  Both are 0
+        for a first-try admission.
+
+        ``rng`` and ``sleep`` are injectable for deterministic tests.
+        """
+        rng = rng if rng is not None else random.Random()
         deadline = time.monotonic() + give_up_after_s
+        waited = 0.0
+        rejections = 0
         while True:
             try:
-                return self.submit(spec, priority=priority)
+                status = self.submit(spec, priority=priority)
+                status["queue_wait_s"] = round(waited, 6)
+                status["queue_full_retries"] = rejections
+                return status
             except Backpressure as exc:
-                if time.monotonic() + exc.retry_after_s > deadline:
+                delay = min(max(0.0, exc.retry_after_s), max_sleep_s)
+                delay = min(delay * (1.0 + jitter * rng.random()),
+                            max_sleep_s)
+                if time.monotonic() + delay > deadline:
                     raise
-                time.sleep(exc.retry_after_s)
+                sleep(delay)
+                waited += delay
+                rejections += 1
 
     def status(self, job_id: str) -> dict:
         return self._request("GET", "/jobs/%s" % job_id)

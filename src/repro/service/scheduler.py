@@ -58,10 +58,24 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.queue import BoundedJobQueue, QueueFullError
 from repro.workloads import base as workload_base
 
-__all__ = ["Scheduler", "QueueFullError"]
+__all__ = ["Scheduler", "QueueFullError", "DrainingError"]
 
 #: Terminal jobs kept for status queries before eviction kicks in.
 DEFAULT_MAX_HISTORY = 4096
+
+
+class DrainingError(Exception):
+    """Admission refused: the scheduler is draining for shutdown.
+
+    ``retry_after_s`` tells the client when to try again — by then this
+    process is gone and (in a cluster) the coordinator has re-routed
+    the shard's keys to a healthy peer.
+    """
+
+    def __init__(self, retry_after_s: float = 1.0):
+        super().__init__(
+            "service is draining for shutdown; not accepting new jobs")
+        self.retry_after_s = retry_after_s
 
 
 def _execute_task(payload: tuple):
@@ -143,6 +157,7 @@ class Scheduler:
         self._wake = asyncio.Event()
         self._resume = asyncio.Event()
         self._resume.set()
+        self.draining = False
         self._stopping = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._dispatch_task: Optional[asyncio.Task] = None
@@ -180,6 +195,27 @@ class Scheduler:
         self._resume.set()
         self._wake.set()
 
+    def begin_drain(self) -> None:
+        """Stop admitting; keep dispatching until admitted work is done.
+
+        Overrides a paused scheduler — drain means *finish everything
+        already accepted*, so dispatch must run.
+        """
+        self.draining = True
+        self._resume.set()
+        self._wake.set()
+
+    async def drain(self, poll_s: float = 0.05) -> None:
+        """Begin draining and block until no job is queued or in flight.
+
+        Every group that completes during the drain is persisted to the
+        result cache by the normal completion path, so a drained worker
+        exits with zero lost admitted work.
+        """
+        self.begin_drain()
+        while len(self.queue) or self.metrics.inflight.value() > 0:
+            await asyncio.sleep(poll_s)
+
     # --- admission ----------------------------------------------------------
 
     def submit(self, spec: JobSpec, client: str = "anonymous",
@@ -190,9 +226,14 @@ class Scheduler:
         (identical job already in flight — single-flight), ``"cached"``
         (result served from the persistent cache without queueing),
         ``"completed"`` (identical job already finished in this
-        process).  Raises :class:`QueueFullError` on backpressure.
+        process).  Raises :class:`QueueFullError` on backpressure and
+        :class:`DrainingError` once :meth:`begin_drain` has run.
         """
         spec.validate()
+        if self.draining:
+            self.metrics.jobs_rejected.inc()
+            raise DrainingError(
+                retry_after_s=self.queue.suggest_retry_after())
         job_id = job_id_for(spec, self.params)
         existing = self.jobs.get(job_id)
         if existing is not None:
@@ -277,14 +318,19 @@ class Scheduler:
                        spec.ops_per_txn, spec.txns, spec.seed)
                 sim_groups.setdefault(key, []).append(job)
             else:
-                task_id = "ana:%s/%s@%dx%d" % (
-                    spec.workload, spec.config, spec.ops_per_txn, spec.txns)
+                task_id = "ana:%s/%s@%dx%d#%d" % (
+                    spec.workload, spec.config, spec.ops_per_txn, spec.txns,
+                    spec.seed)
                 tasks.append((task_id, (spec.kind, spec.workload, spec.config,
                                         (spec.ops_per_txn, spec.txns,
                                          spec.seed))))
                 jobmap[task_id] = [job]
         for (workload, mode, ops, txns, seed), jobs in sim_groups.items():
-            task_id = "sim:%s/%s@%dx%d" % (workload, mode, ops, txns)
+            # The seed is part of the identity: two groups differing only
+            # by seed are distinct tasks, and a colliding ID would let
+            # one group's completion overwrite the other's in jobmap.
+            task_id = "sim:%s/%s@%dx%d#%d" % (workload, mode, ops, txns,
+                                              seed)
             config_names = tuple(job.spec.config for job in jobs)
             tasks.append((task_id, (KIND_SIMULATE, workload, config_names,
                                     (ops, txns, seed), self.params,

@@ -1,14 +1,15 @@
 """Asyncio HTTP/JSON front end for the simulation service.
 
-A deliberately small HTTP/1.1 server on ``asyncio.start_server`` —
-stdlib only, one connection per request (``Connection: close``), which
-is all the job API needs and keeps the parser ~40 lines.  Routes:
+A deliberately small HTTP/1.1 server — stdlib only, one connection per
+request (``Connection: close``) — built on the shared plumbing in
+:mod:`repro.service.http`.  Routes:
 
 * ``POST /jobs`` — submit a :class:`~repro.service.jobs.JobSpec`
   (``{"spec": {...}, "client": "...", "priority": 0}``); ``202`` for
   newly queued work, ``200`` when the submission coalesced onto an
   in-flight duplicate or was served from the result cache, ``429`` +
-  ``Retry-After`` under backpressure, ``400`` for invalid specs.
+  ``Retry-After`` under backpressure, ``503`` while draining for
+  shutdown, ``400`` for invalid specs.
 * ``GET /jobs/<id>`` — job status JSON.
 * ``GET /jobs/<id>/result`` — the result: JSON summary + content digest
   for simulate jobs (``?format=pickle`` streams the full pickled
@@ -17,13 +18,23 @@ is all the job API needs and keeps the parser ~40 lines.  Routes:
 * ``GET /jobs/<id>/events`` — Server-Sent Events progress stream
   (replays history, then live until the job is terminal).
 * ``GET /metrics`` — Prometheus text exposition.
-* ``GET /healthz`` — liveness.
+* ``GET /healthz`` — liveness, queue/in-flight depth and drain state
+  (the cluster coordinator's health probes read the detail).
 
 The default bind is ``127.0.0.1:0`` — an ephemeral kernel-assigned
 port — so concurrent test runs never collide; the bound port is
 reported via :attr:`ServiceServer.port` (and ``--port-file`` in the
 CLI).  :class:`ThreadedServer` runs the whole service on a background
 thread for tests, benchmarks and notebook use.
+
+**Graceful drain**: :meth:`ServiceServer.drain_and_stop` (wired to
+SIGTERM by the CLI) flips the scheduler into drain mode — new
+submissions are refused with ``503`` + ``Retry-After`` while status,
+result and metrics queries keep working — waits for every admitted job
+to finish (each group's results are persisted to the result cache the
+moment it completes), then stops.  A drained worker therefore exits
+with zero lost work, which is what lets the cluster coordinator
+re-route around it safely.
 """
 
 from __future__ import annotations
@@ -31,125 +42,72 @@ from __future__ import annotations
 import asyncio
 import json
 import pickle
-import threading
-from concurrent.futures import Future
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
+
 from urllib.parse import parse_qs, urlsplit
 
+from repro.harness.envutil import env_float
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    BaseHttpServer,
+    ThreadedHttpServer,
+)
 from repro.service.jobs import Job, JobSpec, JobState, KIND_SIMULATE, \
     result_digest
 from repro.service.queue import QueueFullError
-from repro.service.scheduler import Scheduler
+from repro.service.scheduler import DrainingError, Scheduler
 
-#: Largest request body accepted (a job spec is ~200 bytes).
-MAX_BODY_BYTES = 1 << 20
+__all__ = ["ServiceServer", "ThreadedServer", "MAX_BODY_BYTES"]
 
-_STATUS_TEXT = {
-    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
-}
+#: Default wall-clock bound on the SIGTERM drain window (seconds).
+DEFAULT_DRAIN_TIMEOUT_S = 60.0
 
 
-class ServiceServer:
+def drain_timeout_by_env() -> float:
+    """``REPRO_DRAIN_TIMEOUT``: seconds a drain may take before a hard
+    stop (queued work beyond the window is abandoned to the cache)."""
+    return env_float("REPRO_DRAIN_TIMEOUT", DEFAULT_DRAIN_TIMEOUT_S,
+                     minimum=0.0)
+
+
+class ServiceServer(BaseHttpServer):
     """One scheduler plus the asyncio HTTP listener in front of it."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  scheduler: Optional[Scheduler] = None, **scheduler_kwargs):
-        self.host = host
-        self._requested_port = port
-        self.port: Optional[int] = None
+        super().__init__(host=host, port=port)
         self.scheduler = (scheduler if scheduler is not None
                           else Scheduler(**scheduler_kwargs))
         self.metrics = self.scheduler.metrics
-        self._server: Optional[asyncio.AbstractServer] = None
 
     # --- lifecycle ----------------------------------------------------------
 
-    async def start(self) -> None:
+    async def on_start(self) -> None:
         self.scheduler.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self._requested_port)
-        self.port = self._server.sockets[0].getsockname()[1]
 
-    async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+    async def on_stop(self) -> None:
         await self.scheduler.stop()
 
-    async def serve_forever(self) -> None:
-        assert self._server is not None, "call start() first"
-        async with self._server:
-            await self._server.serve_forever()
+    async def drain_and_stop(self, timeout: Optional[float] = None) -> bool:
+        """Refuse new work, finish admitted jobs, then stop.
 
-    # --- HTTP plumbing ------------------------------------------------------
-
-    async def _handle_connection(self, reader: asyncio.StreamReader,
-                                 writer: asyncio.StreamWriter) -> None:
+        Returns True when the drain completed inside ``timeout``
+        (default ``REPRO_DRAIN_TIMEOUT``); False when the window closed
+        with work still in flight (completed groups are persisted
+        either way).
+        """
+        if timeout is None:
+            timeout = drain_timeout_by_env()
+        drained = True
         try:
-            request = await self._read_request(reader)
-            if request is None:
-                return
-            method, path, headers, body = request
-            await self._route(method, path, headers, body, writer)
-        except (ConnectionError, asyncio.IncompleteReadError):
-            pass
-        except Exception as exc:  # last-ditch: never kill the acceptor
-            try:
-                self._respond(writer, 500, {"error": "%s: %s"
-                                            % (type(exc).__name__, exc)})
-            except ConnectionError:
-                pass
-        finally:
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except (ConnectionError, RuntimeError):
-                pass
-
-    @staticmethod
-    async def _read_request(reader: asyncio.StreamReader
-                            ) -> Optional[Tuple[str, str, Dict[str, str],
-                                                bytes]]:
-        request_line = await reader.readline()
-        if not request_line.strip():
-            return None
-        try:
-            method, path, _ = request_line.decode("latin-1").split(None, 2)
-        except ValueError:
-            return None
-        headers: Dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        if length > MAX_BODY_BYTES:
-            raise ValueError("request body too large (%d bytes)" % length)
-        body = await reader.readexactly(length) if length else b""
-        return method.upper(), path, headers, body
-
-    def _respond(self, writer: asyncio.StreamWriter, status: int,
-                 payload, content_type: str = "application/json",
-                 extra_headers: Optional[Dict[str, str]] = None) -> None:
-        if isinstance(payload, (dict, list)):
-            body = (json.dumps(payload, indent=2) + "\n").encode()
-        elif isinstance(payload, str):
-            body = payload.encode()
-        else:
-            body = payload
-        lines = [
-            "HTTP/1.1 %d %s" % (status, _STATUS_TEXT.get(status, "Unknown")),
-            "Content-Type: %s" % content_type,
-            "Content-Length: %d" % len(body),
-            "Connection: close",
-        ]
-        for name, value in (extra_headers or {}).items():
-            lines.append("%s: %s" % (name, value))
-        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+            if timeout > 0:
+                await asyncio.wait_for(self.scheduler.drain(), timeout)
+            else:
+                await self.scheduler.drain()
+        except asyncio.TimeoutError:
+            drained = False
+        await self.stop()
+        return drained
 
     # --- routing ------------------------------------------------------------
 
@@ -161,11 +119,7 @@ class ServiceServer:
         query = parse_qs(url.query)
 
         if path == "/healthz" and method == "GET":
-            self._respond(writer, 200, {
-                "status": "ok",
-                "queue_depth": len(self.scheduler.queue),
-                "paused": self.scheduler.paused,
-            })
+            self._respond(writer, 200, self.health())
         elif path == "/metrics" and method == "GET":
             self._respond(writer, 200, self.metrics.render(),
                           content_type="text/plain; version=0.0.4")
@@ -176,6 +130,18 @@ class ServiceServer:
         else:
             self._respond(writer, 404, {"error": "no route %s %s"
                                         % (method, path)})
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload; coordinator probes parse this."""
+        scheduler = self.scheduler
+        return {
+            "status": "draining" if scheduler.draining else "ok",
+            "queue_depth": len(scheduler.queue),
+            "inflight": int(scheduler.metrics.inflight.value()),
+            "jobs_tracked": len(scheduler.jobs),
+            "paused": scheduler.paused,
+            "draining": scheduler.draining,
+        }
 
     def _submit(self, headers: Dict[str, str], body: bytes,
                 writer: asyncio.StreamWriter) -> None:
@@ -193,6 +159,14 @@ class ServiceServer:
         try:
             job, disposition = self.scheduler.submit(spec, client=client,
                                                      priority=priority)
+        except DrainingError as exc:
+            self._respond(
+                writer, 503,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s,
+                 "draining": True},
+                extra_headers={"Retry-After":
+                               "%d" % max(1, round(exc.retry_after_s))})
+            return
         except QueueFullError as exc:
             self._respond(
                 writer, 429,
@@ -280,7 +254,7 @@ class ServiceServer:
             await job.next_change()
 
 
-class ThreadedServer:
+class ThreadedServer(ThreadedHttpServer):
     """Run a :class:`ServiceServer` on a background thread.
 
     The harness for tests, benchmarks and in-process embedding: the
@@ -290,83 +264,12 @@ class ThreadedServer:
     races).
     """
 
-    def __init__(self, **server_kwargs):
-        self._kwargs = server_kwargs
-        self.server: Optional[ServiceServer] = None
-        self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._thread: Optional[threading.Thread] = None
-        self._started = threading.Event()
-        self._startup_error: Optional[BaseException] = None
-        self._shutdown: Optional[asyncio.Event] = None
+    thread_name = "repro-service"
 
-    @property
-    def port(self) -> int:
-        assert self.server is not None and self.server.port is not None
-        return self.server.port
+    def _build(self) -> ServiceServer:
+        return ServiceServer(**self._kwargs)
 
     @property
     def scheduler(self) -> Scheduler:
         assert self.server is not None
         return self.server.scheduler
-
-    def __enter__(self) -> "ThreadedServer":
-        self.start()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
-
-    def start(self, timeout: float = 30.0) -> "ThreadedServer":
-        self._thread = threading.Thread(target=self._run, daemon=True,
-                                        name="repro-service")
-        self._thread.start()
-        if not self._started.wait(timeout):
-            raise RuntimeError("service failed to start within %gs" % timeout)
-        if self._startup_error is not None:
-            raise RuntimeError("service failed to start") \
-                from self._startup_error
-        return self
-
-    def _run(self) -> None:
-        loop = asyncio.new_event_loop()
-        asyncio.set_event_loop(loop)
-        self._loop = loop
-        self.server = ServiceServer(**self._kwargs)
-
-        async def main() -> None:
-            self._shutdown = asyncio.Event()
-            try:
-                await self.server.start()
-            except BaseException as exc:
-                self._startup_error = exc
-                self._started.set()
-                return
-            self._started.set()
-            await self._shutdown.wait()
-            await self.server.stop()
-
-        try:
-            loop.run_until_complete(main())
-        finally:
-            loop.close()
-
-    def call(self, fn, *args, timeout: float = 30.0):
-        """Run ``fn(*args)`` on the event-loop thread; return its value."""
-        assert self._loop is not None
-        future: Future = Future()
-
-        def invoke() -> None:
-            try:
-                future.set_result(fn(*args))
-            except BaseException as exc:
-                future.set_exception(exc)
-
-        self._loop.call_soon_threadsafe(invoke)
-        return future.result(timeout)
-
-    def stop(self, timeout: float = 30.0) -> None:
-        if self._loop is None or self._thread is None:
-            return
-        if self._thread.is_alive() and self._shutdown is not None:
-            self._loop.call_soon_threadsafe(self._shutdown.set)
-        self._thread.join(timeout)

@@ -1,0 +1,97 @@
+"""Consistent-hash ring unit tests: determinism, stability, balance."""
+
+from repro.cluster.hashring import HashRing
+
+
+def keys(n):
+    return ["job-%d" % i for i in range(n)]
+
+
+class TestLookup:
+    def test_deterministic_across_instances(self):
+        """Two rings with the same membership agree on every key —
+        the property that lets coordinator, tests and benches compute
+        identical placements in different processes."""
+        a = HashRing(["s0", "s1", "s2"])
+        b = HashRing(["s2", "s0", "s1"])  # insertion order must not matter
+        for key in keys(200):
+            assert a.lookup(key) == b.lookup(key)
+
+    def test_empty_ring_returns_none(self):
+        assert HashRing().lookup("anything") is None
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.lookup(k) == "only" for k in keys(50))
+
+    def test_membership_helpers(self):
+        ring = HashRing(["s0", "s1"])
+        assert len(ring) == 2
+        assert "s0" in ring and "s2" not in ring
+        assert ring.nodes == ("s0", "s1")
+
+
+class TestStability:
+    def test_removal_moves_only_the_removed_nodes_keys(self):
+        """Evicting one shard relocates only that shard's keys; every
+        other placement is untouched."""
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        before = {k: ring.lookup(k) for k in keys(400)}
+        ring.remove("s2")
+        for key, owner in before.items():
+            if owner == "s2":
+                assert ring.lookup(key) != "s2"
+            else:
+                assert ring.lookup(key) == owner
+
+    def test_re_adding_restores_placements(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        before = {k: ring.lookup(k) for k in keys(300)}
+        ring.remove("s1")
+        ring.add("s1")
+        assert {k: ring.lookup(k) for k in keys(300)} == before
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(["s0", "s1"])
+        before = {k: ring.lookup(k) for k in keys(100)}
+        ring.add("s0")
+        assert {k: ring.lookup(k) for k in keys(100)} == before
+        assert len(ring) == 2
+
+
+class TestExclude:
+    def test_exclude_falls_to_successor_deterministically(self):
+        """Skipping a breaker-open shard yields the same fallback owner
+        every time without mutating ring membership."""
+        ring = HashRing(["s0", "s1", "s2"])
+        key = next(k for k in keys(500) if ring.lookup(k) == "s1")
+        fallback = ring.lookup(key, exclude=frozenset({"s1"}))
+        assert fallback in ("s0", "s2")
+        for _ in range(5):
+            assert ring.lookup(key, exclude=frozenset({"s1"})) == fallback
+        assert ring.lookup(key) == "s1"  # membership untouched
+
+    def test_exclude_matches_removal(self):
+        """Excluding a node routes exactly where removing it would —
+        re-routed jobs land on the shard that will own them after
+        eviction."""
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        removed = HashRing(["s0", "s1", "s3"])
+        for key in keys(200):
+            assert ring.lookup(key, exclude=frozenset({"s2"})) == \
+                removed.lookup(key)
+
+    def test_all_excluded_returns_none(self):
+        ring = HashRing(["s0", "s1"])
+        assert ring.lookup("k", exclude=frozenset({"s0", "s1"})) is None
+
+
+class TestBalance:
+    def test_vnodes_spread_load(self):
+        """With 64 vnodes per shard no shard of 4 owns a wildly
+        disproportionate share of a uniform keyspace."""
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        counts = ring.key_counts(keys(2000))
+        assert sum(counts.values()) == 2000
+        for node, count in counts.items():
+            assert 0.10 * 2000 < count < 0.45 * 2000, (node, counts)

@@ -1,0 +1,95 @@
+"""Per-tenant token-bucket tests with an injected fake clock."""
+
+import pytest
+
+from repro.cluster.ratelimit import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 50.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestTokenBucket:
+    def test_burst_then_reject(self, clock):
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is None
+        retry = bucket.try_acquire()
+        assert retry is not None and retry > 0
+
+    def test_retry_after_is_honest(self, clock):
+        """The hint is exactly the time until the bucket refills enough."""
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.try_acquire() is None
+        retry = bucket.try_acquire()
+        assert retry == pytest.approx(0.5)
+        clock.advance(retry)
+        assert bucket.try_acquire() is None
+
+    def test_refill_caps_at_burst(self, clock):
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        clock.advance(100.0)  # hours of refill still caps at burst
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is not None
+
+    def test_steady_state_rate(self, clock):
+        """Draining the burst, a tenant sustains exactly `rate`/s."""
+        bucket = TokenBucket(rate=5.0, burst=1, clock=clock)
+        admitted = 0
+        for _ in range(50):
+            if bucket.try_acquire() is None:
+                admitted += 1
+            clock.advance(0.1)
+        assert admitted == pytest.approx(25, abs=2)
+
+    def test_rejects_nonpositive_parameters(self, clock):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1, clock=clock)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0, clock=clock)
+
+
+class TestRateLimiter:
+    def test_tenants_are_isolated(self, clock):
+        """One tenant exhausting its bucket cannot starve another."""
+        limiter = RateLimiter(rate=1.0, burst=2, clock=clock)
+        assert limiter.try_acquire("greedy") is None
+        assert limiter.try_acquire("greedy") is None
+        assert limiter.try_acquire("greedy") is not None
+        assert limiter.try_acquire("polite") is None
+        assert limiter.tenants == 2
+
+    def test_rejection_count(self, clock):
+        limiter = RateLimiter(rate=1.0, burst=1, clock=clock)
+        limiter.try_acquire("a")
+        limiter.try_acquire("a")
+        limiter.try_acquire("a")
+        assert limiter.rejections == 2
+
+    def test_env_defaults(self, clock, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_RATE", "3.5")
+        monkeypatch.setenv("REPRO_CLUSTER_BURST", "7")
+        limiter = RateLimiter(clock=clock)
+        assert limiter.rate == 3.5
+        assert limiter.burst == 7
+
+    def test_junk_env_rejected(self, clock, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_BURST", "lots")
+        with pytest.raises(ValueError, match="REPRO_CLUSTER_BURST"):
+            RateLimiter(clock=clock)

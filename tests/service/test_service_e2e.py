@@ -98,6 +98,20 @@ class TestExactlyOnce:
         assert samples["repro_simulations_run_total"] == 1
         assert samples["repro_singleflight_coalesced_total"] == 2
 
+    def test_same_spec_different_seeds_all_complete(self, server, client):
+        """Seeds are part of a batch task's identity: jobs differing
+        only by seed must not collide in the dispatch bookkeeping
+        (a colliding task ID left all but one stuck RUNNING)."""
+        server.call(server.scheduler.pause)
+        statuses = [client.submit(spec_for("update", "B", seed=2021 + i))
+                    for i in range(4)]
+        assert len({status["id"] for status in statuses}) == 4
+        server.call(server.scheduler.resume)
+        finals = client.wait_all(statuses)
+        assert all(status["state"] == "done" for status in finals)
+        samples = client.metric_samples()
+        assert samples["repro_simulations_run_total"] == 4
+
     def test_concurrent_duplicate_submissions_run_once(self, server):
         """Ten clients race to submit the same spec: one simulation."""
         results = []
