@@ -129,3 +129,85 @@ def test_resilience_chaos_convergence(benchmark):
     assert report.all_succeeded
     assert sum(spent.values()) >= 2, "the fault plan never fired"
     assert report.pool_respawns >= 1
+
+
+def _run_cluster_matrix(scale, config_names, cache_dir, proxy_plan=None):
+    """One clustered matrix run; returns (wall seconds, digests)."""
+    from repro.chaos.netproxy import ThreadedFaultProxy
+    from repro.cluster.coordinator import ThreadedCoordinator
+    from repro.service import ServiceClient, ThreadedServer
+
+    servers = [ThreadedServer(max_workers=1, cache_dir=cache_dir)
+               for _ in range(2)]
+    for server in servers:
+        server.start()
+    proxies = []
+    addresses = [("127.0.0.1", server.port) for server in servers]
+    if proxy_plan is not None:
+        for host, port in addresses:
+            proxy = ThreadedFaultProxy(upstream_host=host,
+                                       upstream_port=port, plan=proxy_plan)
+            proxy.start()
+            proxies.append(proxy)
+        addresses = [("127.0.0.1", proxy.port) for proxy in proxies]
+    try:
+        with ThreadedCoordinator(shards=addresses,
+                                 probe_interval_s=1.0) as coordinator:
+            client = ServiceClient(port=coordinator.port, client_id="bench")
+            start = time.perf_counter()
+            statuses = client.submit_matrix(list(APPS), list(config_names),
+                                            scale.ops_per_txn, scale.txns,
+                                            seed=scale.seed)
+            finals = client.wait_all(statuses, timeout=600)
+            elapsed = time.perf_counter() - start
+            assert all(status["state"] == "done" for status in finals)
+            digests = [client.result(status["id"])["digest"]
+                       for status in statuses]
+        return elapsed, digests
+    finally:
+        for proxy in proxies:
+            proxy.stop()
+        for server in servers:
+            server.stop()
+
+
+def test_resilience_cluster_degraded_link(benchmark):
+    """Clustered matrix throughput over clean vs latency-degraded links.
+
+    Every coordinator->shard connection through the fault proxy pays a
+    seeded ~20-40ms tax; the bench reports the end-to-end slowdown and
+    asserts the degraded run's digests still match a clean clustered
+    run bit for bit.
+    """
+    from repro.chaos.netproxy import NetFaultPlan, NetFaultSpec
+
+    scale = bench_scale()
+    config_names = ("B", "WB")
+    plan = NetFaultPlan(
+        faults=[NetFaultSpec(action="latency", times=-1, delay_s=0.02,
+                             jitter_s=0.02)],
+        seed=2021)
+    tmp = tempfile.mkdtemp(prefix="repro-cluster-bench-")
+    try:
+        def run():
+            clean_s, clean_digests = _run_cluster_matrix(
+                scale, config_names, tmp + "/cache-clean")
+            degraded_s, degraded_digests = _run_cluster_matrix(
+                scale, config_names, tmp + "/cache-degraded",
+                proxy_plan=plan)
+            return clean_s, degraded_s, clean_digests, degraded_digests
+
+        clean_s, degraded_s, clean_digests, degraded_digests = \
+            benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    assert degraded_digests == clean_digests
+    slowdown = degraded_s / clean_s if clean_s else float("inf")
+    benchmark.extra_info["clean_seconds"] = round(clean_s, 3)
+    benchmark.extra_info["degraded_seconds"] = round(degraded_s, 3)
+    benchmark.extra_info["degraded_slowdown"] = round(slowdown, 2)
+
+    print_header("Resilience: cluster matrix over a degraded link")
+    print("  clean links    : %.3f s" % clean_s)
+    print("  +latency links : %.3f s  (%.2fx)" % (degraded_s, slowdown))

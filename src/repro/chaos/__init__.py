@@ -22,13 +22,37 @@ from repro.chaos.plan import (
     summarize_state,
 )
 
+# The netproxy exports resolve lazily (PEP 562): repro.chaos is itself
+# imported by the harness the service layer is built on, and netproxy
+# needs repro.service.http — an eager import here would be a cycle.
+_NETPROXY_EXPORTS = ("FaultProxy", "NetFaultPlan", "NetFaultSpec",
+                     "ThreadedFaultProxy", "NETPROXY_ENV_VAR")
+
+
+def __getattr__(name):
+    if name in _NETPROXY_EXPORTS:
+        from repro.chaos import netproxy
+
+        value = (netproxy.ENV_VAR if name == "NETPROXY_ENV_VAR"
+                 else getattr(netproxy, name))
+        globals()[name] = value
+        return value
+    raise AttributeError("module %r has no attribute %r"
+                         % (__name__, name))
+
+
 __all__ = [
     "ACTIONS",
     "ENV_VAR",
     "KILL_EXIT_CODE",
     "ChaosError",
     "FaultPlan",
+    "FaultProxy",
     "FaultSpec",
+    "NETPROXY_ENV_VAR",
+    "NetFaultPlan",
+    "NetFaultSpec",
+    "ThreadedFaultProxy",
     "bitflip_file",
     "chaos_active",
     "chaos_point",

@@ -18,6 +18,12 @@ from repro.cluster.coordinator import (
     federate_metrics,
 )
 from repro.cluster.hashring import HashRing
+from repro.cluster.journal import (
+    CoordinatorJournal,
+    JournalRecord,
+    RecoveredState,
+    replay_records,
+)
 from repro.cluster.local import LocalCluster
 from repro.cluster.ratelimit import RateLimiter, TokenBucket
 
@@ -27,11 +33,15 @@ __all__ = [
     "OPEN",
     "CircuitBreaker",
     "ClusterCoordinator",
+    "CoordinatorJournal",
     "HashRing",
+    "JournalRecord",
     "LocalCluster",
     "RateLimiter",
+    "RecoveredState",
     "ShardState",
     "ThreadedCoordinator",
     "TokenBucket",
     "federate_metrics",
+    "replay_records",
 ]

@@ -12,6 +12,14 @@ talks to a cluster unchanged.  What the coordinator adds:
   from any client, any time — always land on the same shard and the
   shard's single-flight dedup keeps the cluster-wide exactly-once
   guarantee.  The winning shard's name is stamped into the response.
+* **A write-ahead journal** (:mod:`repro.cluster.journal`, optional):
+  every admission (submit body + tenant), routing decision, completion
+  and membership change is appended to a CRC-framed on-disk log before
+  the response leaves, so a coordinator killed at *any* instruction can
+  be restarted from the journal: it rebuilds the routed-job table,
+  re-probes its shards and re-submits every unfinished job — a replayed
+  job that actually finished is a shared-result-cache hit and one still
+  running coalesces on its shard, so exactly-once survives the crash.
 * **Per-tenant token-bucket rate limiting** before any shard is
   touched: a tenant that bursts past its bucket gets ``429`` + an
   honest ``Retry-After``; other tenants are untouched.
@@ -19,12 +27,18 @@ talks to a cluster unchanged.  What the coordinator adds:
   shard's breaker; an open breaker excludes the shard from routing (the
   ring walks to the deterministic next owner) and half-open probes
   re-admit it, so one sick shard cannot stall the fleet.
-* **Status/result/SSE proxying** (``GET /jobs/<id>...``): lookups
-  follow the recorded route (authoritative across evictions), falling
-  back to ring placement and finally to a shard sweep; while a job's
-  shard is down awaiting re-route the coordinator answers with a
-  synthetic ``queued`` status so pollers keep polling instead of
-  erroring.
+* **Deadline-bounded, hedged status/result proxying** (``GET
+  /jobs/<id>...``): a client-sent ``X-Deadline`` header caps every
+  upstream exchange spent answering that request (expired budget is an
+  honest ``504``), per-read timeouts are bounded (``read_timeout_s``)
+  instead of inheriting the 10-minute submit budget, and when the
+  recorded owner is slow the remaining candidates are *hedged* —
+  probed concurrently after ``hedge_delay_s`` — so one black-holed
+  link costs one read timeout, not a timeout per candidate.  Lookups
+  follow the recorded route, falling back to ring placement and
+  finally a shard sweep; while a job's shard is down awaiting re-route
+  the coordinator answers with a synthetic ``queued`` status so pollers
+  keep polling instead of erroring.
 * **Federated ``/metrics``**: each shard's Prometheus page is fetched,
   every sample is relabelled with ``shard="<name>"``, families are
   merged in first-seen order, and the coordinator's own
@@ -42,6 +56,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from urllib.parse import urlsplit
@@ -58,6 +73,15 @@ from repro.service.jobs import JobSpec, job_id_for
 from repro.service.metrics import Counter, Gauge, MetricsRegistry
 from repro.cluster.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.cluster.hashring import HashRing
+from repro.cluster.journal import (
+    KIND_ADMIT,
+    KIND_DONE,
+    KIND_MEMBER,
+    KIND_ROUTE,
+    CoordinatorJournal,
+    replay_records,
+    snapshot_records,
+)
 from repro.cluster.ratelimit import RateLimiter
 
 __all__ = ["ClusterCoordinator", "ThreadedCoordinator", "ShardState",
@@ -67,6 +91,12 @@ __all__ = ["ClusterCoordinator", "ThreadedCoordinator", "ShardState",
 DEFAULT_PROBE_INTERVAL_S = 1.0
 #: Consecutive probe failures before a shard is evicted from the ring.
 DEFAULT_EVICT_AFTER = 2
+#: Default wall-clock bound on one coordinator->shard submit exchange.
+DEFAULT_PROXY_TIMEOUT_S = 600.0
+#: Default wall-clock bound on one status/result read from a shard.
+DEFAULT_READ_TIMEOUT_S = 30.0
+#: Default delay before a slow read is hedged to the next candidate.
+DEFAULT_HEDGE_DELAY_S = 0.25
 #: Terminal job states (mirrors JobState.TERMINAL without the import
 #: cycle risk at JSON level).
 _TERMINAL = ("done", "failed")
@@ -77,6 +107,20 @@ def probe_interval_by_env() -> float:
     probe rounds at the coordinator."""
     return env_float("REPRO_CLUSTER_PROBE_INTERVAL",
                      DEFAULT_PROBE_INTERVAL_S, minimum=0.01)
+
+
+def proxy_timeout_by_env() -> float:
+    """``REPRO_PROXY_TIMEOUT``: seconds one coordinator->shard submit
+    exchange may take before it counts as a transport failure."""
+    return env_float("REPRO_PROXY_TIMEOUT", DEFAULT_PROXY_TIMEOUT_S,
+                     minimum=0.01)
+
+
+def hedge_delay_by_env() -> float:
+    """``REPRO_HEDGE_DELAY``: seconds a status/result read waits on the
+    owning shard before hedging the next candidate concurrently."""
+    return env_float("REPRO_HEDGE_DELAY", DEFAULT_HEDGE_DELAY_S,
+                     minimum=0.0)
 
 
 class ShardState:
@@ -116,12 +160,14 @@ class ShardState:
 class _Route:
     """Where one submitted job lives, and how to replay it."""
 
-    __slots__ = ("body", "shard", "terminal")
+    __slots__ = ("body", "shard", "terminal", "tenant")
 
-    def __init__(self, body: bytes, shard: str, terminal: bool = False):
+    def __init__(self, body: bytes, shard: str, terminal: bool = False,
+                 tenant: str = "anonymous"):
         self.body = body          # exact upstream submit body, for replay
         self.shard = shard
         self.terminal = terminal
+        self.tenant = tenant
 
 
 class ClusterMetrics:
@@ -154,6 +200,27 @@ class ClusterMetrics:
         self.probes = reg(Counter(
             "repro_cluster_probes_total",
             "Health probes sent, by outcome."))
+        self.hedged_reads = reg(Counter(
+            "repro_cluster_hedged_reads_total",
+            "Status/result reads launched while another candidate was "
+            "still in flight."))
+        self.deadline_exceeded = reg(Counter(
+            "repro_cluster_deadline_exceeded_total",
+            "Requests answered 504 because the client deadline expired."))
+        self.journal_records = reg(Counter(
+            "repro_cluster_journal_records_total",
+            "Records appended to the coordinator journal, by kind."))
+        self.journal_errors = reg(Counter(
+            "repro_cluster_journal_errors_total",
+            "Journal appends that failed at the filesystem (served "
+            "anyway; durability degraded)."))
+        self.journal_resubmitted = reg(Counter(
+            "repro_cluster_journal_resubmitted_total",
+            "Unfinished jobs re-submitted to shards during journal "
+            "recovery."))
+        self.journal_bytes = reg(Gauge(
+            "repro_cluster_journal_bytes",
+            "Current size of the coordinator journal file."))
         self.shard_up = reg(Gauge(
             "repro_cluster_shard_up",
             "1 when the shard is routable, 0 otherwise, by shard."))
@@ -233,11 +300,16 @@ class ClusterCoordinator(BaseHttpServer):
                  probe_interval_s: Optional[float] = None,
                  probe_timeout_s: float = 5.0,
                  evict_after: int = DEFAULT_EVICT_AFTER,
-                 proxy_timeout_s: float = 600.0,
+                 proxy_timeout_s: Optional[float] = None,
+                 read_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
+                 hedge_delay_s: Optional[float] = None,
                  rate: Optional[float] = None,
                  burst: Optional[int] = None,
                  breaker_threshold: Optional[float] = None,
                  breaker_reset_s: Optional[float] = None,
+                 journal_dir=None,
+                 journal_fsync_interval_s: Optional[float] = None,
+                 journal_compact_bytes: Optional[int] = None,
                  params=DEFAULT_PARAMS):
         super().__init__(host=host, port=port)
         if not shards:
@@ -248,7 +320,12 @@ class ClusterCoordinator(BaseHttpServer):
                                  else probe_interval_by_env())
         self.probe_timeout_s = probe_timeout_s
         self.evict_after = max(1, evict_after)
-        self.proxy_timeout_s = proxy_timeout_s
+        self.proxy_timeout_s = (proxy_timeout_s
+                                if proxy_timeout_s is not None
+                                else proxy_timeout_by_env())
+        self.read_timeout_s = read_timeout_s
+        self.hedge_delay_s = (hedge_delay_s if hedge_delay_s is not None
+                              else hedge_delay_by_env())
         self.limiter = RateLimiter(rate=rate, burst=burst)
         self.metrics = ClusterMetrics()
         self.shards: Dict[str, ShardState] = {}
@@ -260,27 +337,158 @@ class ClusterCoordinator(BaseHttpServer):
                                reset_timeout_s=breaker_reset_s))
         self.ring = HashRing(self.shards)
         self.routes: Dict[str, _Route] = {}
+        self.journal: Optional[CoordinatorJournal] = None
+        if journal_dir is not None:
+            self.journal = CoordinatorJournal(
+                journal_dir,
+                fsync_interval_s=journal_fsync_interval_s,
+                compact_bytes=journal_compact_bytes)
+        self.recovered_jobs = 0
+        self._recovery_queue: List[Tuple[str, bytes, str]] = []
+        self._member_events: Dict[str, str] = {}
         self._probe_task: Optional[asyncio.Task] = None
+        self._recovery_task: Optional[asyncio.Task] = None
 
     # --- lifecycle ----------------------------------------------------------
 
     async def on_start(self) -> None:
+        if self.journal is not None:
+            self._recover()
+            self.journal.open()
         self._probe_task = asyncio.get_running_loop().create_task(
             self._probe_loop())
+        if self._recovery_queue:
+            self._recovery_task = asyncio.get_running_loop().create_task(
+                self._resubmit_recovered())
 
     async def on_stop(self) -> None:
-        if self._probe_task is not None:
-            self._probe_task.cancel()
+        for task in (self._recovery_task, self._probe_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._recovery_task = self._probe_task = None
+        if self.journal is not None:
+            self.journal.close()
+
+    # --- journaling ---------------------------------------------------------
+
+    def _journal_append(self, record: dict) -> None:
+        """Append one record, absorbing filesystem failures.
+
+        A dead journal device degrades durability, never availability:
+        the append error is counted and surfaced through ``/healthz``
+        while the cluster keeps serving.
+        """
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(record)
+            self.journal.maybe_compact(self._snapshot_records)
+        except OSError:
+            self.metrics.journal_errors.inc()
+            return
+        self.metrics.journal_records.inc(kind=record["kind"])
+        self.metrics.journal_bytes.set(self.journal.size_bytes)
+
+    def _snapshot_records(self) -> List[dict]:
+        """Minimal record stream rebuilding current state (compaction)."""
+        jobs = {
+            job_id: {"body": route.body, "shard": route.shard,
+                     "tenant": route.tenant, "terminal": route.terminal}
+            for job_id, route in self.routes.items()
+        }
+        return snapshot_records(jobs, dict(self._member_events))
+
+    def _recover(self) -> None:
+        """Replay the journal into the routed-job table (before open)."""
+        assert self.journal is not None
+        state = replay_records(self.journal.replay())
+        for job_id, info in state.jobs.items():
+            if info["shard"] is not None and info["shard"] in self.shards:
+                self.routes[job_id] = _Route(
+                    info["body"], info["shard"],
+                    terminal=info["terminal"], tenant=info["tenant"])
+        self._member_events = dict(state.membership)
+        self._recovery_queue = [
+            (job_id, state.jobs[job_id]["body"],
+             state.jobs[job_id]["tenant"])
+            for job_id in state.unfinished
+        ]
+        self.recovered_jobs = len(state.jobs)
+
+    async def _resubmit_recovered(self) -> None:
+        """Re-drive every journaled-but-unfinished job after a restart.
+
+        Runs as a background task so the listener binds immediately
+        (pollers get their recorded routes or a synthetic ``queued``
+        meanwhile).  One probe round first, so routing sees live
+        shards.  Over-submission is safe: content-addressed IDs mean a
+        finished job is a shared-cache hit on its shard and a running
+        one coalesces onto the in-flight duplicate.
+        """
+        try:
+            await self.probe_once()
+        except Exception:
+            pass
+        queue, self._recovery_queue = self._recovery_queue, []
+        for job_id, body, tenant in queue:
             try:
-                await self._probe_task
+                name, status, _, data = await self._route_submit(
+                    job_id, body, tenant=tenant)
             except asyncio.CancelledError:
-                pass
+                raise
+            except Exception:
+                continue
+            if name is not None and 200 <= status < 300:
+                self.metrics.journal_resubmitted.inc()
+                self._note_terminal_from(self._stamp_shard(data, name),
+                                         job_id)
+
+    # --- deadlines ----------------------------------------------------------
+
+    @staticmethod
+    def _deadline_at(headers: Dict[str, str]) -> Optional[float]:
+        """Absolute monotonic deadline from a client ``X-Deadline``
+        header carrying the remaining budget in seconds."""
+        raw = headers.get("x-deadline")
+        if not raw:
+            return None
+        try:
+            budget = float(raw)
+        except ValueError:
+            return None
+        return time.monotonic() + max(0.0, budget)
+
+    @staticmethod
+    def _bounded(timeout: float, deadline_at: Optional[float]) -> float:
+        """Cap an upstream timeout by the client's remaining budget."""
+        if deadline_at is None:
+            return timeout
+        return max(0.0, min(timeout, deadline_at - time.monotonic()))
+
+    def _deadline_headers(self, deadline_at: Optional[float]
+                          ) -> Optional[Dict[str, str]]:
+        """Propagate the remaining budget upstream."""
+        if deadline_at is None:
+            return None
+        return {"X-Deadline":
+                "%g" % max(0.0, deadline_at - time.monotonic())}
+
+    def _respond_deadline(self, writer: asyncio.StreamWriter) -> None:
+        self.metrics.deadline_exceeded.inc()
+        self._respond(writer, 504,
+                      {"error": "request deadline exceeded before an "
+                                "upstream shard answered"})
 
     # --- upstream plumbing --------------------------------------------------
 
     async def _exchange(self, shard: ShardState, method: str, path: str,
                         body: Optional[bytes] = None,
-                        timeout: Optional[float] = None):
+                        timeout: Optional[float] = None,
+                        headers: Optional[Dict[str, str]] = None):
         """One breaker-fed upstream exchange.
 
         Transport failures count against the shard's breaker and
@@ -288,8 +496,9 @@ class ClusterCoordinator(BaseHttpServer):
         successes — the shard answered, however unhappily.
         """
         try:
-            status, headers, data = await http_fetch(
+            status, response_headers, data = await http_fetch(
                 shard.host, shard.port, method, path, body=body,
+                headers=headers,
                 timeout=timeout if timeout is not None
                 else self.proxy_timeout_s)
         except (OSError, asyncio.TimeoutError):
@@ -297,7 +506,7 @@ class ClusterCoordinator(BaseHttpServer):
             self.metrics.proxy_errors.inc(shard=shard.name)
             raise
         shard.breaker.record_success()
-        return status, headers, data
+        return status, response_headers, data
 
     # --- routing ------------------------------------------------------------
 
@@ -305,7 +514,9 @@ class ClusterCoordinator(BaseHttpServer):
         return frozenset(name for name, shard in self.shards.items()
                          if not shard.routable)
 
-    async def _route_submit(self, job_id: str, body: bytes
+    async def _route_submit(self, job_id: str, body: bytes,
+                            tenant: str = "anonymous",
+                            deadline_at: Optional[float] = None
                             ) -> Tuple[Optional[str], int, Dict[str, str],
                                        bytes]:
         """Send a submit body to the job's shard, walking the ring past
@@ -313,6 +524,9 @@ class ClusterCoordinator(BaseHttpServer):
         payload), with shard_name None when nothing was reachable."""
         attempted: set = set()
         while True:
+            timeout = self._bounded(self.proxy_timeout_s, deadline_at)
+            if deadline_at is not None and timeout <= 0:
+                return None, 0, {}, b""
             exclude = frozenset(self._unroutable_names() | attempted)
             name = self.ring.lookup(job_id, exclude=exclude)
             if name is None:
@@ -320,7 +534,8 @@ class ClusterCoordinator(BaseHttpServer):
             shard = self.shards[name]
             try:
                 status, headers, data = await self._exchange(
-                    shard, "POST", "/jobs", body=body)
+                    shard, "POST", "/jobs", body=body, timeout=timeout,
+                    headers=self._deadline_headers(deadline_at))
             except (OSError, asyncio.TimeoutError):
                 attempted.add(name)
                 continue
@@ -332,7 +547,9 @@ class ClusterCoordinator(BaseHttpServer):
                 continue
             if 200 <= status < 300:
                 self.metrics.jobs_routed.inc(shard=name)
-                self.routes[job_id] = _Route(body, name)
+                self.routes[job_id] = _Route(body, name, tenant=tenant)
+                self._journal_append({"kind": KIND_ROUTE, "job": job_id,
+                                      "shard": name})
             return name, status, headers, data
 
     # --- HTTP routes --------------------------------------------------------
@@ -352,13 +569,13 @@ class ClusterCoordinator(BaseHttpServer):
         elif path == "/jobs" and method == "POST":
             await self._submit(headers, body, writer)
         elif path.startswith("/jobs/") and method == "GET":
-            await self._job_route(path, url.query, writer)
+            await self._job_route(path, url.query, headers, writer)
         else:
             self._respond(writer, 404, {"error": "no route %s %s"
                                         % (method, path)})
 
     def health(self) -> dict:
-        return {
+        payload = {
             "status": "ok" if any(s.routable for s in self.shards.values())
             else "degraded",
             "role": "coordinator",
@@ -368,6 +585,16 @@ class ClusterCoordinator(BaseHttpServer):
             "jobs_routed": len(self.routes),
             "rate_limited": self.limiter.rejections,
         }
+        if self.journal is not None:
+            payload["journal"] = {
+                "path": str(self.journal.path),
+                "bytes": self.journal.size_bytes,
+                "records_appended": self.journal.records_appended,
+                "compactions": self.journal.compactions,
+                "recovered_jobs": self.recovered_jobs,
+                "recovery_pending": len(self._recovery_queue),
+            }
+        return payload
 
     async def _submit(self, headers: Dict[str, str], body: bytes,
                       writer: asyncio.StreamWriter) -> None:
@@ -382,6 +609,7 @@ class ClusterCoordinator(BaseHttpServer):
         except ValueError as exc:
             self._respond(writer, 400, {"error": str(exc)})
             return
+        deadline_at = self._deadline_at(headers)
 
         retry_after = self.limiter.try_acquire(client)
         if retry_after is not None:
@@ -397,9 +625,18 @@ class ClusterCoordinator(BaseHttpServer):
         job_id = job_id_for(spec, self.params)
         upstream_body = json.dumps({"spec": spec.to_dict(), "client": client,
                                     "priority": priority}).encode()
-        name, status, _, data = await self._route_submit(job_id,
-                                                         upstream_body)
+        # Journal the admission before any shard is touched: a crash
+        # from here on re-drives the job on restart.
+        self._journal_append({"kind": KIND_ADMIT, "job": job_id,
+                              "body": upstream_body.decode("latin-1"),
+                              "tenant": client})
+        name, status, _, data = await self._route_submit(
+            job_id, upstream_body, tenant=client, deadline_at=deadline_at)
         if name is None:
+            if deadline_at is not None \
+                    and deadline_at - time.monotonic() <= 0:
+                self._respond_deadline(writer)
+                return
             self.metrics.unroutable.inc()
             retry = self.probe_interval_s * self.evict_after
             self._respond(
@@ -427,10 +664,16 @@ class ClusterCoordinator(BaseHttpServer):
     def _note_terminal_from(self, payload, job_id: str) -> None:
         if isinstance(payload, dict) and payload.get("state") in _TERMINAL:
             route = self.routes.get(job_id)
-            if route is not None:
+            if route is not None and not route.terminal:
                 route.terminal = True
+                # The body exists only for replay; a finished job will
+                # never be replayed, so stop carrying (and journaling)
+                # its bytes.
+                route.body = b""
+                self._journal_append({"kind": KIND_DONE, "job": job_id})
 
     async def _job_route(self, path: str, query: str,
+                         headers: Dict[str, str],
                          writer: asyncio.StreamWriter) -> None:
         parts = path.split("/")  # ["", "jobs", <id>, (tail)]
         job_id = parts[2] if len(parts) > 2 else ""
@@ -453,22 +696,19 @@ class ClusterCoordinator(BaseHttpServer):
 
         if tail == "events":
             await self._stream_proxy(candidates, upstream_path, writer,
-                                     job_id)
+                                     job_id, request_headers=headers)
             return
 
-        last_404 = None
-        for name in candidates:
-            shard = self.shards[name]
-            if shard.evicted:
-                continue
-            try:
-                status, up_headers, data = await self._exchange(
-                    shard, "GET", upstream_path)
-            except (OSError, asyncio.TimeoutError):
-                continue
-            if status == 404:
-                last_404 = (status, data)
-                continue
+        deadline_at = self._deadline_at(headers)
+        timeout = self._bounded(self.read_timeout_s, deadline_at)
+        if deadline_at is not None and timeout <= 0:
+            self._respond_deadline(writer)
+            return
+        answer = await self._hedged_read(
+            candidates, upstream_path, timeout,
+            headers=self._deadline_headers(deadline_at))
+        if answer is not None and answer[1] != 404:
+            name, status, up_headers, data = answer
             payload = self._stamp_shard(data, name)
             if tail == "":
                 self._note_terminal_from(payload, job_id)
@@ -487,16 +727,86 @@ class ClusterCoordinator(BaseHttpServer):
                                         "rerouting": True,
                                         "shard": route.shard})
             return
-        if last_404 is not None:
+        if answer is not None:  # every shard that answered said 404
             self._respond(writer, 404, {"error": "unknown job %r" % job_id})
+            return
+        if deadline_at is not None and deadline_at - time.monotonic() <= 0:
+            self._respond_deadline(writer)
             return
         self._respond(writer, 502, {"error": "no shard could answer for "
                                              "job %r" % job_id})
 
+    async def _hedged_read(self, candidates: List[str], path: str,
+                           timeout: float,
+                           headers: Optional[Dict[str, str]] = None
+                           ) -> Optional[Tuple[str, int, Dict[str, str],
+                                               bytes]]:
+        """Race a GET across candidates, staggered by ``hedge_delay_s``.
+
+        The first candidate (the recorded owner) is asked immediately;
+        every ``hedge_delay_s`` without an answer, the next candidate
+        is asked *concurrently* — a black-holed owner costs one read
+        timeout in total, not one per candidate.  The first response
+        that is neither a transport failure nor a 404 wins and the
+        rest are cancelled.  Returns the last 404 when every answering
+        shard denied knowing the job, and None when nothing answered.
+        """
+        names = [name for name in candidates
+                 if not self.shards[name].evicted]
+        pending: Dict[asyncio.Task, str] = {}
+        last_404: Optional[Tuple[str, int, Dict[str, str], bytes]] = None
+        index = 0
+
+        def _consume(task: asyncio.Task) -> None:
+            if not task.cancelled():
+                task.exception()
+
+        try:
+            while index < len(names) or pending:
+                if index < len(names):
+                    shard = self.shards[names[index]]
+                    if pending:
+                        self.metrics.hedged_reads.inc()
+                    task = asyncio.ensure_future(self._exchange(
+                        shard, "GET", path, timeout=timeout,
+                        headers=headers))
+                    pending[task] = names[index]
+                    index += 1
+                wait_timeout = (self.hedge_delay_s
+                                if index < len(names) else None)
+                done, _ = await asyncio.wait(
+                    set(pending), timeout=wait_timeout,
+                    return_when=asyncio.FIRST_COMPLETED)
+                for task in done:
+                    name = pending.pop(task)
+                    try:
+                        status, up_headers, data = task.result()
+                    except (OSError, asyncio.TimeoutError):
+                        continue
+                    if status == 404:
+                        last_404 = (name, status, up_headers, data)
+                        continue
+                    return name, status, up_headers, data
+            return last_404
+        finally:
+            for task in pending:
+                task.cancel()
+                task.add_done_callback(_consume)
+
     async def _stream_proxy(self, candidates: List[str], path: str,
                             writer: asyncio.StreamWriter,
-                            job_id: str) -> None:
-        """Pipe an upstream byte stream (SSE) through verbatim."""
+                            job_id: str,
+                            request_headers: Optional[Dict[str, str]] = None
+                            ) -> None:
+        """Pipe an upstream byte stream (SSE) through verbatim.
+
+        A client's ``Last-Event-ID`` resumption header is forwarded so
+        a reconnecting watcher picks up exactly where its dropped
+        stream left off, on whichever shard answers.
+        """
+        forward: Optional[Dict[str, str]] = None
+        if request_headers and "last-event-id" in request_headers:
+            forward = {"Last-Event-ID": request_headers["last-event-id"]}
         for name in candidates:
             shard = self.shards[name]
             if shard.evicted:
@@ -509,7 +819,7 @@ class ClusterCoordinator(BaseHttpServer):
                 self.metrics.proxy_errors.inc(shard=name)
                 continue
             try:
-                upstream.write(render_request("GET", path))
+                upstream.write(render_request("GET", path, headers=forward))
                 await upstream.drain()
                 piped = False
                 while True:
@@ -612,6 +922,9 @@ class ClusterCoordinator(BaseHttpServer):
         shard.breaker.trip()
         self.ring.remove(shard.name)
         self.metrics.evictions.inc(shard=shard.name)
+        self._member_events[shard.name] = "evict"
+        self._journal_append({"kind": KIND_MEMBER, "shard": shard.name,
+                              "event": "evict"})
         await self._reroute_orphans(shard.name)
 
     def _rejoin(self, shard: ShardState) -> None:
@@ -619,6 +932,9 @@ class ClusterCoordinator(BaseHttpServer):
         shard.consecutive_failures = 0
         self.ring.add(shard.name)
         self.metrics.rejoins.inc(shard=shard.name)
+        self._member_events[shard.name] = "rejoin"
+        self._journal_append({"kind": KIND_MEMBER, "shard": shard.name,
+                              "event": "rejoin"})
 
     async def _reroute_orphans(self, dead_shard: str) -> None:
         """Resubmit every non-terminal job routed to ``dead_shard``.
@@ -632,8 +948,8 @@ class ClusterCoordinator(BaseHttpServer):
         orphans = [(job_id, route) for job_id, route in self.routes.items()
                    if route.shard == dead_shard and not route.terminal]
         for job_id, route in orphans:
-            name, status, _, data = await self._route_submit(job_id,
-                                                             route.body)
+            name, status, _, data = await self._route_submit(
+                job_id, route.body, tenant=route.tenant)
             if name is not None and 200 <= status < 300:
                 self.metrics.reroutes.inc()
                 self._note_terminal_from(self._stamp_shard(data, name),

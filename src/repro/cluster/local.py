@@ -54,11 +54,12 @@ class _Worker:
     """One spawned shard process and its artifacts."""
 
     def __init__(self, index: int, process: subprocess.Popen,
-                 port_file: Path, log_path: Path):
+                 port_file: Path, log_path: Path, scratch_dir: Path):
         self.index = index
         self.process = process
         self.port_file = port_file
         self.log_path = log_path
+        self.scratch_dir = scratch_dir
         self.port: Optional[int] = None
 
     @property
@@ -126,6 +127,12 @@ class LocalCluster:
         for index in range(self.n_shards):
             port_file = self.workdir / ("shard%d.port" % index)
             log_path = self.workdir / ("shard%d.log" % index)
+            # Per-shard scratch dir, handed to the worker as TMPDIR so
+            # everything it tempfile()s is attributable and removable.
+            scratch_dir = self.workdir / ("shard%d.tmp" % index)
+            scratch_dir.mkdir(parents=True, exist_ok=True)
+            worker_env = dict(env)
+            worker_env["TMPDIR"] = str(scratch_dir)
             command = [
                 sys.executable, "-m", "repro.service", "serve",
                 "--host", self.host, "--port", "0",
@@ -138,12 +145,13 @@ class LocalCluster:
             log_handle = open(log_path, "wb")
             try:
                 process = subprocess.Popen(
-                    command, env=env, cwd=str(self.workdir),
+                    command, env=worker_env, cwd=str(self.workdir),
                     stdout=log_handle, stderr=subprocess.STDOUT,
                     start_new_session=True)
             finally:
                 log_handle.close()
-            self.workers.append(_Worker(index, process, port_file, log_path))
+            self.workers.append(_Worker(index, process, port_file, log_path,
+                                        scratch_dir))
         self._await_ports()
         return self
 
@@ -191,8 +199,26 @@ class LocalCluster:
             worker.process.kill()
             worker.process.wait(timeout=30)
 
+    def leftover_artifacts(self) -> List[Path]:
+        """Transient per-shard files still on disk (port files, scratch
+        dirs).  E2e teardowns assert this is empty after :meth:`stop`;
+        logs and the shared cache are durable artifacts, not leaks."""
+        leftovers: List[Path] = []
+        for worker in self.workers:
+            if worker.port_file.exists():
+                leftovers.append(worker.port_file)
+            if worker.scratch_dir.exists():
+                leftovers.append(worker.scratch_dir)
+        return leftovers
+
     def stop(self, drain_timeout_s: float = 60.0) -> None:
-        """Graceful shutdown: SIGTERM (drain), bounded wait, SIGKILL."""
+        """Graceful shutdown: SIGTERM (drain), bounded wait, SIGKILL.
+
+        Always removes the transient per-shard artifacts — port files
+        and scratch (TMPDIR) dirs — even for a caller-owned workdir;
+        logs and any caller-provided cache dir are kept unless the
+        whole workdir is ours to delete.
+        """
         for worker in self.workers:
             if worker.alive:
                 try:
@@ -210,5 +236,11 @@ class LocalCluster:
                     worker.process.wait(timeout=30)
                 except subprocess.TimeoutExpired:
                     pass
+        for worker in self.workers:
+            try:
+                worker.port_file.unlink()
+            except OSError:
+                pass
+            shutil.rmtree(worker.scratch_dir, ignore_errors=True)
         if self._own_workdir:
             shutil.rmtree(self.workdir, ignore_errors=True)

@@ -182,6 +182,29 @@ def describe_env() -> Tuple[EnvKnob, ...]:
         EnvKnob("REPRO_BREAKER_RESET", "float", "2",
                 "Seconds an open circuit breaker waits before "
                 "admitting half-open probes."),
+        EnvKnob("REPRO_CLUSTER_JOURNAL_DIR", "str", "unset",
+                "Directory for the coordinator's crash-recovery "
+                "write-ahead journal (unset = journaling off)."),
+        EnvKnob("REPRO_JOURNAL_FSYNC_INTERVAL", "float", "0",
+                "Seconds between journal fsync batches (0 fsyncs "
+                "every append)."),
+        EnvKnob("REPRO_JOURNAL_COMPACT_BYTES", "int", "1048576",
+                "Journal size in bytes that triggers a compacting "
+                "rewrite."),
+        EnvKnob("REPRO_NETPROXY_PLAN", "json", "unset",
+                "Serialized network fault plan; when set, the cluster "
+                "CLI inserts a fault-injection TCP proxy before every "
+                "shard."),
+        EnvKnob("REPRO_REQUEST_DEADLINE", "float", "0",
+                "Default end-to-end deadline in seconds clients send "
+                "as X-Deadline (0 = none)."),
+        EnvKnob("REPRO_PROXY_TIMEOUT", "float", "600",
+                "Seconds one coordinator->shard submit exchange may "
+                "take before counting as a transport failure."),
+        EnvKnob("REPRO_HEDGE_DELAY", "float", "0.25",
+                "Seconds the coordinator waits on the owning shard "
+                "before hedging a status/result read to the next "
+                "candidate."),
     )
 
 

@@ -6,6 +6,19 @@ the CI smoke job, the benchmarks and the end-to-end tests.  Raises
 :class:`ServiceError` for every non-2xx response except backpressure,
 which gets its own :class:`Backpressure` carrying the server's
 retry-after hint so callers can implement honest retry loops.
+
+Hardening against a misbehaving wire (see ``repro.chaos.netproxy``):
+
+* **End-to-end deadlines** — a ``deadline_s`` (or the
+  ``REPRO_REQUEST_DEADLINE`` knob) rides every request as an
+  ``X-Deadline`` header carrying the remaining budget in seconds; the
+  cluster coordinator bounds all upstream work by it and answers an
+  honest ``504`` when it expires.
+* **Resumable progress streams** — :meth:`ServiceClient.watch`
+  consumes the SSE event stream and *reconnects* with the standard
+  ``Last-Event-ID`` header when the stream drops mid-flight, so
+  ``wait``/``wait_all`` driven via events survive proxies, resets and
+  coordinator restarts instead of raising.
 """
 
 from __future__ import annotations
@@ -15,9 +28,17 @@ import json
 import pickle
 import random
 import time
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
+from repro.harness.envutil import env_float
 from repro.service.jobs import JobSpec, JobState
+
+
+def request_deadline_by_env() -> Optional[float]:
+    """``REPRO_REQUEST_DEADLINE``: default end-to-end deadline in
+    seconds sent as ``X-Deadline`` on every request (0 = none)."""
+    value = env_float("REPRO_REQUEST_DEADLINE", 0.0, minimum=0.0)
+    return value if value > 0 else None
 
 
 class ServiceError(RuntimeError):
@@ -59,13 +80,23 @@ class ServiceClient:
     """Talk to one service instance at (host, port)."""
 
     def __init__(self, port: int, host: str = "127.0.0.1",
-                 client_id: str = "cli", timeout: float = 60.0):
+                 client_id: str = "cli", timeout: float = 60.0,
+                 deadline_s: Optional[float] = None):
         self.host = host
         self.port = port
         self.client_id = client_id
         self.timeout = timeout
+        self.deadline_s = (deadline_s if deadline_s is not None
+                           else request_deadline_by_env())
 
     # --- low-level ----------------------------------------------------------
+
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Content-Type": "application/json",
+                   "X-Client": self.client_id}
+        if self.deadline_s is not None:
+            headers["X-Deadline"] = "%g" % self.deadline_s
+        return headers
 
     def _request(self, method: str, path: str,
                  body: Optional[dict] = None, raw: bool = False):
@@ -74,8 +105,7 @@ class ServiceClient:
         try:
             payload = json.dumps(body).encode() if body is not None else None
             conn.request(method, path, body=payload,
-                         headers={"Content-Type": "application/json",
-                                  "X-Client": self.client_id})
+                         headers=self._headers())
             response = conn.getresponse()
             data = response.read()
         finally:
@@ -158,9 +188,83 @@ class ServiceClient:
     def status(self, job_id: str) -> dict:
         return self._request("GET", "/jobs/%s" % job_id)
 
+    def watch(self, job_id: str, timeout: float = 600.0,
+              reconnect_delay_s: float = 0.2) -> Iterator[dict]:
+        """Yield the job's SSE progress events until it is terminal.
+
+        The server stamps every event with ``id: <index>``; when the
+        stream drops mid-flight (proxy reset, truncation, coordinator
+        restart, 5xx while a shard re-routes) this reconnects with the
+        standard ``Last-Event-ID`` header and resumes *after* the last
+        event seen — no duplicates, no raise.  Only a 4xx answer (the
+        job genuinely is unknown) or the timeout aborts the watch.
+        """
+        deadline = time.monotonic() + timeout
+        last_id: Optional[int] = None
+        while True:
+            if time.monotonic() > deadline:
+                raise TimeoutError("job %s events still open after %gs"
+                                   % (job_id, timeout))
+            headers = self._headers()
+            if last_id is not None:
+                headers["Last-Event-ID"] = str(last_id)
+            conn = http.client.HTTPConnection(self.host, self.port,
+                                              timeout=self.timeout)
+            dropped = False
+            try:
+                conn.request("GET", "/jobs/%s/events" % job_id,
+                             headers=headers)
+                response = conn.getresponse()
+                if response.status >= 500:
+                    dropped = True     # shard mid-reroute; retry
+                elif response.status != 200:
+                    data = response.read()
+                    try:
+                        decoded = json.loads(data.decode())
+                    except (ValueError, UnicodeDecodeError):
+                        decoded = data.decode("latin-1")
+                    raise ServiceError(response.status, decoded)
+                else:
+                    fields: Dict[str, str] = {}
+                    for raw_line in response:
+                        line = raw_line.decode("utf-8", "replace") \
+                            .rstrip("\r\n")
+                        if line:
+                            name, _, value = line.partition(":")
+                            fields[name.strip()] = value.strip()
+                            continue
+                        if "data" in fields:
+                            if "id" in fields:
+                                try:
+                                    last_id = int(fields["id"])
+                                except ValueError:
+                                    pass
+                            event = json.loads(fields["data"])
+                            yield event
+                            if event.get("event") in JobState.TERMINAL:
+                                return
+                        fields = {}
+                    # EOF without a terminal event: the stream dropped.
+                    dropped = True
+            except (ConnectionError, OSError,
+                    http.client.HTTPException):
+                dropped = True
+            finally:
+                conn.close()
+            if dropped:
+                time.sleep(reconnect_delay_s)
+
     def wait(self, job_id: str, timeout: float = 600.0,
-             poll_s: float = 0.05) -> dict:
-        """Poll until the job is terminal; return its final status."""
+             poll_s: float = 0.05, via_events: bool = False) -> dict:
+        """Block until the job is terminal; return its final status.
+
+        ``via_events=True`` follows the SSE stream (with automatic
+        ``Last-Event-ID`` reconnects) instead of polling.
+        """
+        if via_events:
+            for _ in self.watch(job_id, timeout=timeout):
+                pass
+            return self.status(job_id)
         deadline = time.monotonic() + timeout
         while True:
             status = self.status(job_id)
@@ -198,7 +302,8 @@ class ServiceClient:
                 statuses.append(self.submit_retrying(spec))
         return statuses
 
-    def wait_all(self, statuses: List[dict],
-                 timeout: float = 600.0) -> List[dict]:
-        return [self.wait(status["id"], timeout=timeout)
+    def wait_all(self, statuses: List[dict], timeout: float = 600.0,
+                 via_events: bool = False) -> List[dict]:
+        return [self.wait(status["id"], timeout=timeout,
+                          via_events=via_events)
                 for status in statuses]

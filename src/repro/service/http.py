@@ -35,6 +35,7 @@ _STATUS_TEXT = {
     405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
     502: "Bad Gateway", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -180,10 +181,18 @@ async def http_fetch(host: str, port: int, method: str, path: str,
             await writer.drain()
             status, response_headers = await read_response_head(reader)
             length = response_headers.get("content-length")
-            if length is not None:
-                data = await reader.readexactly(int(length))
-            else:
-                data = await reader.read()
+            try:
+                if length is not None:
+                    data = await reader.readexactly(int(length))
+                else:
+                    data = await reader.read()
+            except asyncio.IncompleteReadError as exc:
+                # A truncated body is a transport fault, not a payload:
+                # surface it as OSError (IncompleteReadError is an
+                # EOFError) so breaker-feeding callers catch it.
+                raise OSError(
+                    "truncated upstream response (%d of %s body bytes)"
+                    % (len(exc.partial), length)) from exc
             return status, response_headers, data
         finally:
             writer.close()

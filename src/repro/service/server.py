@@ -126,7 +126,7 @@ class ServiceServer(BaseHttpServer):
         elif path == "/jobs" and method == "POST":
             self._submit(headers, body, writer)
         elif path.startswith("/jobs/"):
-            await self._job_route(method, path, query, writer)
+            await self._job_route(method, path, query, headers, writer)
         else:
             self._respond(writer, 404, {"error": "no route %s %s"
                                         % (method, path)})
@@ -180,6 +180,7 @@ class ServiceServer(BaseHttpServer):
                       status)
 
     async def _job_route(self, method: str, path: str, query: Dict,
+                         headers: Dict[str, str],
                          writer: asyncio.StreamWriter) -> None:
         parts = path.split("/")  # ["", "jobs", <id>, (tail)]
         job_id = parts[2] if len(parts) > 2 else ""
@@ -197,7 +198,7 @@ class ServiceServer(BaseHttpServer):
         elif tail == "result":
             self._result(job, query, writer)
         else:
-            await self._stream_events(job, writer)
+            await self._stream_events(job, headers, writer)
 
     def _result(self, job: Job, query: Dict,
                 writer: asyncio.StreamWriter) -> None:
@@ -234,18 +235,31 @@ class ServiceServer(BaseHttpServer):
             "digest": result_digest(result),
         })
 
-    async def _stream_events(self, job: Job,
+    async def _stream_events(self, job: Job, headers: Dict[str, str],
                              writer: asyncio.StreamWriter) -> None:
+        """SSE progress stream with resumable event IDs.
+
+        Every event carries ``id: <index>``; a client reconnecting
+        after a dropped stream sends ``Last-Event-ID`` (standard SSE
+        resumption) and the replay starts *after* that event instead of
+        from the beginning.
+        """
         writer.write(b"HTTP/1.1 200 OK\r\n"
                      b"Content-Type: text/event-stream\r\n"
                      b"Cache-Control: no-cache\r\n"
                      b"Connection: close\r\n\r\n")
         index = 0
+        last_seen = headers.get("last-event-id", "")
+        if last_seen:
+            try:
+                index = int(last_seen) + 1
+            except ValueError:
+                pass
         while True:
             while index < len(job.events):
                 event = job.events[index]
-                writer.write(("event: %s\ndata: %s\n\n"
-                              % (event["event"],
+                writer.write(("id: %d\nevent: %s\ndata: %s\n\n"
+                              % (index, event["event"],
                                  json.dumps(event))).encode())
                 index += 1
             await writer.drain()

@@ -1,0 +1,122 @@
+"""Circuit breaker vs. a *slow* shard (satellite of the chaos PR).
+
+``tests/cluster/test_breaker.py`` unit-tests the state machine with an
+injected clock; here the breaker faces a real degraded link — a
+:class:`ThreadedFaultProxy` adding more latency than the probe timeout
+tolerates — and must:
+
+* trip open on timeouts (a shard that never answers inside the budget
+  is failing, even though TCP connects fine);
+* send half-open probes *through* the still-degraded link and re-open;
+* re-close once the latency is lifted, restoring routability.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.chaos.netproxy import NetFaultPlan, NetFaultSpec, ThreadedFaultProxy
+from repro.cluster.breaker import CLOSED, OPEN
+from repro.cluster.coordinator import ClusterCoordinator, ThreadedCoordinator
+from repro.service import JobSpec, ServiceClient, ThreadedServer
+from repro.workloads import Scale
+
+SCALE = Scale(ops_per_txn=4, txns=2)
+
+#: More latency than any probe/read budget used below.
+_SLOW = NetFaultPlan(faults=[NetFaultSpec(action="latency", times=-1,
+                                          delay_s=1.0)])
+
+
+def spec_for(workload, config, **overrides):
+    fields = dict(kind="simulate", workload=workload, config=config,
+                  ops_per_txn=SCALE.ops_per_txn, txns=SCALE.txns,
+                  seed=SCALE.seed)
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+@pytest.fixture
+def shard(tmp_path):
+    with ThreadedServer(max_workers=1, cache_dir=tmp_path / "cache") as server:
+        yield server
+
+
+@pytest.fixture
+def slow_link(shard):
+    with ThreadedFaultProxy(upstream_host="127.0.0.1",
+                            upstream_port=shard.port, plan=_SLOW) as proxy:
+        yield proxy
+
+
+class TestBreakerStateMachine:
+    def test_timeout_trips_half_open_reopens_recovery_closes(self, slow_link):
+        coordinator = ClusterCoordinator(
+            shards=[("127.0.0.1", slow_link.port)],
+            probe_timeout_s=0.3, evict_after=1000, breaker_reset_s=0.4)
+        shard_state = coordinator.shards["shard0"]
+        breaker = shard_state.breaker
+
+        # Trip: three timed-out probes cross the EWMA threshold.  The
+        # link *connects* fine — only timeout-as-failure can see this.
+        for _ in range(3):
+            asyncio.run(coordinator.probe_once())
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        assert not shard_state.routable
+
+        # Half-open probe goes through the still-degraded link: re-open.
+        time.sleep(breaker.reset_timeout_s + 0.1)
+        asyncio.run(coordinator.probe_once())
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+
+        # Lift the latency: the next half-open probe closes the breaker.
+        slow_link.set_plan(NetFaultPlan(faults=[]))
+        time.sleep(breaker.reset_timeout_s + 0.1)
+        asyncio.run(coordinator.probe_once())
+        assert breaker.state == CLOSED
+        assert shard_state.routable
+        assert shard_state.probes_ok >= 1
+
+
+class TestRoutingAroundSlowShard:
+    def test_cluster_routes_around_then_readmits(self, shard, slow_link):
+        """Two 'shards', one behind a degraded link: the breaker opens
+        from probe timeouts, work flows to the healthy link, and once
+        latency lifts the shard is re-admitted."""
+        def breaker_of(client, name):
+            return client.healthz()["shards"][name]["breaker"]
+
+        def await_state(client, name, want, timeout=10.0):
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                if breaker_of(client, name) == want:
+                    return
+                time.sleep(0.1)
+            raise AssertionError(
+                "shard %s breaker never reached %r (now %r)"
+                % (name, want, breaker_of(client, name)))
+
+        with ThreadedCoordinator(
+                shards=[("127.0.0.1", slow_link.port),
+                        ("127.0.0.1", shard.port)],
+                probe_interval_s=0.2, probe_timeout_s=0.3,
+                evict_after=1000, breaker_reset_s=1.0) as threaded:
+            client = ServiceClient(port=threaded.port, client_id="pytest")
+            await_state(client, "shard0", "open")
+            assert breaker_of(client, "shard1") == "closed"
+
+            # Every submission lands on the healthy shard while the
+            # slow one is circuit-open.
+            statuses = [client.submit(spec_for("update", "B", seed=s))
+                        for s in (11, 12, 13)]
+            assert {s["shard"] for s in statuses} == {"shard1"}
+            finals = client.wait_all(statuses)
+            assert all(s["state"] == "done" for s in finals)
+
+            slow_link.set_plan(NetFaultPlan(faults=[]))
+            await_state(client, "shard0", "closed")
+            health = client.healthz()
+            assert health["shards"]["shard0"]["routable"]

@@ -145,6 +145,31 @@ class TestFederation:
                    for info in health["shards"].values())
 
 
+class TestEventStreamThroughCoordinator:
+    def test_wait_via_events_and_resumable_ids(self, client, coordinator):
+        """The coordinator pipes shard SSE streams through verbatim —
+        including event IDs — and forwards a client's Last-Event-ID so
+        a watcher can resume through the proxy layer."""
+        status = client.submit(spec_for("swap", "B"))
+        final = client.wait(status["id"], via_events=True)
+        assert final["state"] == "done"
+        events = list(client.watch(status["id"]))
+        assert [e["event"] for e in events][-1] == "done"
+
+        import http.client as http_client
+        conn = http_client.HTTPConnection("127.0.0.1", coordinator.port,
+                                          timeout=30)
+        conn.request("GET", "/jobs/%s/events" % status["id"],
+                     headers={"Last-Event-ID": "0"})
+        response = conn.getresponse()
+        body = response.read().decode()
+        conn.close()
+        ids = [int(line.split(":", 1)[1]) for line in body.splitlines()
+               if line.startswith("id:")]
+        assert ids and ids[0] == 1      # replay resumed after event 0
+        assert ids == list(range(1, 1 + len(ids)))
+
+
 class TestRateLimit:
     def test_burst_exhaustion_gets_429_and_isolated_tenants(self, shards):
         with ThreadedCoordinator(

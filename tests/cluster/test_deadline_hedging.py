@@ -1,0 +1,123 @@
+"""End-to-end deadline propagation and hedged reads at the coordinator.
+
+A client-sent ``X-Deadline`` must bound every upstream second the
+coordinator spends on that request and expire as an honest ``504`` —
+never an indefinite hang, never a misleading ``429``/``502``.  And when
+the recorded owner of a job sits behind a black-holed link, a status
+read must be *hedged* to the next candidate after ``hedge_delay_s``
+instead of serially burning a full read timeout per candidate.
+"""
+
+import time
+
+import pytest
+
+from repro.chaos.netproxy import NetFaultPlan, NetFaultSpec, ThreadedFaultProxy
+from repro.cluster.coordinator import ThreadedCoordinator
+from repro.service import JobSpec, ServiceClient, ThreadedServer
+from repro.service.client import ServiceError
+from repro.workloads import Scale
+
+SCALE = Scale(ops_per_txn=4, txns=2)
+
+_BLACKHOLE = NetFaultPlan(
+    faults=[NetFaultSpec(action="blackhole", times=-1, direction="s2c")])
+
+
+def spec_for(workload, config, **overrides):
+    fields = dict(kind="simulate", workload=workload, config=config,
+                  ops_per_txn=SCALE.ops_per_txn, txns=SCALE.txns,
+                  seed=SCALE.seed)
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+@pytest.fixture
+def shard(tmp_path):
+    with ThreadedServer(max_workers=1, cache_dir=tmp_path / "cache") as server:
+        yield server
+
+
+@pytest.fixture
+def blackhole(shard):
+    with ThreadedFaultProxy(upstream_host="127.0.0.1",
+                            upstream_port=shard.port,
+                            plan=_BLACKHOLE) as proxy:
+        yield proxy
+
+
+class TestDeadlines:
+    def test_submit_against_blackhole_expires_as_504(self, blackhole):
+        with ThreadedCoordinator(
+                shards=[("127.0.0.1", blackhole.port)],
+                probe_interval_s=60.0, probe_timeout_s=2.0) as threaded:
+            client = ServiceClient(port=threaded.port, client_id="pytest",
+                                   deadline_s=0.4)
+            start = time.monotonic()
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(spec_for("update", "B"))
+            elapsed = time.monotonic() - start
+            assert excinfo.value.status == 504
+            # The deadline bounded the upstream exchange: nowhere near
+            # the default 10-minute proxy budget.
+            assert elapsed < 5.0
+            samples = client.metric_samples()
+            assert samples.get(
+                "repro_cluster_deadline_exceeded_total", 0) >= 1
+
+    def test_status_read_against_blackhole_expires_as_504(self, blackhole):
+        with ThreadedCoordinator(
+                shards=[("127.0.0.1", blackhole.port)],
+                probe_interval_s=60.0, probe_timeout_s=2.0) as threaded:
+            client = ServiceClient(port=threaded.port, client_id="pytest",
+                                   deadline_s=0.4)
+            start = time.monotonic()
+            with pytest.raises(ServiceError) as excinfo:
+                client.status("no-such-job")
+            elapsed = time.monotonic() - start
+            assert excinfo.value.status == 504
+            assert elapsed < 5.0
+
+    def test_no_deadline_means_no_504(self, shard):
+        with ThreadedCoordinator(
+                shards=[("127.0.0.1", shard.port)],
+                probe_interval_s=60.0) as threaded:
+            client = ServiceClient(port=threaded.port, client_id="pytest")
+            status = client.submit(spec_for("update", "B"))
+            final = client.wait(status["id"])
+            assert final["state"] == "done"
+
+
+class TestHedgedReads:
+    def test_blackholed_owner_is_hedged_around(self, shard, blackhole):
+        """Both 'shards' front the same backend, but shard0's link eats
+        responses.  With the recorded route pinned to shard0, a status
+        read must answer via shard1 after one hedge delay — not after
+        shard0's full read timeout."""
+        with ThreadedCoordinator(
+                shards=[("127.0.0.1", blackhole.port),
+                        ("127.0.0.1", shard.port)],
+                probe_interval_s=60.0, probe_timeout_s=2.0,
+                proxy_timeout_s=0.5, read_timeout_s=5.0,
+                hedge_delay_s=0.15) as threaded:
+            client = ServiceClient(port=threaded.port, client_id="pytest")
+            status = client.submit(spec_for("swap", "WB"))
+            job_id = status["id"]
+            client.wait(job_id)
+
+            def pin_route():
+                route = threaded.coordinator.routes[job_id]
+                route.shard = "shard0"
+                return route.shard
+
+            assert threaded.call(pin_route) == "shard0"
+            start = time.monotonic()
+            final = client.status(job_id)
+            elapsed = time.monotonic() - start
+            assert final["state"] == "done"
+            # Answered by the healthy candidate, well inside the
+            # blackholed owner's 5s read timeout.
+            assert final["shard"] == "shard1"
+            assert elapsed < 3.0
+            samples = client.metric_samples()
+            assert samples.get("repro_cluster_hedged_reads_total", 0) >= 1
