@@ -1,0 +1,142 @@
+"""Fence-autotuner benchmark: fences eliminated and speedup per workload.
+
+Runs the proof-guided autotuner (:mod:`repro.analysis.autotune`) over
+the framework workloads under the safe configurations, measuring
+
+* how many ordering instructions (full fences, ``DMB ST``, waits) the
+  search removes, starting from both the shipped emission and the
+  overfenced ``+cons`` emission,
+* the simulated speedup of the optimized variant (cycles baseline /
+  cycles optimized), and
+* that the optimized variant's recovered-state digest is bit-identical
+  to the unoptimized serial run — the autotuner's safety contract.
+
+Scale control: ``REPRO_BENCH_OPS`` / ``REPRO_BENCH_TXNS`` as in
+:mod:`benchmarks.common`; CI runs this at a tiny scale as a smoke test.
+
+``REPRO_BENCH_RECORD=1`` additionally appends this run's per-workload
+fences-eliminated and kIPS numbers to the committed ``BENCH_autotune.json``
+ledger at the repository root (off by default so routine pytest
+invocations do not dirty the working tree).
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.common import bench_scale, print_header
+from repro.analysis.autotune import OPTIMIZED, PROVEN_MINIMAL, autotune_workload
+
+#: Workload x config coverage: the representative subset the bench runs
+#: (update exercises the crash sweep; btree is the largest trace).
+BENCH_TARGETS = (
+    ("update", "B", False),
+    ("update", "B", True),
+    ("update", "IQ", True),
+    ("btree", "IQ", False),
+    ("btree", "WB", True),
+)
+
+#: Committed ledger of autotuner wins (repo root).
+BENCH_LEDGER = Path(__file__).resolve().parent.parent / "BENCH_autotune.json"
+
+_SESSION: dict = {}
+
+
+def _record(target: str, **metrics) -> None:
+    _SESSION[target] = metrics
+
+
+def _flush_ledger() -> None:
+    """Append this session's entries to ``BENCH_autotune.json``.
+
+    Only with ``REPRO_BENCH_RECORD=1`` (an unregistered bench-only knob,
+    like ``REPRO_BENCH_OPS``): the ledger is a committed file and
+    routine test runs must not modify it.
+    """
+    if not _SESSION or os.environ.get("REPRO_BENCH_RECORD", "0") != "1":
+        return
+    scale = bench_scale()
+    entry = {
+        "date": time.strftime("%Y-%m-%d"),
+        "scale": {"ops_per_txn": scale.ops_per_txn, "txns": scale.txns},
+        "targets": dict(sorted(_SESSION.items())),
+    }
+    try:
+        ledger = json.loads(BENCH_LEDGER.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        ledger = {}
+    ledger.setdefault("entries", []).append(entry)
+    BENCH_LEDGER.write_text(
+        json.dumps(ledger, indent=2) + "\n", encoding="utf-8")
+
+
+atexit.register(_flush_ledger)
+
+
+def test_autotune_wins(benchmark):
+    """Autotune the bench targets; record eliminations and speedups."""
+    scale = bench_scale()
+
+    def run():
+        return [
+            (workload, config, cons,
+             autotune_workload(workload, config, scale=scale,
+                               conservative=cons))
+            for workload, config, cons in BENCH_TARGETS
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Fence autotuner: eliminations and speedups")
+    print("  %-8s %-4s %-6s %-14s %8s %8s %9s %7s"
+          % ("workload", "cfg", "mode", "status", "before", "after",
+             "speedup", "digest"))
+    for workload, config, cons, report in results:
+        target = "%s/%s%s" % (workload, config, "+cons" if cons else "")
+        before = sum(report.ordering_before.values())
+        after = sum(report.ordering_after.values())
+        speedup = report.speedup or 1.0
+        print("  %-8s %-4s %-6s %-14s %8d %8d %8.3fx %7s"
+              % (workload, config, "+cons" if cons else "base",
+                 report.status, before, after, speedup,
+                 "match" if report.digest_match else str(report.digest_match)))
+
+        # The safety contract: whatever was emitted is proven safe and
+        # bit-identical to the serial baseline.
+        assert report.status in (OPTIMIZED, PROVEN_MINIMAL), report.reason
+        if report.status == OPTIMIZED:
+            assert after < before or report.key_map
+            assert report.digest_match is True
+            if report.crash_sweep.get("supported"):
+                assert report.crash_sweep["consistent"] is True
+
+        _record(target,
+                status=report.status,
+                ordering_before=before,
+                ordering_after=after,
+                fences_removed=before - after,
+                keys_before=report.keys_before,
+                keys_after=report.keys_after,
+                baseline_kips=round(report.baseline.kips, 1)
+                if report.baseline else None,
+                optimized_kips=round(report.optimized.kips, 1)
+                if report.optimized else None,
+                speedup=round(speedup, 4),
+                digest_match=report.digest_match)
+
+        benchmark.extra_info[target] = {
+            "status": report.status,
+            "fences_removed": before - after,
+            "speedup": round(speedup, 4),
+        }
+
+    # The conservative update build must show a real elimination win.
+    cons_update = next(r for w, c, k, r in results
+                       if w == "update" and c == "B" and k)
+    assert cons_update.fences_removed > 0
+    assert (cons_update.speedup or 0.0) > 1.0

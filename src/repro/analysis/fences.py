@@ -82,6 +82,8 @@ class _FenceLinter:
     def _before_windows(self) -> Dict[int, FrozenSet[int]]:
         """Per-fence may-set of store-class sites since the last full fence."""
         cfg = self.cfg
+        if not cfg.blocks:  # empty program: nothing to window
+            return {}
         windows: Dict[int, Set[int]] = {}
         in_states: Dict[int, WindowState] = {0: frozenset()}
         order = {b: i for i, b in enumerate(cfg.reverse_postorder())}

@@ -33,6 +33,11 @@ CHECK_CATALOG: Dict[str, str] = {
     "persist-ordering": "a persist-ordering obligation is not statically met",
     "redundant-fence": "a full fence whose ordering EDE edges already enforce",
     "calling-convention": "EDK caller-/callee-saved convention violations",
+    "autotune-removed": "an ordering instruction the autotuner proved "
+    "redundant and removed",
+    "autotune-skipped": "a target the autotuner could not search",
+    "autotune-reverted": "an optimization undone after failing the "
+    "dynamic oracle",
 }
 
 

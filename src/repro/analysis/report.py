@@ -36,7 +36,7 @@ from repro.analysis.persist import (
     summarize,
 )
 from repro.isa.instructions import Instruction
-from repro.nvmfw.codegen import MODE_SAFE_BY_SPEC
+from repro.nvmfw.codegen import mode_safe_by_spec
 
 #: Tool identity used in SARIF output.
 TOOL_NAME = "repro-analysis"
@@ -145,7 +145,7 @@ def analyze_instructions(
 ) -> AnalysisReport:
     """Run every static check over one instruction sequence."""
     if safe_by_spec is None:
-        safe_by_spec = MODE_SAFE_BY_SPEC.get(mode, True) if mode else True
+        safe_by_spec = mode_safe_by_spec(mode) if mode else True
     try:
         cfg = build_cfg(instructions, labels)
     except CfgError as exc:

@@ -32,10 +32,10 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 from typing import List, Optional, Tuple
 
+from repro.harness.cliutil import guard_broken_pipe
 from repro.harness.envutil import env_int, render_env_table
 
 
@@ -229,13 +229,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     handler = {"up": _cmd_up, "coordinator": _cmd_coordinator,
                "status": _cmd_status}[args.command]
-    try:
-        return handler(args)
-    except BrokenPipeError:
-        # stdout went away mid-print (`status | head`); die quietly the
-        # way coreutils do, without a traceback on the way out.
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-        return 0
+    # stdout can go away mid-print (`status | head`); die quietly the
+    # way coreutils do, without a traceback on the way out.
+    return guard_broken_pipe(handler, args)
 
 
 if __name__ == "__main__":

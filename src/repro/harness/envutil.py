@@ -152,6 +152,12 @@ def describe_env() -> Tuple[EnvKnob, ...]:
         EnvKnob("REPRO_STATIC_CHECK", "flag", "0",
                 "Gate every interpreted workload build through the "
                 "static analyzer."),
+        EnvKnob("REPRO_AUTOTUNE_BUDGET", "positive_int", "64",
+                "Fence-autotuner trial budget: max candidate programs "
+                "the static oracle evaluates per target."),
+        EnvKnob("REPRO_AUTOTUNE_VALIDATE", "flag", "1",
+                "Fence-autotuner dynamic oracle (simulation, crash "
+                "sweep, result digest) on/off."),
         EnvKnob("REPRO_CHAOS", "json", "unset",
                 "Serialized fault-injection plan (set by the chaos "
                 "harness, not by hand)."),

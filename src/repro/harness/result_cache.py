@@ -289,3 +289,23 @@ class ResultCache(PickleStore):
         if fingerprint is None:
             fingerprint = source_fingerprint()
         return canonical_key(fingerprint, workload, config, scale, params)
+
+
+class ReportCache(PickleStore):
+    """On-disk store for machine-readable analysis/optimization reports.
+
+    Entries are the JSON-ready ``dict`` renderings the ``analyze`` and
+    ``optimize`` service jobs return (not live report objects), so they
+    deserialize without importing analysis code.  Shares the results
+    directory but uses its own suffix — one ``glob`` cannot match both,
+    so ``clear()`` on one cache never eats the other's entries.
+    """
+
+    suffix = ".report"
+    kind = "report"
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        super().__init__(root if root is not None else default_cache_dir())
+
+    def _expected_type(self) -> Optional[type]:
+        return dict

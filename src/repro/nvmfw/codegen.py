@@ -16,14 +16,25 @@ mode         per-update ordering                        commit ordering
 Tag convention: every persist-relevant instruction carries a ``comment``
 tag — ``log:<op>``, ``store:<op>``, ``data:<op>``, ``commit:<txn>`` — that
 the persist log and the consistency checker key on.
+
+Every mode also has a *conservative* variant spelled ``<mode>+cons``
+(``dsb+cons``, ``ede+cons``, ...): the same discipline plus an extra
+ordering instruction after every data persist and init flush, the way
+overfenced PMDK-era framework code orders eagerly instead of deferring to
+the commit barrier.  Conservative programs are correct but carry ordering
+instructions a proof can discharge — the input the fence autotuner
+(:mod:`repro.analysis.autotune`) starts from.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.core.edk import EdkAllocator
+from repro.core.edk import ZERO_KEY, EdkAllocator
 from repro.isa import instructions as ops
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
 from repro.isa.program import TraceBuilder
 
 #: Fence modes (Table III).
@@ -33,6 +44,45 @@ MODE_EDE = "ede"
 MODE_NONE = "none"
 
 ALL_MODES = (MODE_DSB, MODE_DMB_ST, MODE_EDE, MODE_NONE)
+
+#: Suffix selecting the conservative (overfenced) variant of a mode.
+CONS_SUFFIX = "+cons"
+
+
+def base_mode(mode: str) -> str:
+    """The Table III mode underneath a possibly-conservative spelling."""
+    if mode.endswith(CONS_SUFFIX):
+        return mode[: -len(CONS_SUFFIX)]
+    return mode
+
+
+def is_conservative(mode: str) -> bool:
+    return mode.endswith(CONS_SUFFIX)
+
+
+def conservative_mode(mode: str) -> str:
+    """The conservative spelling of ``mode`` (idempotent)."""
+    return mode if is_conservative(mode) else mode + CONS_SUFFIX
+
+
+def validate_mode(mode: str) -> str:
+    """Return ``mode`` if its base is a Table III mode, else raise."""
+    if base_mode(mode) not in ALL_MODES:
+        raise ValueError(
+            "unknown fence mode %r (expected one of %s, optionally "
+            "with the %r suffix)" % (mode, ", ".join(ALL_MODES), CONS_SUFFIX))
+    return mode
+
+
+def mode_safe_by_spec(mode: str) -> bool:
+    """Table III safety of a mode, conservative spellings included.
+
+    Extra fences never make an unsafe discipline safe — ``dmb_st+cons``
+    is as unsafe by specification as ``dmb_st`` — so the lookup goes
+    through :func:`base_mode`.  Unknown modes are treated as claiming
+    safety, matching the analyzer's historical default.
+    """
+    return MODE_SAFE_BY_SPEC.get(base_mode(mode), True)
 
 #: Whether each mode's discipline is safe by specification (Table III):
 #: ``dmb_st`` is unsafe because AArch64's ``DMB ST`` does not order
@@ -79,11 +129,25 @@ class PersistOpEmitter:
 
     def __init__(self, mode: str, builder: TraceBuilder,
                  edk_allocator: Optional[EdkAllocator] = None):
-        if mode not in ALL_MODES:
-            raise ValueError("unknown fence mode %r" % (mode,))
-        self.mode = mode
+        validate_mode(mode)
+        self.mode = base_mode(mode)
+        self.conservative = is_conservative(mode)
         self.builder = builder
         self.edks = edk_allocator if edk_allocator is not None else EdkAllocator()
+
+    def _emit_conservative_order(self, key: int = ZERO_KEY) -> None:
+        """The overfenced variant's eager ordering after a persist.
+
+        ``key`` is the EDK the persist just produced (EDE mode only);
+        the fence modes re-emit their fence.
+        """
+        emit = self.builder.emit
+        if self.mode == MODE_DSB:
+            emit(ops.dsb_sy())
+        elif self.mode == MODE_DMB_ST:
+            emit(ops.dmb_st())
+        elif self.mode == MODE_EDE and key != ZERO_KEY:
+            emit(ops.wait_key(key))
 
     # --- reads ---------------------------------------------------------------
 
@@ -140,6 +204,8 @@ class PersistOpEmitter:
             # commit covers it (Figure 6 shows keys being reused like this).
             emit(ops.dc_cvap_ede(_R_TARGET, edk_def=key, edk_use=0,
                                  addr=target_addr, comment=data_tag(op_id)))
+            if self.conservative:
+                self._emit_conservative_order(key)
             return
 
         emit(ops.dc_cvap(_R_SLOT, addr=slot_addr, comment=log_tag(op_id)))
@@ -153,6 +219,8 @@ class PersistOpEmitter:
         emit(ops.store(_R_NEW, _R_TARGET, addr=target_addr,
                        comment=store_tag(op_id)))
         emit(ops.dc_cvap(_R_TARGET, addr=target_addr, comment=data_tag(op_id)))
+        if self.conservative:
+            self._emit_conservative_order()
 
     # --- unlogged initialization (PMDK: objects allocated in the same
     # transaction need no undo entries — on abort they are reclaimed) --------
@@ -176,8 +244,12 @@ class PersistOpEmitter:
             key = self.edks.allocate()
             emit(ops.dc_cvap_ede(_R_TARGET, edk_def=key, edk_use=0,
                                  addr=addr, comment=tag))
+            if self.conservative:
+                self._emit_conservative_order(key)
         else:
             emit(ops.dc_cvap(_R_TARGET, addr=addr, comment=tag))
+            if self.conservative:
+                self._emit_conservative_order()
 
     # --- transaction boundaries ------------------------------------------------------
 
@@ -207,3 +279,79 @@ class PersistOpEmitter:
                 emit(ops.dsb_sy())
             elif self.mode == MODE_DMB_ST:
                 emit(ops.dmb_st())
+
+
+# --- program rewriting (edit lists) ------------------------------------------
+
+#: Pure ordering instructions: no data effect, no persist tag — the only
+#: opcodes the rewriter may drop.  ``DMB ST`` is included so conservative
+#: ``dmb_st+cons`` programs can be thinned too.
+ORDERING_OPCODES = (Opcode.DSB_SY, Opcode.DMB_SY, Opcode.DMB_ST,
+                    Opcode.WAIT_KEY, Opcode.WAIT_ALL_KEYS)
+
+
+class RewriteError(ValueError):
+    """An edit list asked for a rewrite the rewriter cannot prove safe."""
+
+
+def ordering_sites(instructions: Sequence[Instruction]) -> List[int]:
+    """Sites of droppable ordering instructions (fences and waits).
+
+    Tagged instructions are never candidates: a ``comment`` marks a
+    persist event the consistency checker keys on, and the shipped
+    emitters never tag fences or waits anyway.
+    """
+    return [
+        site for site, inst in enumerate(instructions)
+        if inst.opcode in ORDERING_OPCODES and inst.comment is None
+    ]
+
+
+def apply_edits(instructions: Sequence[Instruction],
+                drop: Iterable[int] = (),
+                key_map: Optional[Dict[int, int]] = None
+                ) -> List[Instruction]:
+    """Materialize a candidate program from an edit list.
+
+    ``drop`` names sites of ordering instructions to remove; ``key_map``
+    renames EDK producers/consumers (identity for keys it omits; the
+    zero key can never be remapped).  The rewriter enforces its safety
+    rails itself — callers cannot accidentally delete a tagged persist,
+    a data-effecting instruction, or shift branch targets — and returns
+    a fresh instruction list; the input is never mutated.
+    """
+    drop_set = set(drop)
+    for site in drop_set:
+        if not 0 <= site < len(instructions):
+            raise RewriteError("drop site %d out of range" % site)
+        inst = instructions[site]
+        if inst.opcode not in ORDERING_OPCODES:
+            raise RewriteError(
+                "site %d is %s, not a droppable ordering instruction"
+                % (site, inst.opcode.name))
+        if inst.comment is not None:
+            raise RewriteError(
+                "site %d carries persist tag %r and cannot be dropped"
+                % (site, inst.comment))
+    if drop_set and any(inst.is_branch for inst in instructions):
+        raise RewriteError(
+            "cannot drop instructions from a program with branches: "
+            "targets would shift")
+    if key_map:
+        for old, new in key_map.items():
+            if old == ZERO_KEY or new == ZERO_KEY:
+                raise RewriteError("the zero key cannot be remapped")
+
+    out: List[Instruction] = []
+    for site, inst in enumerate(instructions):
+        if site in drop_set:
+            continue
+        if key_map and (inst.edk_def != ZERO_KEY
+                        or inst.edk_use != ZERO_KEY):
+            inst = dataclasses.replace(
+                inst,
+                edk_def=key_map.get(inst.edk_def, inst.edk_def),
+                edk_use=key_map.get(inst.edk_use, inst.edk_use),
+            )
+        out.append(inst)
+    return out

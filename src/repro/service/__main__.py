@@ -4,8 +4,9 @@ Subcommands::
 
     serve    run the HTTP service (port 0 by default; --port-file for
              scripts that need the ephemeral port)
-    submit   submit a (workloads x configs) simulation matrix, or
-             analysis jobs with --analyze
+    submit   submit a (workloads x configs) simulation matrix,
+             analysis jobs with --analyze, or fence-autotuner
+             jobs with --optimize
     status   print one job's status JSON
     wait     block until jobs finish; print their result summaries
     metrics  dump the server's Prometheus metrics page
@@ -87,6 +88,16 @@ def _build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--analyze", action="store_true",
                              help="submit static-analysis jobs instead "
                              "(--configs then names fence modes)")
+            cmd.add_argument("--optimize", action="store_true",
+                             help="submit fence-autotuner jobs instead "
+                             "(--configs names Table III configurations)")
+            cmd.add_argument("--conservative", action="store_true",
+                             help="optimize the overfenced '+cons' build "
+                             "(optimize jobs only)")
+            cmd.add_argument("--budget", type=int, default=0,
+                             help="autotuner trial budget; 0 = "
+                             "$REPRO_AUTOTUNE_BUDGET default "
+                             "(optimize jobs only)")
             cmd.add_argument("--ops", type=int, default=5,
                              help="operations per transaction")
             cmd.add_argument("--txns", type=int, default=3,
@@ -163,14 +174,25 @@ def _cmd_submit(args) -> int:
     from repro.service.jobs import JobSpec
 
     client = _client(args)
+    if args.analyze and args.optimize:
+        raise SystemExit("--analyze and --optimize are mutually exclusive")
     names = [n.strip() for n in args.configs.split(",") if n.strip()]
-    kind = "analyze" if args.analyze else "simulate"
+    if args.optimize:
+        kind = "optimize"
+    elif args.analyze:
+        kind = "analyze"
+    else:
+        kind = "simulate"
     statuses = []
     for workload in args.workloads:
         for name in names:
+            extra = {}
+            if kind == "optimize":
+                extra = {"conservative": args.conservative,
+                         "budget": args.budget}
             spec = JobSpec(kind=kind, workload=workload, config=name,
                            ops_per_txn=args.ops, txns=args.txns,
-                           seed=args.seed)
+                           seed=args.seed, **extra)
             status = client.submit_retrying(spec)
             statuses.append(status)
             print("%-9s %s" % (status["disposition"], status["id"]))
@@ -184,7 +206,13 @@ def _cmd_submit(args) -> int:
             continue
         result = client.result(status["id"])
         if "report" in result:
-            print("done %s (analysis)" % status["id"])
+            report = result["report"] or {}
+            if "status" in report and "ordering" in report:
+                print("done %s (optimize: %s, %d removed)"
+                      % (status["id"], report["status"],
+                         report["ordering"]["removed"]))
+            else:
+                print("done %s (analysis)" % status["id"])
         else:
             print("done %-8s %-4s cycles=%d ipc=%.3f %s"
                   % (result["workload"], result["config"], result["cycles"],

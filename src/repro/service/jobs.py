@@ -40,7 +40,8 @@ from repro.workloads import base as workload_base
 #: Job kinds the service executes.
 KIND_SIMULATE = "simulate"
 KIND_ANALYZE = "analyze"
-KINDS = (KIND_SIMULATE, KIND_ANALYZE)
+KIND_OPTIMIZE = "optimize"
+KINDS = (KIND_SIMULATE, KIND_ANALYZE, KIND_OPTIMIZE)
 
 
 class JobState:
@@ -60,9 +61,13 @@ class JobSpec:
     """One unit of servable work, content-addressed and hashable.
 
     ``config`` is a Table III configuration name (B, SU, IQ, WB, U) for
-    ``simulate`` jobs and a fence mode (dsb, dmb_st, ede, none) for
-    ``analyze`` jobs.  The scale is spelled out field by field so a spec
-    serializes to/from JSON without pickling.
+    ``simulate`` and ``optimize`` jobs and a fence mode (dsb, dmb_st,
+    ede, none, optionally ``+cons``) for ``analyze`` jobs.  The scale is
+    spelled out field by field so a spec serializes to/from JSON without
+    pickling.  ``conservative`` and ``budget`` parameterize ``optimize``
+    jobs only (rebuild with the overfenced ``+cons`` emission; cap the
+    static oracle's trial count — 0 means the ``REPRO_AUTOTUNE_BUDGET``
+    default).
     """
 
     kind: str
@@ -71,6 +76,8 @@ class JobSpec:
     ops_per_txn: int = workload_base.TEST_SCALE.ops_per_txn
     txns: int = workload_base.TEST_SCALE.txns
     seed: int = workload_base.TEST_SCALE.seed
+    conservative: bool = False
+    budget: int = 0
 
     def validate(self) -> None:
         """Raise ``ValueError`` naming the first invalid field."""
@@ -83,18 +90,24 @@ class JobSpec:
             raise ValueError(
                 "unknown workload %r (have: %s)"
                 % (self.workload, ", ".join(known)))
-        if self.kind == KIND_SIMULATE:
+        if self.kind in (KIND_SIMULATE, KIND_OPTIMIZE):
             if self.config not in CONFIG_BY_NAME:
                 raise ValueError(
                     "unknown configuration %r (expected one of %s)"
                     % (self.config, ", ".join(CONFIG_BY_NAME)))
         else:
-            from repro.nvmfw.codegen import ALL_MODES
+            from repro.nvmfw.codegen import validate_mode
 
-            if self.config not in ALL_MODES:
-                raise ValueError(
-                    "unknown fence mode %r (expected one of %s)"
-                    % (self.config, ", ".join(ALL_MODES)))
+            try:
+                validate_mode(self.config)
+            except ValueError as exc:
+                raise ValueError(str(exc)) from None
+        if self.kind != KIND_OPTIMIZE and (self.conservative or self.budget):
+            raise ValueError(
+                "conservative/budget apply to optimize jobs only, not %r"
+                % self.kind)
+        if self.budget < 0:
+            raise ValueError("budget must be >= 0, got %d" % self.budget)
         if self.ops_per_txn < 1 or self.txns < 1:
             raise ValueError(
                 "scale must be positive, got %d ops/txn x %d txns"
@@ -107,8 +120,8 @@ class JobSpec:
 
     @property
     def configuration(self) -> Configuration:
-        """The Table III configuration (simulate jobs only)."""
-        if self.kind != KIND_SIMULATE:
+        """The Table III configuration (simulate/optimize jobs only)."""
+        if self.kind == KIND_ANALYZE:
             raise ValueError(
                 "%s jobs have a fence mode, not a configuration" % self.kind)
         return CONFIG_BY_NAME[self.config]
@@ -136,9 +149,11 @@ class JobSpec:
             spec = cls(**data)
         except TypeError as exc:
             raise ValueError("bad job spec: %s" % exc) from None
-        for name in ("ops_per_txn", "txns", "seed"):
+        for name in ("ops_per_txn", "txns", "seed", "budget"):
             if not isinstance(getattr(spec, name), int):
                 raise ValueError("%s must be an integer" % name)
+        if not isinstance(spec.conservative, bool):
+            raise ValueError("conservative must be a boolean")
         spec.validate()
         return spec
 
@@ -152,17 +167,36 @@ def result_cache_key(spec: JobSpec, params=DEFAULT_PARAMS) -> str:
                          spec.configuration, spec.scale, params)
 
 
+def optimize_cache_key(spec: JobSpec, params=DEFAULT_PARAMS) -> str:
+    """The :class:`~repro.harness.result_cache.ReportCache` key an
+    optimize job's report lives under.
+
+    The key covers everything that determines the optimized program —
+    the source fingerprint (the emitters and the search), the workload,
+    the configuration, the scale, the conservative flag, the trial
+    budget and the architectural parameters — so the cluster coordinator
+    routes and single-flights optimize jobs by program fingerprint with
+    zero coordinator changes.
+    """
+    return canonical_key(source_fingerprint(), KIND_OPTIMIZE, spec.workload,
+                         spec.configuration, spec.scale,
+                         "cons" if spec.conservative else "base",
+                         "budget=%d" % spec.budget, params)
+
+
 def job_id_for(spec: JobSpec, params=DEFAULT_PARAMS) -> str:
     """Content-addressed job ID.
 
     Simulate jobs reuse the result-cache key verbatim (prefixed for
-    readability); analysis jobs hash the same ingredient list under
-    their own kind tag.  Identical specs — from any client, any process
-    — always map to the same ID, which is what makes single-flight
-    coalescing and instant cache completion possible.
+    readability); analysis and optimize jobs hash the same ingredient
+    list under their own kind tag.  Identical specs — from any client,
+    any process — always map to the same ID, which is what makes
+    single-flight coalescing and instant cache completion possible.
     """
     if spec.kind == KIND_SIMULATE:
         return "sim-" + result_cache_key(spec, params)
+    if spec.kind == KIND_OPTIMIZE:
+        return "opt-" + optimize_cache_key(spec, params)
     return "ana-" + canonical_key(source_fingerprint(), spec.kind,
                                   spec.workload, spec.config, spec.scale)
 

@@ -39,7 +39,11 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.harness.configs import CONFIG_BY_NAME, DEFAULT_PARAMS
 from repro.harness.parallel import resolve_workers
-from repro.harness.result_cache import ResultCache, cache_enabled_by_env
+from repro.harness.result_cache import (
+    ReportCache,
+    ResultCache,
+    cache_enabled_by_env,
+)
 from repro.harness.supervisor import SupervisorConfig, run_supervised
 from repro.harness.trace_cache import (
     TRACE_SUBDIR,
@@ -50,8 +54,10 @@ from repro.service.jobs import (
     Job,
     JobSpec,
     JobState,
+    KIND_OPTIMIZE,
     KIND_SIMULATE,
     job_id_for,
+    optimize_cache_key,
     result_cache_key,
 )
 from repro.service.metrics import ServiceMetrics
@@ -90,6 +96,11 @@ def _execute_task(payload: tuple):
 
     ``("analyze", workload, mode, scale_tuple)`` runs the static
     analyzer and returns the report as a JSON-ready dict.
+
+    ``("optimize", workload, config_name, scale_tuple, conservative,
+    budget, params)`` runs the proof-guided fence autotuner (static
+    search plus the dynamic crash-sweep oracle) and returns the
+    optimization report as a JSON-ready dict.
     """
     kind = payload[0]
     if kind == KIND_SIMULATE:
@@ -105,6 +116,15 @@ def _execute_task(payload: tuple):
             config.name: run_one(workload, config, scale, params, built=built)
             for config in configs
         }
+    if kind == KIND_OPTIMIZE:
+        from repro.analysis.autotune import autotune_workload
+
+        _, workload, config_name, scale_tuple, conservative, budget, \
+            params = payload
+        report = autotune_workload(
+            workload, config_name, scale=workload_base.Scale(*scale_tuple),
+            conservative=conservative, budget=budget or None, params=params)
+        return report.to_dict()
     from repro.analysis.report import analyze_workload
 
     _, workload, mode, scale_tuple = payload
@@ -143,6 +163,8 @@ class Scheduler:
             cache = cache_enabled_by_env()
         self.store: Optional[ResultCache] = (
             ResultCache(cache_dir) if cache else None)
+        self.report_store: Optional[ReportCache] = (
+            ReportCache(cache_dir) if cache else None)
         if trace_cache is None:
             trace_cache = False if cache is False else \
                 trace_cache_enabled_by_env()
@@ -248,8 +270,16 @@ class Scheduler:
             # Previous attempt failed: fall through and try again.
 
         job = Job(spec, job_id, client=client, priority=priority)
+        cache_key = None
+        cache_store = None
         if spec.kind == KIND_SIMULATE and self.store is not None:
-            cached = self.store.load(result_cache_key(spec, self.params))
+            cache_key = result_cache_key(spec, self.params)
+            cache_store = self.store
+        elif spec.kind == KIND_OPTIMIZE and self.report_store is not None:
+            cache_key = optimize_cache_key(spec, self.params)
+            cache_store = self.report_store
+        if cache_store is not None:
+            cached = cache_store.load(cache_key)
             if cached is not None:
                 job.result = cached
                 job.from_cache = True
@@ -317,6 +347,16 @@ class Scheduler:
                 key = (spec.workload, spec.configuration.fence_mode,
                        spec.ops_per_txn, spec.txns, spec.seed)
                 sim_groups.setdefault(key, []).append(job)
+            elif spec.kind == KIND_OPTIMIZE:
+                task_id = "opt:%s/%s@%dx%d#%d%s b%d" % (
+                    spec.workload, spec.config, spec.ops_per_txn, spec.txns,
+                    spec.seed, "+cons" if spec.conservative else "",
+                    spec.budget)
+                tasks.append((task_id, (spec.kind, spec.workload, spec.config,
+                                        (spec.ops_per_txn, spec.txns,
+                                         spec.seed), spec.conservative,
+                                        spec.budget, self.params)))
+                jobmap[task_id] = [job]
             else:
                 task_id = "ana:%s/%s@%dx%d#%d" % (
                     spec.workload, spec.config, spec.ops_per_txn, spec.txns,
@@ -378,6 +418,10 @@ class Scheduler:
                 self.metrics.simulations_run.inc()
             else:
                 job.result = value
+                if (job.spec.kind == KIND_OPTIMIZE
+                        and self.report_store is not None):
+                    self.report_store.store(
+                        optimize_cache_key(job.spec, self.params), value)
             job.transition(JobState.DONE)
             latency = job.latency_s
             self.metrics.note_outcome("done", latency)

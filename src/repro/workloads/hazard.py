@@ -44,8 +44,9 @@ def build_hazard(mode: str, scale: Scale) -> BuiltWorkload:
     edks = EdkAllocator()
     rng = make_rng(scale)
     memory = {}
-    use_ede = mode == codegen.MODE_EDE
-    use_fence = mode in (codegen.MODE_DSB, codegen.MODE_DMB_ST)
+    base = codegen.base_mode(codegen.validate_mode(mode))
+    use_ede = base == codegen.MODE_EDE
+    use_fence = base in (codegen.MODE_DSB, codegen.MODE_DMB_ST)
 
     # Element location cells hold pointers to payloads further up the pool.
     payload_base = _POOL_BASE + _POOL_ELEMENTS * 8

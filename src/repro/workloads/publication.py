@@ -44,8 +44,13 @@ def build_publication(mode: str, scale: Scale) -> BuiltWorkload:
     edks = EdkAllocator()
     rng = make_rng(scale)
     memory = {}
-    use_ede = mode == codegen.MODE_EDE
-    use_fence = mode in (codegen.MODE_DSB, codegen.MODE_DMB_ST)
+    base = codegen.base_mode(codegen.validate_mode(mode))
+    use_ede = base == codegen.MODE_EDE
+    # A conservative build keeps the JVM-style fence even under EDE —
+    # redundant ordering the autotuner should be able to discharge.
+    use_fence = (base in (codegen.MODE_DSB, codegen.MODE_DMB_ST)
+                 or (codegen.is_conservative(mode)
+                     and base != codegen.MODE_NONE))
 
     emit = builder.emit
     object_size = 8 * FIELDS

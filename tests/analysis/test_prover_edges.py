@@ -1,0 +1,157 @@
+"""Edge cases of the static persist prover and the fence linter.
+
+The autotuner leans on two properties these tests pin down:
+
+* ``INDETERMINATE`` is a real third verdict — missing tags, degenerate
+  same-site obligations, and partially-secured consumer chains must not
+  collapse into ``GUARANTEED`` or ``VIOLATED`` (the oracle treats a
+  GUARANTEED->INDETERMINATE transition as a regression, so these paths
+  are load-bearing for search safety).
+* The fence linter's ``eliminable_fraction`` is conservative at its
+  boundaries: empty programs, programs whose every fence is required,
+  and back-to-back fence chains (where each fence empties the other's
+  window) all report zero.
+"""
+
+from repro.analysis.fences import lint_fences
+from repro.analysis.persist import (
+    GUARANTEED,
+    INDETERMINATE,
+    VIOLATED,
+    PersistProver,
+    derive_obligations,
+    summarize,
+)
+from repro.consistency.obligations import LOG_BEFORE_STORE, Obligation
+from repro.isa import instructions as ops
+
+
+def _log_store_obligation():
+    return Obligation(kind=LOG_BEFORE_STORE, first_tag="log:0",
+                      second_tag="store:0", op_id=0, txn_id=-1)
+
+
+# --- indeterminate verdicts ---------------------------------------------------
+
+
+class TestIndeterminate:
+    def test_missing_tag_is_indeterminate(self):
+        trace = [ops.dc_cvap(2, comment="log:0"), ops.halt()]
+        verdict = PersistProver(trace).prove(_log_store_obligation())
+        assert verdict.verdict == INDETERMINATE
+        assert "store:0" in verdict.reason
+        assert verdict.second_index is None
+
+    def test_both_tags_missing_names_the_first(self):
+        trace = [ops.halt()]
+        verdict = PersistProver(trace).prove(_log_store_obligation())
+        assert verdict.verdict == INDETERMINATE
+        assert "log:0" in verdict.reason
+
+    def test_same_site_tags_are_indeterminate(self):
+        obligation = Obligation(kind=LOG_BEFORE_STORE, first_tag="log:0",
+                                second_tag="log:0", op_id=0, txn_id=-1)
+        trace = [ops.dc_cvap(2, comment="log:0"), ops.halt()]
+        verdict = PersistProver(trace).prove(obligation)
+        assert verdict.verdict == INDETERMINATE
+        assert "same instruction" in verdict.reason
+
+    def test_partially_secured_consumer_chain_is_indeterminate(self):
+        """The producer has a consumer, but no mechanism secures every
+        path to the second instruction: the dynamic checker stays the
+        authority — neither GUARANTEED nor VIOLATED."""
+        trace = [
+            ops.dc_cvap_ede(2, edk_def=1, edk_use=0, comment="log:0"),
+            ops.dc_cvap_ede(3, edk_def=2, edk_use=1),  # consumes key 1
+            ops.store(4, 1, comment="store:0"),        # but s does not
+            ops.halt(),
+        ]
+        verdict = PersistProver(trace).prove(_log_store_obligation())
+        assert verdict.verdict == INDETERMINATE
+        assert "consumer chains" in verdict.reason
+
+    def test_unconsumed_producer_on_open_path_is_violated(self):
+        """Drop the consumer from the chain above: plain VIOLATED."""
+        trace = [
+            ops.dc_cvap_ede(2, edk_def=1, edk_use=0, comment="log:0"),
+            ops.store(4, 1, comment="store:0"),
+            ops.halt(),
+        ]
+        verdict = PersistProver(trace).prove(_log_store_obligation())
+        assert verdict.verdict == VIOLATED
+
+    def test_ede_edge_to_second_instruction_is_guaranteed(self):
+        trace = [
+            ops.dc_cvap_ede(2, edk_def=1, edk_use=0, comment="log:0"),
+            ops.store_ede(4, 1, edk_def=0, edk_use=1, comment="store:0"),
+            ops.halt(),
+        ]
+        verdict = PersistProver(trace).prove(_log_store_obligation())
+        assert verdict.verdict == GUARANTEED
+
+    def test_summarize_counts_every_bucket(self):
+        trace = [ops.dc_cvap(2, comment="log:0"), ops.halt()]
+        prover = PersistProver(trace)
+        verdicts = prover.prove_all([_log_store_obligation()] * 3)
+        assert summarize(verdicts) == {
+            GUARANTEED: 0, VIOLATED: 0, INDETERMINATE: 3,
+        }
+
+
+# --- fence linter boundaries --------------------------------------------------
+
+
+class TestEliminableFraction:
+    def test_empty_program_reports_zero(self):
+        findings, report = lint_fences([])
+        assert findings == []
+        assert report.total_full_fences == 0
+        assert report.eliminable_fraction == 0.0
+
+    def test_fenceless_program_reports_zero(self):
+        _findings, report = lint_fences([ops.store(2, 1), ops.halt()])
+        assert report.total_full_fences == 0
+        assert report.eliminable_fraction == 0.0
+
+    def test_required_fence_is_kept(self):
+        """Two unrelated stores around a fence: nothing else orders the
+        pair, so the fence is required and the fraction is zero."""
+        trace = [ops.store(2, 1), ops.dsb_sy(), ops.store(3, 1), ops.halt()]
+        _findings, report = lint_fences(trace)
+        assert report.total_full_fences == 1
+        assert report.redundant_sites == []
+        assert report.eliminable_fraction == 0.0
+
+    def test_fence_shadow_chain_is_skipped_conservatively(self):
+        """Back-to-back fences shadow each other: the first sees an
+        empty after-window, the second an empty before-window, and
+        neither is flagged — even though one of the pair is plainly
+        removable.  Conservative in the safe direction."""
+        trace = [ops.store(2, 1), ops.dsb_sy(), ops.dsb_sy(),
+                 ops.store(3, 1), ops.halt()]
+        _findings, report = lint_fences(trace)
+        assert report.total_full_fences == 2
+        assert report.redundant_sites == []
+        assert report.eliminable_fraction == 0.0
+
+    def test_ede_covered_fence_is_flagged(self):
+        """The store after the fence consumes the producer's key, so the
+        fence orders nothing that EDE does not already order."""
+        trace = [
+            ops.dc_cvap_ede(2, edk_def=1, edk_use=0),
+            ops.dsb_sy(),
+            ops.store_ede(3, 1, edk_def=0, edk_use=1),
+            ops.halt(),
+        ]
+        findings, report = lint_fences(trace)
+        assert report.redundant_sites == [1]
+        assert report.eliminable_fraction == 1.0
+        assert [f.check for f in findings] == ["redundant-fence"]
+
+    def test_boundary_fences_have_empty_windows(self):
+        """A leading or trailing fence orders nothing inside the
+        sequence and is left alone, whatever its external effect."""
+        trace = [ops.dsb_sy(), ops.store(2, 1), ops.dsb_sy(), ops.halt()]
+        _findings, report = lint_fences(trace)
+        assert report.total_full_fences == 2
+        assert report.redundant_sites == []

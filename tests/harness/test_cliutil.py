@@ -1,0 +1,65 @@
+"""The shared BrokenPipeError guard for CLI entry points.
+
+``python -m repro.analysis ... | head`` used to die with an unhandled
+``BrokenPipeError`` traceback when the pager closed the pipe early;
+every CLI now routes its handler through
+:func:`repro.harness.cliutil.guard_broken_pipe`, which swallows the
+error, points stdout at ``/dev/null`` (so interpreter shutdown does not
+trip over the dead pipe a second time) and exits cleanly.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.harness.cliutil import guard_broken_pipe
+
+
+class TestGuardBrokenPipe:
+    def test_passes_return_value_through(self):
+        assert guard_broken_pipe(lambda: 7) == 7
+
+    def test_forwards_args_and_kwargs(self):
+        def handler(a, b, flag=False):
+            return a + b + (10 if flag else 0)
+
+        assert guard_broken_pipe(handler, 1, 2, flag=True) == 13
+
+    def test_broken_pipe_becomes_success(self, monkeypatch):
+        redirected = []
+        monkeypatch.setattr(
+            os, "dup2", lambda src, dst: redirected.append((src, dst)))
+
+        def handler():
+            raise BrokenPipeError
+
+        assert guard_broken_pipe(handler) == 0
+        # stdout was re-pointed at /dev/null so shutdown flushes are safe.
+        assert redirected and redirected[0][1] == sys.stdout.fileno()
+
+    def test_other_exceptions_propagate(self):
+        with pytest.raises(ValueError):
+            guard_broken_pipe(lambda: (_ for _ in ()).throw(ValueError("x")))
+
+
+@pytest.mark.parametrize("argv", [
+    ["-m", "repro.analysis", "update", "--modes", "ede"],
+    ["-m", "repro.analysis", "optimize", "update", "--configs", "B",
+     "--no-validate", "--format", "json"],
+])
+def test_cli_survives_early_pipe_close(argv):
+    """End to end: pipe the CLI into a reader that closes immediately."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    writer = subprocess.Popen(
+        [sys.executable, *argv], stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, env=env, cwd=os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))))
+    writer.stdout.close()  # reader side gone: further writes raise EPIPE
+    stderr = writer.stderr.read()
+    writer.stderr.close()
+    writer.wait(timeout=120)
+    assert b"BrokenPipeError" not in stderr
+    assert b"Traceback" not in stderr
