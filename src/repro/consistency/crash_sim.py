@@ -35,7 +35,43 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.memory.persist_domain import PersistLog
 from repro.nvmfw.framework import BuiltWorkload
-from repro.nvmfw.layout import LOG_ENTRY_BYTES
+from repro.nvmfw.layout import LOG_ENTRY_BYTES, NvmLayout
+
+
+def recover_undo(image: Dict[int, int],
+                 layout: NvmLayout) -> Dict[int, int]:
+    """Undo recovery for one commit-record/log region; returns a new image.
+
+    Parameterized by layout so multi-core images — where each core has its
+    own carve-out — recover core by core over disjoint regions.
+    """
+    recovered = dict(image)
+    committed = recovered.get(layout.commit_record_addr, 0)
+    epoch = committed & 7
+
+    log_end = layout.log_base + layout.log_bytes
+    used = [a for a in recovered if layout.log_base <= a < log_end]
+    highest_slot = max(used) if used else layout.log_base
+
+    undo: List = []
+    for index in range(layout.log_capacity):
+        slot = layout.log_base + index * LOG_ENTRY_BYTES
+        if slot > highest_slot:
+            break  # past everything ever persisted into the log
+        tagged_addr = recovered.get(slot, 0)
+        if tagged_addr == 0:
+            # EDE lets log-line persists reorder, so an empty slot can
+            # be a gap before a persisted later entry — keep scanning.
+            continue
+        if tagged_addr & 7 != epoch:
+            continue  # stale entry from an earlier transaction
+        addr = tagged_addr & ~7
+        old_value = recovered.get(slot + 8, 0)
+        undo.append((slot, addr, old_value))
+
+    for _slot, addr, old_value in reversed(undo):
+        recovered[addr] = old_value
+    return recovered
 
 
 @dataclasses.dataclass
@@ -87,34 +123,7 @@ class CrashInjector:
 
     def recover(self, image: Dict[int, int]) -> Dict[int, int]:
         """Run undo recovery on an image; return the recovered image."""
-        layout = self.built.layout
-        recovered = dict(image)
-        committed = recovered.get(layout.commit_record_addr, 0)
-        epoch = committed & 7
-
-        log_end = layout.log_base + layout.log_bytes
-        used = [a for a in recovered if layout.log_base <= a < log_end]
-        highest_slot = max(used) if used else layout.log_base
-
-        undo: List = []
-        for index in range(layout.log_capacity):
-            slot = layout.log_base + index * LOG_ENTRY_BYTES
-            if slot > highest_slot:
-                break  # past everything ever persisted into the log
-            tagged_addr = recovered.get(slot, 0)
-            if tagged_addr == 0:
-                # EDE lets log-line persists reorder, so an empty slot can
-                # be a gap before a persisted later entry — keep scanning.
-                continue
-            if tagged_addr & 7 != epoch:
-                continue  # stale entry from an earlier transaction
-            addr = tagged_addr & ~7
-            old_value = recovered.get(slot + 8, 0)
-            undo.append((slot, addr, old_value))
-
-        for _slot, addr, old_value in reversed(undo):
-            recovered[addr] = old_value
-        return recovered
+        return recover_undo(image, self.built.layout)
 
     # --- validation ---------------------------------------------------------------
 
@@ -132,6 +141,11 @@ class CrashInjector:
 
     def validate(self, crash_point: int) -> CrashReport:
         """Recover at one crash point; compare against the boundary state."""
+        if getattr(self.built, "cores", 1) > 1:
+            raise ValueError(
+                "single-core recovery validation cannot express concurrent "
+                "commits; use validate_multicore for %d-core builds"
+                % self.built.cores)
         image = self.image_at(crash_point)
         recovered = self.recover(image)
         committed = recovered.get(self.built.layout.commit_record_addr, 0)
@@ -155,3 +169,67 @@ class CrashInjector:
         if crash_points is None:
             crash_points = range(0, len(self.persist_log) + 1, stride)
         return [self.validate(point) for point in crash_points]
+
+
+def validate_multicore(built, persist_log: PersistLog,
+                       crash_points: Optional[Sequence[int]] = None,
+                       stride: int = 1) -> List[CrashReport]:
+    """Recovery validation for N-core builds.
+
+    The build contract (see :mod:`repro.multicore.build`) makes this a
+    per-core replay of the single-core argument: persistent cells are
+    single-writer and line-exclusive, commit records and undo logs live in
+    disjoint per-core carve-outs, and per-core transaction ids are offset
+    by multiples of 8 so each core's 3-bit log epochs decode locally.
+    Recovery therefore runs :func:`recover_undo` once per core layout over
+    the shared crash image, decodes each core's local committed count from
+    its own commit record, and compares against the union of the per-core
+    tracked states — each core's tracked cells at *its own* boundary.
+
+    The report's ``committed_txns`` is the sum of local committed counts.
+    """
+    cores = getattr(built, "cores", 1)
+    injector = CrashInjector(built, persist_log)
+    if crash_points is None:
+        crash_points = range(0, len(persist_log) + 1, stride)
+    per_core_states = built.core_committed_states
+    if not any(per_core_states):
+        raise ValueError(
+            "workload did not record per-core committed states; recovery "
+            "validation does not apply")
+
+    reports = []
+    for point in crash_points:
+        recovered = injector.image_at(point)
+        for core in range(cores):
+            recovered = recover_undo(recovered, built.core_layouts[core])
+        mismatches: List[str] = []
+        committed_total = 0
+        for core in range(cores):
+            layout = built.core_layouts[core]
+            raw = recovered.get(layout.commit_record_addr, 0)
+            offset = built.core_txn_offsets[core]
+            local = raw - offset if raw else 0
+            committed_total += max(local, 0)
+            tracked = per_core_states[core]
+            if not tracked:
+                continue
+            if local <= 0:
+                baseline = built.baseline_memory
+                expected = {addr: baseline.get(addr, 0)
+                            for addr in tracked[0]}
+            else:
+                expected = tracked[local - 1]
+            for addr, value in expected.items():
+                got = recovered.get(addr, built.baseline_memory.get(addr, 0))
+                if got != value:
+                    mismatches.append(
+                        "core %d addr %#x: recovered %d, expected %d "
+                        "(local txn boundary %d)"
+                        % (core, addr, got, value, local))
+        reports.append(CrashReport(
+            crash_point=point,
+            committed_txns=committed_total,
+            mismatches=mismatches,
+        ))
+    return reports

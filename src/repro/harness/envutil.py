@@ -149,6 +149,18 @@ def describe_env() -> Tuple[EnvKnob, ...]:
         EnvKnob("REPRO_FUSION", "flag", "1",
                 "Superinstruction fusion in the functional machine "
                 "(codegen'd basic-block handlers) on/off."),
+        EnvKnob("REPRO_CORES", "positive_int", "2",
+                "Core count for the multi-core hazard-pointer "
+                "experiment (capped by the modeled maximum)."),
+        EnvKnob("REPRO_INTERLEAVE", "str", "round_robin",
+                "Multi-core build interleaver policy: round_robin or "
+                "weighted."),
+        EnvKnob("REPRO_INTERLEAVE_SEED", "int", "0",
+                "Multi-core interleaver seed override (0 derives it "
+                "from the workload scale seed)."),
+        EnvKnob("REPRO_COHERENCE", "flag", "1",
+                "MESI-lite invalidation coherence model in multi-core "
+                "runs on/off."),
         EnvKnob("REPRO_STATIC_CHECK", "flag", "0",
                 "Gate every interpreted workload build through the "
                 "static analyzer."),

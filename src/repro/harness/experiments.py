@@ -248,13 +248,31 @@ def safety_matrix(scale: Scale = BENCH_SCALE,
 class HazardResult:
     cycles: Dict[str, int]
     normalized: Dict[str, float]
+    #: Core count the kernel actually simulated (the historical
+    #: single-core approximation is ``cores == 1``).
+    cores: int = 1
 
 
-def hazard_pointer_experiment(scale: Scale = BENCH_SCALE) -> HazardResult:
-    """Fence vs EDE vs unordered hazard-pointer announcement (Fig. 12)."""
+def hazard_pointer_experiment(scale: Scale = BENCH_SCALE,
+                              cores: Optional[int] = None) -> HazardResult:
+    """Fence vs EDE vs unordered hazard-pointer announcement (Fig. 12).
+
+    Hazard pointers only need ordering because another thread may retire
+    the element between the announce and the validating re-load, so this
+    experiment defaults to the genuinely contended multi-core kernel
+    (``REPRO_CORES``, default 2) rather than silently reporting the old
+    single-core approximation; pass ``cores=1`` to get that explicitly.
+    Unmodeled core counts fail loudly (:func:`ensure_core_count`).
+    """
     from repro.harness.configs import configuration
     from repro.harness.parallel import run_matrix_parallel
+    from repro.multicore.knobs import experiment_cores
+    from repro.workloads.base import ensure_core_count
 
+    if cores is None:
+        cores = experiment_cores()
+    ensure_core_count("hazard", cores)
+    scale = dataclasses.replace(scale, cores=cores)
     # One run_matrix-style sweep instead of per-config run_one calls: the
     # trace comes from the trace cache once per fence mode (IQ and WB
     # share the EDE binary) and the runs go through the parallel + cached
@@ -264,4 +282,4 @@ def hazard_pointer_experiment(scale: Scale = BENCH_SCALE) -> HazardResult:
         ["hazard"], [configuration(name) for name in names], scale)
     cycles = {name: results["hazard"][name].cycles for name in names}
     normalized = {name: cycles[name] / cycles["B"] for name in cycles}
-    return HazardResult(cycles=cycles, normalized=normalized)
+    return HazardResult(cycles=cycles, normalized=normalized, cores=cores)

@@ -41,6 +41,9 @@ class RunResult:
     persist_log: PersistLog
     consistency: CheckResult
     built: BuiltWorkload
+    #: Per-core pipeline stats for multi-core runs (ascending core id);
+    #: ``None`` for single-core runs, so their results are unchanged.
+    core_stats: Optional[List[PipelineStats]] = None
 
     @property
     def ipc(self) -> float:
@@ -68,7 +71,8 @@ def run_one(workload: str, config: Configuration,
             params: A72Params = DEFAULT_PARAMS,
             built: Optional[BuiltWorkload] = None,
             warm: bool = True,
-            trace_cache=None) -> RunResult:
+            trace_cache=None,
+            force_multicore: bool = False) -> RunResult:
     """Simulate one workload under one configuration.
 
     ``built`` lets callers reuse a pre-built trace (the build step is
@@ -81,6 +85,12 @@ def run_one(workload: str, config: Configuration,
     (cache deserialization) and ``build`` (miss) phases are profiled
     inside :func:`~repro.harness.trace_cache.load_or_build`, labelled by
     fence mode.
+
+    Builds with ``cores > 1`` are routed through the lockstep multi-core
+    driver (:mod:`repro.multicore.system`) automatically;
+    ``force_multicore`` routes a single-core build through the same
+    driver, which is bit-identical to the classic path (the N=1
+    reduction contract) and exists so tests can assert exactly that.
     """
     chaos_point("run_one", "%s/%s" % (workload, config.name))
     label = "%s-%s" % (workload, config.name)
@@ -95,18 +105,30 @@ def run_one(workload: str, config: Configuration,
                 built = workload_base.build(workload, config.fence_mode,
                                             scale, params=params)
 
+    multicore = getattr(built, "cores", 1) > 1 or force_multicore
     with maybe_profile(label, "simulate"):
-        controller = MemoryController(
-            address_map=params.address_map,
-            dram_params=params.dram,
-            nvm_params=params.nvm,
-        )
-        hierarchy = CacheHierarchy(controller, params.hierarchy)
-        if warm:
-            warm_hierarchy(hierarchy, built)
-        core = OutOfOrderCore(built.trace, hierarchy, config.policy,
-                              params.core, replay=meta_for(built))
-        stats = core.run()
+        if multicore:
+            from repro.multicore.system import simulate_built
+
+            sim = simulate_built(built, config, params, warm=warm)
+            stats = sim.stats
+            controller = sim.controller
+            store_visibility = sim.store_visibility
+            core_stats = sim.core_stats if sim.cores > 1 else None
+        else:
+            controller = MemoryController(
+                address_map=params.address_map,
+                dram_params=params.dram,
+                nvm_params=params.nvm,
+            )
+            hierarchy = CacheHierarchy(controller, params.hierarchy)
+            if warm:
+                warm_hierarchy(hierarchy, built)
+            core = OutOfOrderCore(built.trace, hierarchy, config.policy,
+                                  params.core, replay=meta_for(built))
+            stats = core.run()
+            store_visibility = core.store_visibility
+            core_stats = None
         # Drain outstanding NVM writes so buffer-occupancy samples (Fig. 10)
         # cover the whole run even at small scales.
         controller.nvm.drain_all(stats.cycles)
@@ -114,7 +136,7 @@ def run_one(workload: str, config: Configuration,
     consistency = check_run(
         obligations=built.obligations,
         persist_log=controller.persist_log,
-        store_visibility=core.store_visibility,
+        store_visibility=store_visibility,
         safe_by_spec=config.safe_by_spec,
     )
 
@@ -129,6 +151,7 @@ def run_one(workload: str, config: Configuration,
         persist_log=controller.persist_log,
         consistency=consistency,
         built=built,
+        core_stats=core_stats,
     )
 
 

@@ -1,0 +1,76 @@
+"""Per-core NVM layout carve-outs for multi-core persistent builds.
+
+Each core runs its own :class:`~repro.nvmfw.framework.PersistentFramework`
+over one shared memory image, so the per-framework NVM structures — commit
+record, undo-log region, DRAM log-head word — must not alias across cores.
+This module carves the default layout's transaction-metadata and log space
+into per-core, cache-line-exclusive slices:
+
+- commit records: one 64-byte line each, at ``NVM_BASE + 64 * core``;
+- undo logs: 64 KiB each, starting past the 4 KiB metadata region;
+- DRAM log-head words: one line each at ``DRAM_SCRATCH_BASE + 64 * core``;
+- the persistent heap stays a single shared region past the last log.
+
+Line exclusivity matters for crash recovery: a line snapshot taken by one
+core must never capture another core's in-flight persistent state, or the
+prefix-cut recovery argument breaks (see ``consistency/crash_sim.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.nvmfw.layout import DRAM_SCRATCH_BASE, NVM_BASE, NvmLayout
+
+#: Hard cap on modeled cores.  Eight fits the per-core log carve-outs below
+#: and still leaves every core at least one EDK under the 15-key partition.
+MAX_CORES = 8
+
+#: Bytes of undo-log space carved out per core.
+CORE_LOG_BYTES = 64 << 10
+
+#: Start of the per-core log regions (past the shared tx-metadata region).
+_LOGS_BASE = NVM_BASE + (4 << 10)
+
+#: The shared persistent heap starts after the last possible core log.
+_HEAP_BASE = _LOGS_BASE + MAX_CORES * CORE_LOG_BYTES
+
+#: Per-core transaction-id (and op-id) offset.  A multiple of 8 so the
+#: 3-bit log-entry epoch tag of core ``i``'s local transaction ``k`` equals
+#: ``k & 7`` regardless of the offset — recovery's epoch filtering then
+#: works per core exactly as it does on a single core.
+TXN_ID_STRIDE = 1 << 20
+
+
+@dataclasses.dataclass(frozen=True)
+class CoreNvmLayout(NvmLayout):
+    """The default layout re-sliced for one core of an N-core build."""
+
+    core_id: int = 0
+
+    @property
+    def log_head_addr(self) -> int:
+        return DRAM_SCRATCH_BASE + 64 * self.core_id
+
+
+def core_layout(core_id: int) -> CoreNvmLayout:
+    """Build (and validate) the layout slice for ``core_id``."""
+    if not 0 <= core_id < MAX_CORES:
+        raise ValueError(
+            "core_id %d outside the modeled range 0..%d"
+            % (core_id, MAX_CORES - 1))
+    layout = CoreNvmLayout(
+        tx_meta_base=NVM_BASE + 64 * core_id,
+        tx_meta_bytes=64,
+        log_base=_LOGS_BASE + core_id * CORE_LOG_BYTES,
+        log_bytes=CORE_LOG_BYTES,
+        heap_base=_HEAP_BASE,
+        core_id=core_id,
+    )
+    layout.validate()
+    return layout
+
+
+def txn_offset(core_id: int) -> int:
+    """The transaction/op-id numbering offset for ``core_id``."""
+    return core_id * TXN_ID_STRIDE

@@ -1,0 +1,189 @@
+"""Lockstep N-core driver: one global clock over N pipelines.
+
+The driver owns the clock.  Every cycle it sets each live core's ``now``
+and calls :meth:`~repro.pipeline.core.OutOfOrderCore.step_cycle` in
+ascending core-id order — the deterministic total order underneath every
+cross-core interaction (bus publishes, coherence probes, controller
+traffic).  When no core makes progress, time fast-forwards to the
+earliest scheduled event across all live cores, charging the skipped
+cycles to each live core's zero-issue histogram bucket exactly as the
+single-core loop does.  Both single-core watchdogs (cycle budget,
+no-retire limit) apply to the whole machine.
+
+At N=1 the driver runs a plain :class:`~repro.pipeline.core.OutOfOrderCore`
+on a plain :class:`~repro.memory.hierarchy.CacheHierarchy` — no bus, no
+coherence directory — and its per-cycle schedule is exactly the legacy
+loop's, so results are bit-identical to the single-core pipeline (which
+is itself pinned bit-identical to the fused replay path).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.memory.controller import MemoryController
+from repro.memory.hierarchy import CacheHierarchy
+from repro.multicore import knobs
+from repro.multicore.coherence import CoherenceDirectory, CoherentHierarchy
+from repro.multicore.core import CoherentCore
+from repro.multicore.edm_bus import SharedEdmBus
+from repro.pipeline.core import OutOfOrderCore, SimulationError
+from repro.pipeline.stats import PipelineStats
+
+
+@dataclasses.dataclass
+class MulticoreResult:
+    """What one N-core simulation produces for the harness."""
+
+    cores: int
+    stats: PipelineStats               # merged machine view
+    core_stats: List[PipelineStats]    # per-core, ascending core id
+    store_visibility: List[tuple]      # merged, deterministic order
+    controller: MemoryController
+    coherence: Optional[CoherenceDirectory]
+    bus: Optional[SharedEdmBus]
+
+
+def merge_stats(core_stats: List[PipelineStats]) -> PipelineStats:
+    """Machine-level stats: counters summed, cycles = slowest core."""
+    merged = PipelineStats()
+    merged.cycles = max(s.cycles for s in core_stats)
+    for stats in core_stats:
+        merged.dispatched += stats.dispatched
+        merged.issued += stats.issued
+        merged.retired += stats.retired
+        merged.squashes += stats.squashes
+        merged.retire_stall_wb_full += stats.retire_stall_wb_full
+        merged.retire_stall_dsb += stats.retire_stall_dsb
+        merged.retire_stall_wait += stats.retire_stall_wait
+        merged.dispatch_stall_rob += stats.dispatch_stall_rob
+        merged.dispatch_stall_iq += stats.dispatch_stall_iq
+        merged.dispatch_stall_lsq += stats.dispatch_stall_lsq
+        for issued, count in stats.issue_histogram.items():
+            merged.issue_histogram[issued] = (
+                merged.issue_histogram.get(issued, 0) + count)
+    return merged
+
+
+def _merge_visibility(cores: List[OutOfOrderCore]) -> List[tuple]:
+    """Merged (cycle, seq, tag, addr) records in (cycle, core, seq) order.
+
+    Persist tags are globally unique (per-core op-id offsets), so the
+    consistency checker needs no core column; the core id only breaks
+    same-cycle ties deterministically.
+    """
+    tagged = []
+    for index, core in enumerate(cores):
+        for entry in core.store_visibility:
+            tagged.append((entry[0], index, entry[1], entry))
+    tagged.sort(key=lambda item: item[:3])
+    return [item[3] for item in tagged]
+
+
+def _warm(hierarchy: CacheHierarchy, built) -> None:
+    # Same warming as harness.runner.warm_hierarchy (not imported: the
+    # runner imports this module lazily and a top-level import would cycle).
+    for line in built.warm_lines(hierarchy.params.line_size):
+        for cache in (hierarchy.l3, hierarchy.l2, hierarchy.l1d):
+            cache.insert(line)
+
+
+def drive(cores: List[OutOfOrderCore],
+          max_cycles: int = 500_000_000,
+          no_retire_limit: Optional[int] = None) -> None:
+    """Lockstep the cores under one clock until every core halts."""
+    if no_retire_limit is None:
+        no_retire_limit = cores[0].params.watchdog_no_retire
+    now = 0
+    last_retire = 0
+    live = [core for core in cores if not core._halted]
+    while live:
+        if now > max_cycles:
+            raise SimulationError("\n".join(
+                core._stuck_report(
+                    "exceeded the %d-cycle budget" % max_cycles)
+                for core in live))
+        retired_before = sum(core.stats.retired for core in live)
+        progress = 0
+        for core in live:
+            core.now = now
+            progress += core.step_cycle()
+        retired = sum(core.stats.retired for core in live) - retired_before
+        if retired:
+            last_retire = now
+        elif no_retire_limit and now - last_retire > no_retire_limit:
+            raise SimulationError("\n".join(
+                core._stuck_report(
+                    "no instruction retired for %d cycles "
+                    "(watchdog limit %d)" % (now - last_retire,
+                                             no_retire_limit))
+                for core in live))
+        live = [core for core in live if not core._halted]
+        if not live:
+            return
+        if progress:
+            now += 1
+            continue
+        pending = [core.next_event_cycle() for core in live]
+        pending = [cycle for cycle in pending if cycle is not None]
+        if not pending:
+            raise SimulationError("\n".join(
+                core._stuck_report(
+                    "machine deadlock (no core progressed, "
+                    "nothing scheduled)")
+                for core in live))
+        target = min(pending)
+        skipped = target - now - 1
+        if skipped > 0:
+            for core in live:
+                core.stats.record_issue_cycles(0, skipped)
+        now = target
+
+
+def simulate_built(built, config, params, warm: bool = True,
+                   max_cycles: int = 500_000_000) -> MulticoreResult:
+    """Simulate a built workload on ``built.cores`` coherent cores."""
+    cores_n = getattr(built, "cores", 1)
+    controller = MemoryController(
+        address_map=params.address_map,
+        dram_params=params.dram,
+        nvm_params=params.nvm,
+    )
+    if cores_n == 1:
+        hierarchy = CacheHierarchy(controller, params.hierarchy)
+        if warm:
+            _warm(hierarchy, built)
+        core = OutOfOrderCore(built.trace, hierarchy, config.policy,
+                              params.core, replay=False)
+        drive([core], max_cycles=max_cycles)
+        return MulticoreResult(
+            cores=1,
+            stats=core.stats,
+            core_stats=[core.stats],
+            store_visibility=list(core.store_visibility),
+            controller=controller,
+            coherence=None,
+            bus=None,
+        )
+    directory = CoherenceDirectory(enabled=knobs.coherence_enabled())
+    bus = SharedEdmBus()
+    cores: List[CoherentCore] = []
+    for core_id in range(cores_n):
+        hierarchy = CoherentHierarchy(controller, params.hierarchy,
+                                      directory, core_id)
+        if warm:
+            _warm(hierarchy, built)
+        cores.append(CoherentCore(core_id, bus, built.core_traces[core_id],
+                                  hierarchy, config.policy, params.core))
+    drive(cores, max_cycles=max_cycles)
+    core_stats = [core.stats for core in cores]
+    return MulticoreResult(
+        cores=cores_n,
+        stats=merge_stats(core_stats),
+        core_stats=core_stats,
+        store_visibility=_merge_visibility(cores),
+        controller=controller,
+        coherence=directory,
+        bus=bus,
+    )

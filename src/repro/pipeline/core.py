@@ -843,6 +843,44 @@ class OutOfOrderCore:
                 return True
         return False
 
+    def next_event_cycle(self) -> Optional[int]:
+        """Cycle of the earliest scheduled event, or None if none pending."""
+        return self._event_heap[0] if self._event_heap else None
+
+    def step_cycle(self) -> int:
+        """Run one cycle of the legacy stage-by-stage loop; return progress.
+
+        This is exactly one iteration of :meth:`run`'s legacy loop body —
+        events, retire, write-buffer push, issue, dispatch, in that order —
+        minus clock advancement and the watchdogs, which belong to the
+        caller.  A multi-core driver uses it to lockstep N cores under one
+        global clock: it sets ``self.now``, steps every core, and advances
+        time itself.  Because each stage is a virtual call here (unlike the
+        fused replay path, which inlines them), subclass overrides of the
+        EDE dispatch and retire-gating hooks take effect.
+
+        Returns a positive number when any stage made progress this cycle
+        (the halt cycle always counts as progress) and ``0`` otherwise.
+        """
+        event_heap = self._event_heap
+        events = (self._process_events()
+                  if event_heap and event_heap[0] == self.now else 0)
+        retired = self._retire_stage() if self._rob else 0
+        if self._halted:
+            self.stats.record_issue_cycles(0)
+            return events + retired + 1
+        pushes = self._wb_push_stage() if self.wb.entries else 0
+        issued = self._issue_stage() if self._iq else 0
+        dispatched = (self._dispatch_stage()
+                      if (self._fetch_index < len(self.trace)
+                          and self._halt_dyn is None) else 0)
+        self.stats.record_issue_cycles(issued)
+        progress = events + retired + pushes + issued + dispatched
+        if self._squash_progress:
+            self._squash_progress = False
+            progress += 1
+        return progress
+
     def run(self, max_cycles: int = 500_000_000,
             no_retire_limit: Optional[int] = None) -> PipelineStats:
         """Simulate until HALT retires; return the statistics.

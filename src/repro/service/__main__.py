@@ -103,6 +103,9 @@ def _build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--txns", type=int, default=3,
                              help="transaction count")
             cmd.add_argument("--seed", type=int, default=2021)
+            cmd.add_argument("--cores", type=int, default=1,
+                             help="simulated core count (multi-core "
+                             "workloads; simulate jobs only)")
             cmd.add_argument("--wait", action="store_true",
                              help="block until every job finishes")
         elif name in ("status", "wait"):
@@ -190,6 +193,8 @@ def _cmd_submit(args) -> int:
             if kind == "optimize":
                 extra = {"conservative": args.conservative,
                          "budget": args.budget}
+            if kind == "simulate" and args.cores != 1:
+                extra = {"cores": args.cores}
             spec = JobSpec(kind=kind, workload=workload, config=name,
                            ops_per_txn=args.ops, txns=args.txns,
                            seed=args.seed, **extra)

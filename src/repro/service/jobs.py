@@ -78,6 +78,8 @@ class JobSpec:
     seed: int = workload_base.TEST_SCALE.seed
     conservative: bool = False
     budget: int = 0
+    #: Simulated core count (multi-core workloads; simulate jobs only).
+    cores: int = 1
 
     def validate(self) -> None:
         """Raise ``ValueError`` naming the first invalid field."""
@@ -112,11 +114,16 @@ class JobSpec:
             raise ValueError(
                 "scale must be positive, got %d ops/txn x %d txns"
                 % (self.ops_per_txn, self.txns))
+        if self.cores != 1 and self.kind != KIND_SIMULATE:
+            raise ValueError(
+                "cores applies to simulate jobs only, not %r" % self.kind)
+        workload_base.ensure_core_count(self.workload, self.cores)
 
     @property
     def scale(self) -> workload_base.Scale:
         return workload_base.Scale(
-            ops_per_txn=self.ops_per_txn, txns=self.txns, seed=self.seed)
+            ops_per_txn=self.ops_per_txn, txns=self.txns, seed=self.seed,
+            cores=self.cores)
 
     @property
     def configuration(self) -> Configuration:
@@ -149,7 +156,7 @@ class JobSpec:
             spec = cls(**data)
         except TypeError as exc:
             raise ValueError("bad job spec: %s" % exc) from None
-        for name in ("ops_per_txn", "txns", "seed", "budget"):
+        for name in ("ops_per_txn", "txns", "seed", "budget", "cores"):
             if not isinstance(getattr(spec, name), int):
                 raise ValueError("%s must be an integer" % name)
         if not isinstance(spec.conservative, bool):
@@ -163,8 +170,11 @@ def result_cache_key(spec: JobSpec, params=DEFAULT_PARAMS) -> str:
     simulate job's result lives under — identical to
     ``ResultCache.key(workload, config, scale, params)``, so the service
     and the batch engines share one cache population."""
+    from repro.multicore.knobs import multicore_env_signature
+
     return canonical_key(source_fingerprint(), spec.workload,
-                         spec.configuration, spec.scale, params)
+                         spec.configuration, spec.scale, params,
+                         multicore_env_signature())
 
 
 def optimize_cache_key(spec: JobSpec, params=DEFAULT_PARAMS) -> str:
@@ -229,6 +239,17 @@ def result_digest(result) -> str:
         "violations": [repr(v) for v in result.consistency.violations],
         "unresolved": [repr(o) for o in result.consistency.unresolved],
     }
+    core_stats = getattr(result, "core_stats", None)
+    if core_stats:
+        rendered = []
+        for per_core in core_stats:
+            entry = dataclasses.asdict(per_core)
+            entry["issue_histogram"] = sorted(
+                entry["issue_histogram"].items())
+            rendered.append(entry)
+        # Only multi-core results carry per-core stats; single-core
+        # digests are unchanged from every earlier release.
+        payload["core_stats"] = rendered
     return hashlib.sha256(repr(payload).encode()).hexdigest()
 
 

@@ -345,7 +345,7 @@ class Scheduler:
             spec = job.spec
             if spec.kind == KIND_SIMULATE:
                 key = (spec.workload, spec.configuration.fence_mode,
-                       spec.ops_per_txn, spec.txns, spec.seed)
+                       spec.ops_per_txn, spec.txns, spec.seed, spec.cores)
                 sim_groups.setdefault(key, []).append(job)
             elif spec.kind == KIND_OPTIMIZE:
                 task_id = "opt:%s/%s@%dx%d#%d%s b%d" % (
@@ -365,15 +365,17 @@ class Scheduler:
                                         (spec.ops_per_txn, spec.txns,
                                          spec.seed))))
                 jobmap[task_id] = [job]
-        for (workload, mode, ops, txns, seed), jobs in sim_groups.items():
-            # The seed is part of the identity: two groups differing only
-            # by seed are distinct tasks, and a colliding ID would let
-            # one group's completion overwrite the other's in jobmap.
-            task_id = "sim:%s/%s@%dx%d#%d" % (workload, mode, ops, txns,
-                                              seed)
+        for (workload, mode, ops, txns, seed, cores), jobs in \
+                sim_groups.items():
+            # The seed (and core count) is part of the identity: two
+            # groups differing only by seed are distinct tasks, and a
+            # colliding ID would let one group's completion overwrite
+            # the other's in jobmap.
+            task_id = "sim:%s/%s@%dx%d#%d/c%d" % (workload, mode, ops, txns,
+                                                  seed, cores)
             config_names = tuple(job.spec.config for job in jobs)
             tasks.append((task_id, (KIND_SIMULATE, workload, config_names,
-                                    (ops, txns, seed), self.params,
+                                    (ops, txns, seed, cores), self.params,
                                     self.trace_dir)))
             jobmap[task_id] = jobs
         return tasks, jobmap

@@ -18,6 +18,8 @@ from repro.workloads import rbtree as _rbtree    # noqa: F401
 from repro.workloads import rtree as _rtree      # noqa: F401
 from repro.workloads import hazard as _hazard    # noqa: F401
 from repro.workloads import publication as _publication  # noqa: F401
+from repro.workloads import counter as _counter  # noqa: F401
+from repro.workloads import mpsc as _mpsc        # noqa: F401
 
 __all__ = [
     "BENCH_SCALE",

@@ -21,11 +21,19 @@ from repro.nvmfw.framework import BuiltWorkload, PersistentFramework
 
 @dataclasses.dataclass(frozen=True)
 class Scale:
-    """Run size: ``txns`` transactions of ``ops_per_txn`` operations."""
+    """Run size: ``txns`` transactions of ``ops_per_txn`` operations.
+
+    ``cores`` asks the workload for a multi-core build: ``cores`` pipelines
+    contending over shared memory and a shared EDM, each running the full
+    ``txns`` transactions (weak scaling).  Only workloads registered with
+    ``multicore=True`` model core counts above one; everything else fails
+    loudly rather than silently reporting single-core numbers.
+    """
 
     ops_per_txn: int = 100
     txns: int = 1000
     seed: int = 2021
+    cores: int = 1
 
     @property
     def total_ops(self) -> int:
@@ -46,22 +54,52 @@ WorkloadFn = Callable[[str, Scale], BuiltWorkload]
 
 _REGISTRY: Dict[str, WorkloadFn] = {}
 
+#: Workloads whose builders model core counts above one.
+_MULTICORE: set = set()
+
+#: Hard cap on modeled cores (bounded by per-core NVM log carve-outs and
+#: the 15-key EDM partitioning; see :mod:`repro.multicore.layout`).
+MAX_CORES = 8
+
 #: Monotonic count of full (interpreted) workload builds in this process.
 #: The trace-cache tests and the self-perf bench read it to prove that a
 #: warm-trace-cache run performs zero trace interpretation.
 BUILD_COUNT = 0
 
 
-def register(name: str) -> Callable[[WorkloadFn], WorkloadFn]:
+def register(name: str,
+             multicore: bool = False) -> Callable[[WorkloadFn], WorkloadFn]:
     """Decorator adding a workload builder to the registry."""
 
     def wrap(fn: WorkloadFn) -> WorkloadFn:
         if name in _REGISTRY:
             raise ValueError("duplicate workload name %r" % name)
         _REGISTRY[name] = fn
+        if multicore:
+            _MULTICORE.add(name)
         return fn
 
     return wrap
+
+
+def supports_multicore(name: str) -> bool:
+    """Whether the named workload models core counts above one."""
+    return name in _MULTICORE
+
+
+def ensure_core_count(name: str, cores: int) -> None:
+    """Fail loudly when ``cores`` is outside what ``name`` can model."""
+    if cores < 1:
+        raise ValueError("core count must be >= 1, got %d" % cores)
+    if cores > MAX_CORES:
+        raise ValueError(
+            "core count %d exceeds the modeled maximum of %d"
+            % (cores, MAX_CORES))
+    if cores > 1 and name not in _MULTICORE:
+        raise ValueError(
+            "workload %r is single-core only: it does not model %d cores "
+            "(multicore workloads: %s)"
+            % (name, cores, ", ".join(sorted(_MULTICORE)) or "none"))
 
 
 def _maybe_static_check(built: BuiltWorkload, name: str, mode: str) -> None:
@@ -93,6 +131,7 @@ def build(name: str, mode: str, scale: Scale,
     architectural parameters) only contributes to the cache key.
     """
     global BUILD_COUNT
+    ensure_core_count(name, scale.cores)
     chaos_point("build", "%s/%s" % (name, mode))
     if cache is not None:
         from repro.harness.trace_cache import load_or_build
@@ -106,7 +145,10 @@ def build(name: str, mode: str, scale: Scale,
             % (name, ", ".join(sorted(_REGISTRY)))) from None
     BUILD_COUNT += 1
     built = fn(mode, scale)
-    _maybe_static_check(built, name, mode)
+    if scale.cores == 1:
+        # The static analyzer reasons over a single program order; the
+        # merged multi-core trace is not one, so only N=1 builds go through.
+        _maybe_static_check(built, name, mode)
     return built
 
 

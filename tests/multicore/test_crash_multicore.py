@@ -1,0 +1,70 @@
+"""Crash-consistency sweeps of the concurrent persistent workloads.
+
+The MPSC queue and the locked counter follow the multi-core recovery
+contract (single-writer line-exclusive persistent cells, per-core commit
+records / undo logs / txn-id epochs), so every persist-log prefix must
+recover to a per-core transaction boundary.  The hazard kernel is
+volatile: its safety claim is the ordering checker's verdict.
+"""
+
+import pytest
+
+from repro.consistency.crash_sim import CrashInjector, validate_multicore
+from repro.harness.configs import configuration
+from repro.harness.runner import run_one
+from repro.workloads.base import Scale, ensure_core_count
+
+SAFE = ("B", "IQ", "WB")
+SCALE2 = Scale(ops_per_txn=5, txns=3, seed=2021, cores=2)
+
+
+class TestMulticoreRecovery:
+    @pytest.mark.parametrize("workload", ("mpsc", "counter"))
+    @pytest.mark.parametrize("config", SAFE)
+    def test_every_crash_point_consistent(self, workload, config):
+        result = run_one(workload, configuration(config), SCALE2)
+        reports = validate_multicore(result.built, result.persist_log)
+        assert len(reports) == len(result.persist_log) + 1
+        bad = [r for r in reports if not r.consistent]
+        assert not bad, bad[0].mismatches[:5] if bad else None
+
+    def test_full_log_recovers_every_transaction(self):
+        result = run_one("counter", configuration("B"), SCALE2)
+        reports = validate_multicore(result.built, result.persist_log,
+                                     crash_points=[len(result.persist_log)])
+        assert reports[0].committed_txns == result.built.txns
+
+    def test_single_core_validator_refuses_multicore_builds(self):
+        result = run_one("counter", configuration("B"), SCALE2)
+        injector = CrashInjector(result.built, result.persist_log)
+        with pytest.raises(ValueError, match="validate_multicore"):
+            injector.validate(0)
+
+    def test_volatile_workload_has_no_recovery_states(self):
+        result = run_one("hazard", configuration("B"), SCALE2)
+        with pytest.raises(ValueError, match="per-core committed states"):
+            validate_multicore(result.built, result.persist_log)
+
+
+class TestHazardSafety:
+    @pytest.mark.parametrize("config", SAFE)
+    def test_checker_verdict_safe(self, config):
+        result = run_one("hazard", configuration(config), SCALE2)
+        assert result.consistency.verdict == "safe"
+        assert not result.consistency.violations
+
+
+class TestFailLoudGates:
+    def test_single_core_workload_rejects_cores(self):
+        with pytest.raises(ValueError, match="single-core only"):
+            ensure_core_count("update", 2)
+
+    def test_core_count_above_model_cap_rejected(self):
+        with pytest.raises(ValueError, match="modeled maximum"):
+            ensure_core_count("hazard", 9)
+
+    def test_build_rejects_unmodeled_core_count(self):
+        from repro.workloads.base import build
+
+        with pytest.raises(ValueError, match="single-core only"):
+            build("update", "ede", Scale(ops_per_txn=2, txns=2, cores=2))
